@@ -1,0 +1,66 @@
+//! Ablation — DMA block transfers.
+//!
+//! The TpWIRE system registers include a DMA counter; this workspace
+//! concretizes it as a block-transfer mode (arm the counter, stream the
+//! block back-to-back, one block acknowledge) that roughly halves the
+//! per-byte frame count. This sweep measures when arming pays off, against
+//! both the closed-form model and the discrete-event case study.
+
+use tsbus_bench::{fmt_secs, render_table};
+use tsbus_core::{run_case_study, CaseStudyConfig};
+use tsbus_tpwire::{analytic, BusParams};
+
+fn main() {
+    println!("Ablation — DMA block transfers (burst size sweep)\n");
+
+    println!("(a) Closed-form relay cost of a 512-byte message, 8 Mbit/s 1-wire:");
+    let base = BusParams::theseus_default().with_relay_chunk(64);
+    let plain = analytic::message_relay_bits(&base, 0, 2, 512);
+    let mut rows = vec![vec![
+        "off".to_owned(),
+        format!("{plain} bits"),
+        "1.00x".to_owned(),
+    ]];
+    for block in [2u16, 4, 8, 16, 32, 64] {
+        let params = base.with_dma_block(block);
+        let bits = analytic::message_relay_bits_dma(&params, 0, 2, 512);
+        rows.push(vec![
+            block.to_string(),
+            format!("{bits} bits"),
+            format!("{:.2}x", plain as f64 / bits as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["dma_block (bytes)", "relay cost", "speedup"], &rows)
+    );
+
+    println!("(b) Table 4 workload (1-wire, 0.3 B/s CBR), measured end to end:");
+    let cfg = CaseStudyConfig::table4_reference().with_cbr_rate(0.3);
+    let mut rows = Vec::new();
+    for block in [0u16, 4, 8, 16, 32] {
+        let bus = cfg.bus.with_dma_block(block).with_relay_chunk(32.max(block));
+        let result = run_case_study(&cfg.with_bus(bus));
+        rows.push(vec![
+            if block == 0 {
+                "off".to_owned()
+            } else {
+                block.to_string()
+            },
+            match result.middleware_time {
+                Some(t) if !result.out_of_time => fmt_secs(t.as_secs_f64()),
+                _ => "Out of Time".to_owned(),
+            },
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["dma_block (bytes)", "middleware time"], &rows)
+    );
+    println!(
+        "DMA approaches the 2x frame-count bound for bulk blocks; the arming cost\n\
+         (three transactions per burst) makes blocks under ~4 bytes a loss. Had the\n\
+         paper's testbed enabled DMA, its Table 4 times would drop accordingly —\n\
+         the kind of design answer the estimation methodology exists to provide."
+    );
+}

@@ -1,0 +1,64 @@
+//! §2.1 "Scalability of systems" — over the actual bus.
+//!
+//! The paper motivates the tuplespace with a producer/consumer farm whose
+//! "overall system performance are clearly proportional to the number of
+//! consumers". That is true of the middleware; the estimation methodology
+//! exists to find where the *interconnect* breaks the proportionality.
+//! This sweep measures farm throughput versus consumer count on the
+//! 1-wire bus and the two §3.2 scaling modes.
+
+use tsbus_bench::render_table;
+use tsbus_core::{run_farm, FarmConfig};
+use tsbus_tpwire::Wiring;
+
+fn main() {
+    println!("Figure (§2.1) — producer/consumer farm throughput over TpWIRE\n");
+    println!("2 producers x 12 jobs of 32 bytes; each job costs its consumer 30 ms of");
+    println!("compute (the paper's FFT work). Throughput in jobs/second of simulated time.\n");
+
+    let mut base = FarmConfig::reference();
+    base.producers = 2;
+    base.jobs_per_producer = 12;
+    base.consumer_think = tsbus_des::SimDuration::from_millis(30);
+
+    let wirings = [
+        ("1-wire", Wiring::Single),
+        ("2-wire mode A", Wiring::parallel_data(2).expect("valid")),
+        ("2-bus mode B", Wiring::parallel_buses(2).expect("valid")),
+    ];
+    let consumer_counts = [1usize, 2, 4, 8];
+
+    let mut rows = Vec::new();
+    for consumers in consumer_counts {
+        let mut row = vec![consumers.to_string()];
+        for (_, wiring) in wirings {
+            let mut cfg = base;
+            cfg.consumers = consumers;
+            cfg.bus = cfg.bus.with_wiring(wiring);
+            let result = run_farm(&cfg);
+            assert_eq!(
+                result.jobs_consumed, result.jobs_offered,
+                "farm must drain within the horizon"
+            );
+            row.push(format!(
+                "{:.0} j/s ({:.0}% bus)",
+                result.throughput,
+                result.bus_utilization * 100.0
+            ));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["consumers", "1-wire", "2-wire mode A", "2-bus mode B"],
+            &rows
+        )
+    );
+    println!(
+        "The middleware scales; the wire does not. Consumer scaling flattens as the\n\
+         1-wire bus saturates, mode A lifts the ceiling by the frame-shortening\n\
+         factor, and mode B adds a second independent pipeline — the quantified\n\
+         version of §2.1's scalability claim under §3.2's scaling options."
+    );
+}

@@ -1,0 +1,86 @@
+//! §3.2 — TpWIRE *n*-wire scalability, both enhancement modes.
+//!
+//! The paper proposes scaling the 1-wire bus to *n* wires either by
+//! parallelizing the data bits of each frame (mode A) or by running *n*
+//! independent 1-wire buses (mode B), and asks the prototyping methodology
+//! to quantify the gain. This sweep produces that figure: relay goodput
+//! and case-study middleware time versus wire count for both modes.
+
+use tsbus_bench::{fmt_secs, render_table};
+use tsbus_core::{run_case_study, CaseStudyConfig};
+use tsbus_tpwire::{analytic, BusParams, Wiring};
+
+fn main() {
+    println!("Figure (§3.2) — n-wire scalability of TpWIRE\n");
+
+    // Analytic single-flow goodput (Slave1 -> Slave3, 256-byte messages).
+    println!("(a) Single-flow relay goodput, closed-form, 8 Mbit/s lines:");
+    let base = BusParams::theseus_default();
+    let mut rows = Vec::new();
+    for lines in 1u8..=8 {
+        let mode_a = if lines == 1 {
+            Wiring::Single
+        } else {
+            Wiring::parallel_data(lines).expect("lines >= 2")
+        };
+        let goodput_a = analytic::relay_goodput(&base.with_wiring(mode_a), 0, 2, 256);
+        // Mode B parallelizes flows, not one flow; a single flow sees the
+        // 1-wire rate. Report aggregate capacity = lanes x single-bus
+        // goodput instead.
+        let single = analytic::relay_goodput(&base, 0, 2, 256);
+        let aggregate_b = single * f64::from(lines);
+        rows.push(vec![
+            lines.to_string(),
+            format!("{:.0} B/s", goodput_a),
+            format!("{:.2}x", goodput_a / single),
+            format!("{:.0} B/s", aggregate_b),
+            format!("{:.2}x", f64::from(lines)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "wires",
+                "mode A goodput",
+                "mode A speedup",
+                "mode B aggregate",
+                "mode B speedup",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Mode A saturates below 2x (the serial command framing floor: a frame never\n\
+         shrinks under 8 bit periods) — the basis of the paper's 'almost double' claim.\n"
+    );
+
+    // End-to-end case-study time under mode A (the Table 4 workload).
+    println!("(b) Case-study middleware time (Table 4 workload, CBR 0.3 B/s), measured:");
+    let cfg = CaseStudyConfig::table4_reference().with_cbr_rate(0.3);
+    let mut rows = Vec::new();
+    for lines in 1u8..=4 {
+        let wiring = if lines == 1 {
+            Wiring::Single
+        } else {
+            Wiring::parallel_data(lines).expect("lines >= 2")
+        };
+        let result = run_case_study(&cfg.with_bus(cfg.bus.with_wiring(wiring)));
+        let time = result
+            .middleware_time
+            .expect("case study finishes at every wire count");
+        rows.push(vec![
+            lines.to_string(),
+            fmt_secs(time.as_secs_f64()),
+            format!("{}", if result.out_of_time { "yes" } else { "no" }),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["wires (mode A)", "middleware time", "out of time?"], &rows)
+    );
+    println!(
+        "End-to-end gains flatten even faster than raw goodput: the fixed endpoint\n\
+         costs (gdb/RMI) do not scale with the wire count."
+    );
+}

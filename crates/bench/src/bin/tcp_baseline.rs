@@ -1,0 +1,84 @@
+//! §4.3 — TpWIRE versus the TCP/Ethernet alternative.
+//!
+//! The paper motivates TpWIRE against "a TCP-like network": sockets give a
+//! natural software abstraction, but the infrastructure (switches, full
+//! stacks) is too expensive for low-cost, hard-to-wire industrial devices.
+//! This bench carries the *same* tuplespace exchange over both transports
+//! and contrasts the latency and overhead structure.
+
+use tsbus_bench::{fmt_secs, render_table};
+use tsbus_core::{
+    run_case_study, run_case_study_tcp, CaseStudyConfig, EndpointCosts, TcpParams,
+};
+use tsbus_des::SimDuration;
+use tsbus_tpwire::BusParams;
+
+fn main() {
+    println!("§4.3 — the same write+take exchange over TpWIRE vs TCP/Ethernet\n");
+
+    // Strip the (transport-independent) endpoint costs to expose the pure
+    // transport difference, then show them restored.
+    let mut rows = Vec::new();
+    for (label, think, service, ep) in [
+        (
+            "bare transports",
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            EndpointCosts::free(),
+        ),
+        (
+            "with gdb/RMI endpoint costs",
+            SimDuration::from_secs(6),
+            SimDuration::from_secs(7),
+            EndpointCosts::symmetric(SimDuration::from_secs(6)),
+        ),
+    ] {
+        for (transport, entry_bytes) in [("64 B entry", 64usize), ("1 KiB entry", 1024)] {
+            let cfg = CaseStudyConfig {
+                bus: BusParams::theseus_default(), // full 8 Mbit/s TpWIRE
+                entry_bytes,
+                lease: SimDuration::from_secs(160),
+                cbr_rate: 0.0,
+                cbr_packet: 1,
+                take_delay: SimDuration::ZERO,
+                client_think: think,
+                server_service: service,
+                client_endpoint: ep,
+                server_endpoint: ep,
+                horizon: SimDuration::from_secs(600),
+                wire_format: tsbus_xmlwire::WireFormat::Xml,
+            };
+            let tpwire = run_case_study(&cfg);
+            let tcp = run_case_study_tcp(&cfg, TcpParams::ethernet_10mbps());
+            let t_tpwire = tpwire
+                .middleware_time
+                .expect("TpWIRE exchange finishes")
+                .as_secs_f64();
+            let t_tcp = tcp
+                .middleware_time
+                .expect("TCP exchange finishes")
+                .as_secs_f64();
+            rows.push(vec![
+                label.to_owned(),
+                transport.to_owned(),
+                fmt_secs(t_tpwire),
+                fmt_secs(t_tcp),
+                format!("{:.1}x", t_tpwire / t_tcp),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["configuration", "payload", "TpWIRE (8 Mb/s)", "TCP (10 Mb/s Eth)", "TpWIRE/TCP"],
+            &rows
+        )
+    );
+    println!(
+        "TCP wins on raw latency (larger frames, no master-relay double hop), which\n\
+         is exactly why the paper must argue on cost: TpWIRE needs one passive wire\n\
+         and no switch, while the Ethernet star needs active infrastructure. With\n\
+         the 2003-era endpoint stacks dominating, the transport gap disappears —\n\
+         the paper's justification for accepting the slower bus."
+    );
+}

@@ -1,0 +1,387 @@
+//! The scripted tuplespace client: the simulation counterpart of the
+//! paper's C++ client on the Theseus board.
+//!
+//! A [`ScriptedClient`] walks a list of [`ClientStep`]s — timed waits and
+//! tuplespace requests — sending each request through its transport
+//! endpoint and recording when the matching response lands. The Table 4
+//! traffic profile ("the client executes a write-entry operation on the
+//! space; later on, a take operation is executed") is one such script.
+
+use bytes::Bytes;
+use tsbus_des::{
+    Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime,
+};
+use tsbus_tpwire::NodeId;
+use tsbus_xmlwire::{
+    request_to_wire, server_message_from_wire, Request, Response, ServerMessage, WireEvent,
+    WireFormat,
+};
+
+use crate::net::{NetDeliver, NetError, NetSend};
+
+/// One step of a client script.
+#[derive(Debug, Clone)]
+pub enum ClientStep {
+    /// Wait until the absolute instant (no-op if already past).
+    At(SimTime),
+    /// Wait for a span.
+    Delay(SimDuration),
+    /// Send a request and wait for its response.
+    Request(Request),
+}
+
+/// The outcome of one executed request.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// Index into the script.
+    pub step: usize,
+    /// The request that was sent.
+    pub request: Request,
+    /// When the request left the application layer.
+    pub sent_at: SimTime,
+    /// When the response arrived (`None` while in flight).
+    pub completed_at: Option<SimTime>,
+    /// The decoded response (`None` while in flight).
+    pub response: Option<Response>,
+}
+
+impl OpRecord {
+    /// Round-trip latency, if completed.
+    #[must_use]
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.completed_at.map(|done| done.duration_since(self.sent_at))
+    }
+
+    /// For read/take ops: whether a tuple came back.
+    #[must_use]
+    pub fn returned_entry(&self) -> bool {
+        matches!(
+            self.response,
+            Some(Response::Entry { tuple: Some(_) })
+        )
+    }
+}
+
+/// Internal timer: a scripted wait elapsed.
+#[derive(Debug)]
+struct StepTimer;
+
+/// A client that executes a fixed script of tuplespace operations against
+/// one server.
+#[derive(Debug)]
+pub struct ScriptedClient {
+    endpoint: ComponentId,
+    server: NodeId,
+    /// Board-side processing charged before each request leaves (the C++
+    /// client + gdb interface cost).
+    think_time: SimDuration,
+    script: Vec<ClientStep>,
+    format: WireFormat,
+    next_step: usize,
+    awaiting: bool,
+    records: Vec<OpRecord>,
+    /// Pushed notifications received, with their arrival instants.
+    notifications: Vec<(SimTime, WireEvent)>,
+    errors: Vec<String>,
+    finished_at: Option<SimTime>,
+}
+
+impl ScriptedClient {
+    /// Creates a client that talks to the server at `server` through
+    /// `endpoint`, executing `script`.
+    #[must_use]
+    pub fn new(
+        endpoint: ComponentId,
+        server: NodeId,
+        think_time: SimDuration,
+        script: Vec<ClientStep>,
+    ) -> Self {
+        ScriptedClient {
+            endpoint,
+            server,
+            think_time,
+            script,
+            format: WireFormat::Xml,
+            next_step: 0,
+            awaiting: false,
+            records: Vec::new(),
+            notifications: Vec::new(),
+            errors: Vec::new(),
+            finished_at: None,
+        }
+    }
+
+    /// Switches the wire encoding (builder style); the default is the
+    /// paper's XML.
+    #[must_use]
+    pub fn with_format(mut self, format: WireFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// The executed operations, in script order.
+    #[must_use]
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Transport errors observed.
+    #[must_use]
+    pub fn errors(&self) -> &[String] {
+        &self.errors
+    }
+
+    /// Pushed notify events received (subscribe/notify), in arrival order.
+    #[must_use]
+    pub fn notifications(&self) -> &[(SimTime, WireEvent)] {
+        &self.notifications
+    }
+
+    /// When the last script step completed, if the script has finished.
+    #[must_use]
+    pub fn finished_at(&self) -> Option<SimTime> {
+        self.finished_at
+    }
+
+    /// Whether every step has completed.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.finished_at.is_some()
+    }
+
+    fn advance(&mut self, ctx: &mut Context<'_>) {
+        while self.next_step < self.script.len() {
+            match self.script[self.next_step].clone() {
+                ClientStep::At(when) => {
+                    self.next_step += 1;
+                    if when > ctx.now() {
+                        let target = ctx.self_id();
+                        ctx.schedule_at(when, target, StepTimer);
+                        return;
+                    }
+                }
+                ClientStep::Delay(span) => {
+                    self.next_step += 1;
+                    if !span.is_zero() {
+                        ctx.schedule_self_in(span, StepTimer);
+                        return;
+                    }
+                }
+                ClientStep::Request(request) => {
+                    let step = self.next_step;
+                    self.next_step += 1;
+                    self.awaiting = true;
+                    let sent_at = ctx.now() + self.think_time;
+                    self.records.push(OpRecord {
+                        step,
+                        request: request.clone(),
+                        sent_at,
+                        completed_at: None,
+                        response: None,
+                    });
+                    let payload = Bytes::from(request_to_wire(&request, self.format));
+                    let endpoint = self.endpoint;
+                    let to = self.server;
+                    ctx.schedule_in(self.think_time, endpoint, NetSend { to, payload });
+                    return;
+                }
+            }
+        }
+        if self.finished_at.is_none() {
+            self.finished_at = Some(ctx.now());
+        }
+    }
+}
+
+impl Component for ScriptedClient {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        self.advance(ctx);
+    }
+
+    fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
+        let msg = match msg.downcast::<StepTimer>() {
+            Ok(_) => {
+                self.advance(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<NetDeliver>() {
+            Ok(deliver) => {
+                match server_message_from_wire(&deliver.payload) {
+                    Ok(ServerMessage::Event(event)) => {
+                        // Pushed notifications arrive outside the
+                        // request/response rhythm.
+                        self.notifications.push((ctx.now(), event));
+                    }
+                    Ok(ServerMessage::Response(response)) => {
+                        if !self.awaiting {
+                            return; // stray (e.g. a late timeout response)
+                        }
+                        let record = self
+                            .records
+                            .last_mut()
+                            .expect("awaiting implies an open record");
+                        record.completed_at = Some(ctx.now());
+                        record.response = Some(response);
+                        self.awaiting = false;
+                        self.advance(ctx);
+                    }
+                    Err(e) => {
+                        self.errors.push(format!("bad server message: {e}"));
+                        if self.awaiting {
+                            self.awaiting = false;
+                            self.advance(ctx);
+                        }
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(error) = msg.downcast::<NetError>() {
+            self.errors.push(error.reason.clone());
+            if self.awaiting {
+                // The in-flight request is lost; record it as failed and
+                // move on.
+                let record = self
+                    .records
+                    .last_mut()
+                    .expect("awaiting implies an open record");
+                record.completed_at = Some(ctx.now());
+                record.response = Some(Response::Error {
+                    message: error.reason.clone(),
+                });
+                self.awaiting = false;
+                self.advance(ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsbus_tuplespace::{template, tuple, ValueType};
+    use tsbus_des::Simulator;
+    use tsbus_xmlwire::response_to_xml;
+
+    /// A zero-latency endpoint+server stub: echoes canned responses.
+    struct StubServer {
+        client: Option<ComponentId>,
+        responses: Vec<Response>,
+        seen: Vec<Request>,
+    }
+
+    impl Component for StubServer {
+        fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
+            if let Ok(send) = msg.downcast::<NetSend>() {
+                let text = String::from_utf8_lossy(&send.payload).into_owned();
+                let request =
+                    tsbus_xmlwire::request_from_xml(&text).expect("client output decodes");
+                self.seen.push(request);
+                let response = self.responses.remove(0);
+                let client = self.client.expect("wired in test setup");
+                ctx.send(
+                    client,
+                    NetDeliver {
+                        from: NodeId::new(3).expect("valid"),
+                        payload: Bytes::from(response_to_xml(&response)),
+                    },
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn script_executes_in_order_with_waits() {
+        let mut sim = Simulator::new();
+        let client_id = ComponentId::from_raw(1);
+        let stub = sim.add_component(
+            "stub",
+            StubServer {
+                client: Some(client_id),
+                responses: vec![
+                    Response::WriteAck,
+                    Response::Entry {
+                        tuple: Some(tuple!["e", 1]),
+                    },
+                ],
+                seen: Vec::new(),
+            },
+        );
+        let script = vec![
+            ClientStep::At(SimTime::from_secs(1)),
+            ClientStep::Request(Request::Write {
+                tuple: tuple!["e", 1],
+                lease_ns: Some(160_000_000_000),
+            }),
+            ClientStep::Delay(SimDuration::from_secs(2)),
+            ClientStep::Request(Request::TakeIfExists {
+                template: template!["e", ValueType::Int],
+            }),
+        ];
+        sim.add_component(
+            "client",
+            ScriptedClient::new(stub, NodeId::new(3).expect("valid"), SimDuration::ZERO, script),
+        );
+        sim.run(1000);
+        let client: &ScriptedClient = sim.component(client_id).expect("registered");
+        assert!(client.is_finished());
+        assert_eq!(client.records().len(), 2);
+        assert_eq!(client.records()[0].sent_at, SimTime::from_secs(1));
+        assert_eq!(client.records()[1].sent_at, SimTime::from_secs(3));
+        assert!(client.records()[1].returned_entry());
+        assert_eq!(client.finished_at(), Some(SimTime::from_secs(3)));
+        let stub_ref: &StubServer = sim.component(stub).expect("registered");
+        assert_eq!(stub_ref.seen.len(), 2);
+    }
+
+    #[test]
+    fn think_time_delays_requests() {
+        let mut sim = Simulator::new();
+        let client_id = ComponentId::from_raw(1);
+        let stub = sim.add_component(
+            "stub",
+            StubServer {
+                client: Some(client_id),
+                responses: vec![Response::WriteAck],
+                seen: Vec::new(),
+            },
+        );
+        sim.add_component(
+            "client",
+            ScriptedClient::new(
+                stub,
+                NodeId::new(3).expect("valid"),
+                SimDuration::from_millis(7),
+                vec![ClientStep::Request(Request::Write {
+                    tuple: tuple![1],
+                    lease_ns: None,
+                })],
+            ),
+        );
+        sim.run(1000);
+        let client: &ScriptedClient = sim.component(client_id).expect("registered");
+        assert_eq!(client.records()[0].sent_at, SimTime::from_millis(7));
+        assert_eq!(
+            client.records()[0].completed_at,
+            Some(SimTime::from_millis(7))
+        );
+    }
+
+    #[test]
+    fn latency_accessor_reports_roundtrip() {
+        let record = OpRecord {
+            step: 0,
+            request: Request::Count {
+                template: template![1],
+            },
+            sent_at: SimTime::from_secs(1),
+            completed_at: Some(SimTime::from_secs(4)),
+            response: Some(Response::Count { count: 0 }),
+        };
+        assert_eq!(record.latency(), Some(SimDuration::from_secs(3)));
+        assert!(!record.returned_entry());
+    }
+}

@@ -1,0 +1,593 @@
+//! Ready-made experiment topologies: the Fig. 6 validation setup and the
+//! Fig. 7 tuplespace case study, over TpWIRE or the TCP baseline.
+
+use tsbus_des::{ComponentId, SimDuration, SimTime, Simulator};
+use tsbus_tpwire::{analytic, BusParams, NodeId, TpWireBus};
+use tsbus_tuplespace::{Pattern, Template, Tuple, Value, ValueType};
+use tsbus_xmlwire::{Request, WireFormat};
+
+use crate::buscbr::{BusCbrSink, BusCbrSource};
+use crate::client::{ClientStep, ScriptedClient};
+use crate::endpoint::{EndpointCosts, TpwireEndpoint};
+use crate::server::SpaceServerAgent;
+use crate::tcp::{build_tcp_star, TcpParams};
+
+fn node(id: u8) -> NodeId {
+    NodeId::new(id).expect("static scenario node ids are in range")
+}
+
+// ---------------------------------------------------------------------
+// Fig. 6: NS-2/TpWIRE validation
+// ---------------------------------------------------------------------
+
+/// Parameters of the Fig. 6 validation run: a CBR burst of `n_messages`
+/// × `payload`-byte packets from Slave1 to Slave2, timed end to end.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidationConfig {
+    /// Bus parameters under test.
+    pub bus: BusParams,
+    /// Number of CBR messages ("Num. Frame" in Table 3).
+    pub n_messages: u64,
+    /// Payload bytes per message (the paper uses 1).
+    pub payload: u32,
+}
+
+/// Outcome of a validation run: discrete-event time vs the closed-form
+/// (hardware stand-in) prediction.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidationResult {
+    /// Simulated time from burst start to last delivery.
+    pub measured: SimDuration,
+    /// Closed-form prediction for the same workload.
+    pub predicted: SimDuration,
+    /// `measured / predicted` — the Table 3 scaling factor.
+    pub scaling: f64,
+    /// Bus transactions executed.
+    pub transactions: u64,
+    /// Messages delivered (must equal `n_messages`).
+    pub delivered: u64,
+}
+
+/// Runs the Fig. 6 validation scenario.
+///
+/// # Panics
+///
+/// Panics if the simulation fails to deliver every message within the
+/// (generous) internal horizon — that would be a model bug, not a result.
+#[must_use]
+pub fn run_validation(cfg: &ValidationConfig) -> ValidationResult {
+    let mut sim = Simulator::with_seed(1);
+    let sink = sim.add_component("receiver", BusCbrSink::new());
+    let bus_id = ComponentId::from_raw(2);
+    // "Back-to-back": an effectively infinite rate; messages queue in the
+    // source FIFO and the bus drains them at wire speed.
+    let src_id = sim.add_component(
+        "cbr",
+        BusCbrSource::new(bus_id, node(1), node(2), 1e12, cfg.payload).burst(cfg.n_messages),
+    );
+    let mut bus = TpWireBus::new(cfg.bus, vec![node(1), node(2)]);
+    bus.attach(node(2), sink);
+    bus.attach(node(1), src_id);
+    let actual_bus = sim.add_component("bus", bus);
+    debug_assert_eq!(actual_bus, bus_id);
+
+    // Horizon: 10× the prediction, bounded below for tiny runs.
+    let per_message = analytic::message_relay_bits(&cfg.bus, 0, 1, cfg.payload as usize);
+    let predicted_bits =
+        cfg.n_messages * per_message + cfg.n_messages.saturating_sub(1) * analytic::txn_bits(&cfg.bus, 1);
+    let predicted = cfg.bus.bit_period().saturating_mul(predicted_bits);
+    let horizon = SimTime::ZERO + predicted.saturating_mul(10) + SimDuration::from_secs(1);
+    // Run in slices and stop at full delivery, so the reported transaction
+    // count reflects the burst rather than post-completion keep-alive polls.
+    let slice = (predicted / 20).max(SimDuration::from_micros(100));
+    while sim.now() < horizon {
+        let until = (sim.now() + slice).min(horizon);
+        sim.run_until(until);
+        let done: &BusCbrSink = sim.component(sink).expect("registered above");
+        if done.messages() == cfg.n_messages {
+            break;
+        }
+    }
+
+    let sink_ref: &BusCbrSink = sim.component(sink).expect("registered above");
+    assert_eq!(
+        sink_ref.messages(),
+        cfg.n_messages,
+        "validation burst must fully drain within the horizon"
+    );
+    let measured = sink_ref
+        .last_arrival()
+        .expect("n_messages > 0 delivered")
+        .duration_since(SimTime::ZERO);
+    let bus_ref: &TpWireBus = sim.component(bus_id).expect("registered above");
+    ValidationResult {
+        measured,
+        predicted,
+        scaling: measured.as_secs_f64() / predicted.as_secs_f64(),
+        transactions: bus_ref.stats().transactions,
+        delivered: sink_ref.messages(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7: the tuplespace case study (Table 4)
+// ---------------------------------------------------------------------
+
+/// Parameters of the Fig. 7 case study: a client on Slave1 writes a leased
+/// entry to the space server on Slave3, then takes it back, while a CBR
+/// source on Slave2 loads the bus toward a receiver on Slave4.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseStudyConfig {
+    /// Bus parameters (wiring + bit rate under study).
+    pub bus: BusParams,
+    /// Size of the entry's bytes field (drives the XML message sizes).
+    pub entry_bytes: usize,
+    /// Entry lease (the paper uses 160 s).
+    pub lease: SimDuration,
+    /// Background CBR payload rate in bytes/second (0 = idle bus).
+    pub cbr_rate: f64,
+    /// CBR packet payload size (the paper uses 1 byte).
+    pub cbr_packet: u32,
+    /// Idle wait the client inserts between the write acknowledge and the
+    /// take request. The paper's client takes "later on", probing the lease
+    /// boundary: under background load the delayed take request reaches the
+    /// server after the lease ran out — the Table 4 "Out of Time" cell.
+    pub take_delay: SimDuration,
+    /// Client-side processing per request (C++ client + gdb interface).
+    pub client_think: SimDuration,
+    /// Server-side processing per request (RMI + JVM + socket wrapper).
+    pub server_service: SimDuration,
+    /// Client endpoint per-message costs.
+    pub client_endpoint: EndpointCosts,
+    /// Server endpoint per-message costs.
+    pub server_endpoint: EndpointCosts,
+    /// Give up after this much simulated time.
+    pub horizon: SimDuration,
+    /// Wire encoding of entries and operations (the paper uses XML; the
+    /// binary alternative quantifies what that choice costs).
+    pub wire_format: WireFormat,
+}
+
+impl CaseStudyConfig {
+    /// The calibrated reference configuration of the Table 4 reproduction:
+    /// a slow-programmed 1-wire TpWIRE (the regime where 1 B/s of CBR is a
+    /// significant load, exactly as in the paper's testbed), heavy fixed
+    /// per-operation costs (the gdb remote protocol and RMI/JVM hops the
+    /// paper's prototype pays), a small leased entry, and a take issued
+    /// late enough in the 160 s lease window that background load pushes it
+    /// past the deadline. See `EXPERIMENTS.md` for the calibration
+    /// rationale; only the (1-wire, CBR 0) cell is calibrated — every
+    /// other cell is measured.
+    #[must_use]
+    pub fn table4_reference() -> Self {
+        let mut bus = BusParams::theseus_default().with_bit_rate(800.0);
+        // Poll often enough that background-flow discovery stays
+        // rate-proportional up to the 1 B/s of Table 4's heaviest row.
+        bus.idle_poll_bits = 128;
+        CaseStudyConfig {
+            bus,
+            entry_bytes: 48,
+            lease: SimDuration::from_secs(160),
+            cbr_rate: 0.0,
+            cbr_packet: 2,
+            take_delay: SimDuration::from_secs(98),
+            client_think: SimDuration::from_secs(6),
+            server_service: SimDuration::from_secs(7),
+            client_endpoint: EndpointCosts::symmetric(SimDuration::from_secs(6)),
+            server_endpoint: EndpointCosts::symmetric(SimDuration::from_secs(6)),
+            horizon: SimDuration::from_secs(3_600),
+            wire_format: WireFormat::Xml,
+        }
+    }
+
+    /// Returns a copy with a different background CBR rate.
+    #[must_use]
+    pub fn with_cbr_rate(mut self, rate: f64) -> Self {
+        self.cbr_rate = rate;
+        self
+    }
+
+    /// Returns a copy with different bus parameters.
+    #[must_use]
+    pub fn with_bus(mut self, bus: BusParams) -> Self {
+        self.bus = bus;
+        self
+    }
+
+    /// Returns a copy with a different wire encoding.
+    #[must_use]
+    pub fn with_wire_format(mut self, format: WireFormat) -> Self {
+        self.wire_format = format;
+        self
+    }
+}
+
+/// Outcome of one case-study run.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseStudyResult {
+    /// Whether the client script ran to completion within the horizon.
+    pub finished: bool,
+    /// Time from start to the take response, when finished (includes the
+    /// configured idle `take_delay`).
+    pub total_time: Option<SimDuration>,
+    /// The Table 4 metric: time spent in middleware operations — write
+    /// round trip + take round trip, excluding the idle wait between them.
+    pub middleware_time: Option<SimDuration>,
+    /// Round trip of the write operation.
+    pub write_latency: Option<SimDuration>,
+    /// Round trip of the take operation.
+    pub take_latency: Option<SimDuration>,
+    /// The Table 4 failure mode: the take came back empty because the
+    /// lease had expired (or the run never finished).
+    pub out_of_time: bool,
+    /// Background CBR payload bytes delivered during the run.
+    pub cbr_delivered_bytes: u64,
+    /// Total bus transactions.
+    pub bus_transactions: u64,
+    /// Lane-0 utilization over the run.
+    pub bus_utilization: f64,
+}
+
+/// The entry tuple the client writes: `("entry", <entry_bytes of data>)`.
+#[must_use]
+pub fn case_study_entry(entry_bytes: usize) -> Tuple {
+    Tuple::new(vec![
+        Value::from("entry"),
+        Value::Bytes((0..entry_bytes).map(|i| (i % 251) as u8).collect()),
+    ])
+}
+
+/// The template the client takes with: `("entry", ?bytes)`.
+#[must_use]
+pub fn case_study_template() -> Template {
+    Template::new(vec![
+        Pattern::Exact(Value::from("entry")),
+        Pattern::AnyOfType(ValueType::Bytes),
+    ])
+}
+
+/// The client script of the case study: write the leased entry, wait
+/// `take_delay` (the paper's "later on"), then take it back.
+#[must_use]
+pub fn case_study_script(
+    entry_bytes: usize,
+    lease: SimDuration,
+    take_delay: SimDuration,
+) -> Vec<ClientStep> {
+    vec![
+        ClientStep::Request(Request::Write {
+            tuple: case_study_entry(entry_bytes),
+            lease_ns: Some(lease.as_nanos()),
+        }),
+        ClientStep::Delay(take_delay),
+        ClientStep::Request(Request::TakeIfExists {
+            template: case_study_template(),
+        }),
+    ]
+}
+
+/// Runs the Fig. 7 case study over TpWIRE.
+#[must_use]
+pub fn run_case_study(cfg: &CaseStudyConfig) -> CaseStudyResult {
+    let mut sim = Simulator::with_seed(7);
+    // Id layout (registration order below must match):
+    //   0 client app, 1 server app, 2 client endpoint, 3 server endpoint,
+    //   4 CBR source, 5 CBR sink, 6 bus.
+    let client_app = ComponentId::from_raw(0);
+    let server_app = ComponentId::from_raw(1);
+    let ep_client = ComponentId::from_raw(2);
+    let ep_server = ComponentId::from_raw(3);
+    let cbr_src = ComponentId::from_raw(4);
+    let cbr_sink = ComponentId::from_raw(5);
+    let bus_id = ComponentId::from_raw(6);
+
+    let script = case_study_script(cfg.entry_bytes, cfg.lease, cfg.take_delay);
+    let c = sim.add_component(
+        "client",
+        ScriptedClient::new(ep_client, node(3), cfg.client_think, script)
+            .with_format(cfg.wire_format),
+    );
+    debug_assert_eq!(c, client_app);
+    sim.add_component(
+        "server",
+        SpaceServerAgent::new(ep_server, cfg.server_service),
+    );
+    sim.add_component(
+        "ep_client",
+        TpwireEndpoint::new(node(1), client_app, bus_id, cfg.client_endpoint),
+    );
+    sim.add_component(
+        "ep_server",
+        TpwireEndpoint::new(node(3), server_app, bus_id, cfg.server_endpoint),
+    );
+    sim.add_component(
+        "cbr",
+        BusCbrSource::new(bus_id, node(2), node(4), cfg.cbr_rate, cfg.cbr_packet),
+    );
+    sim.add_component("cbr_sink", BusCbrSink::new());
+    let mut bus = TpWireBus::new(cfg.bus, vec![node(1), node(2), node(3), node(4)]);
+    bus.attach(node(1), ep_client);
+    bus.attach(node(2), cbr_src);
+    bus.attach(node(3), ep_server);
+    bus.attach(node(4), cbr_sink);
+    let b = sim.add_component("bus", bus);
+    debug_assert_eq!(b, bus_id);
+
+    let horizon = SimTime::ZERO + cfg.horizon;
+    // Run in slices so we can stop as soon as the client finishes.
+    let slice = SimDuration::from_secs(1).max(cfg.horizon / 3_600);
+    while sim.now() < horizon {
+        let until = (sim.now() + slice).min(horizon);
+        sim.run_until(until);
+        let client: &ScriptedClient = sim.component(client_app).expect("registered");
+        if client.is_finished() {
+            break;
+        }
+    }
+
+    let now = sim.now();
+    let client: &ScriptedClient = sim.component(client_app).expect("registered");
+    let finished = client.is_finished();
+    let records = client.records();
+    let write_latency = records.first().and_then(super::client::OpRecord::latency);
+    let take_latency = records.get(1).and_then(super::client::OpRecord::latency);
+    let middleware_time = match (write_latency, take_latency) {
+        (Some(w), Some(t)) => Some(w + t),
+        _ => None,
+    };
+    let total_time = client
+        .finished_at()
+        .map(|t| t.duration_since(SimTime::ZERO));
+    let out_of_time = !finished
+        || !records
+            .get(1)
+            .map(super::client::OpRecord::returned_entry)
+            .unwrap_or(false);
+    let sink: &BusCbrSink = sim.component(cbr_sink).expect("registered");
+    let bus_ref: &TpWireBus = sim.component(bus_id).expect("registered");
+    CaseStudyResult {
+        finished,
+        total_time,
+        middleware_time,
+        write_latency,
+        take_latency,
+        out_of_time,
+        cbr_delivered_bytes: sink.bytes(),
+        bus_transactions: bus_ref.stats().transactions,
+        bus_utilization: bus_ref.lane_utilization(0, now),
+    }
+}
+
+/// Runs the same client/server exchange over the §4.3 TCP/Ethernet
+/// baseline (no background CBR — the comparison is about transport cost).
+#[must_use]
+pub fn run_case_study_tcp(cfg: &CaseStudyConfig, tcp: TcpParams) -> CaseStudyResult {
+    let mut sim = Simulator::with_seed(7);
+    let client_app = ComponentId::from_raw(0);
+    let server_app = ComponentId::from_raw(1);
+    let ep_client = ComponentId::from_raw(2);
+    // build_tcp_star registers endpoints first: [2, 3], then links, switch.
+    let script = case_study_script(cfg.entry_bytes, cfg.lease, cfg.take_delay);
+    let c = sim.add_component(
+        "client",
+        ScriptedClient::new(ep_client, node(3), cfg.client_think, script)
+            .with_format(cfg.wire_format),
+    );
+    debug_assert_eq!(c, client_app);
+    let ep_server_expected = ComponentId::from_raw(3);
+    sim.add_component(
+        "server",
+        SpaceServerAgent::new(ep_server_expected, cfg.server_service),
+    );
+    let endpoints = build_tcp_star(
+        &mut sim,
+        tcp,
+        &[
+            (node(1), client_app, cfg.client_endpoint),
+            (node(3), server_app, cfg.server_endpoint),
+        ],
+    );
+    debug_assert_eq!(endpoints[0], ep_client);
+    debug_assert_eq!(endpoints[1], ep_server_expected);
+
+    let horizon = SimTime::ZERO + cfg.horizon;
+    sim.run_until(horizon);
+
+    let client: &ScriptedClient = sim.component(client_app).expect("registered");
+    let finished = client.is_finished();
+    let records = client.records();
+    let write_latency = records.first().and_then(super::client::OpRecord::latency);
+    let take_latency = records.get(1).and_then(super::client::OpRecord::latency);
+    CaseStudyResult {
+        finished,
+        total_time: client
+            .finished_at()
+            .map(|t| t.duration_since(SimTime::ZERO)),
+        middleware_time: match (write_latency, take_latency) {
+            (Some(w), Some(t)) => Some(w + t),
+            _ => None,
+        },
+        write_latency,
+        take_latency,
+        out_of_time: !finished
+            || !records
+                .get(1)
+                .map(super::client::OpRecord::returned_entry)
+                .unwrap_or(false),
+        cbr_delivered_bytes: 0,
+        bus_transactions: 0,
+        bus_utilization: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsbus_tpwire::Wiring;
+
+    #[test]
+    fn validation_scaling_is_close_to_unity() {
+        let cfg = ValidationConfig {
+            bus: BusParams::theseus_default(),
+            n_messages: 50,
+            payload: 1,
+        };
+        let result = run_validation(&cfg);
+        assert_eq!(result.delivered, 50);
+        assert!(
+            (0.9..1.4).contains(&result.scaling),
+            "scaling factor {} out of band (measured {}, predicted {})",
+            result.scaling,
+            result.measured,
+            result.predicted
+        );
+    }
+
+    #[test]
+    fn validation_time_scales_linearly_with_messages() {
+        let bus = BusParams::theseus_default();
+        let t10 = run_validation(&ValidationConfig {
+            bus,
+            n_messages: 10,
+            payload: 1,
+        })
+        .measured
+        .as_secs_f64();
+        let t100 = run_validation(&ValidationConfig {
+            bus,
+            n_messages: 100,
+            payload: 1,
+        })
+        .measured
+        .as_secs_f64();
+        let ratio = t100 / t10;
+        assert!(
+            (8.0..12.0).contains(&ratio),
+            "100 messages should take ~10× the time of 10 (got {ratio})"
+        );
+    }
+
+    #[test]
+    fn case_study_completes_on_an_idle_fast_bus() {
+        let cfg = CaseStudyConfig {
+            bus: BusParams::theseus_default(), // full-speed 8 Mbit/s
+            entry_bytes: 256,
+            lease: SimDuration::from_secs(160),
+            cbr_rate: 0.0,
+            cbr_packet: 1,
+            take_delay: SimDuration::ZERO,
+            client_think: SimDuration::ZERO,
+            server_service: SimDuration::ZERO,
+            client_endpoint: EndpointCosts::free(),
+            server_endpoint: EndpointCosts::free(),
+            horizon: SimDuration::from_secs(60),
+            wire_format: WireFormat::Xml,
+        };
+        let result = run_case_study(&cfg);
+        assert!(result.finished);
+        assert!(!result.out_of_time);
+        assert!(result.total_time.expect("finished").as_secs_f64() < 5.0);
+    }
+
+    #[test]
+    fn cbr_load_slows_the_case_study() {
+        let base = CaseStudyConfig {
+            bus: BusParams::theseus_default().with_bit_rate(4_000.0),
+            entry_bytes: 256,
+            lease: SimDuration::from_secs(1_000),
+            cbr_rate: 0.0,
+            cbr_packet: 1,
+            take_delay: SimDuration::ZERO,
+            client_think: SimDuration::ZERO,
+            server_service: SimDuration::ZERO,
+            client_endpoint: EndpointCosts::free(),
+            server_endpoint: EndpointCosts::free(),
+            horizon: SimDuration::from_secs(2_000),
+            wire_format: WireFormat::Xml,
+        };
+        let idle = run_case_study(&base);
+        let loaded = run_case_study(&base.with_cbr_rate(2.0));
+        let t_idle = idle.total_time.expect("idle run finishes").as_secs_f64();
+        let t_loaded = loaded.total_time.expect("loaded run finishes").as_secs_f64();
+        assert!(
+            t_loaded > t_idle * 1.05,
+            "CBR must slow the exchange: {t_idle} vs {t_loaded}"
+        );
+        assert!(loaded.cbr_delivered_bytes > 0);
+    }
+
+    #[test]
+    fn two_wire_beats_one_wire() {
+        let base = CaseStudyConfig {
+            bus: BusParams::theseus_default().with_bit_rate(4_000.0),
+            entry_bytes: 256,
+            lease: SimDuration::from_secs(1_000),
+            cbr_rate: 0.3,
+            cbr_packet: 1,
+            take_delay: SimDuration::ZERO,
+            client_think: SimDuration::ZERO,
+            server_service: SimDuration::ZERO,
+            client_endpoint: EndpointCosts::free(),
+            server_endpoint: EndpointCosts::free(),
+            horizon: SimDuration::from_secs(2_000),
+            wire_format: WireFormat::Xml,
+        };
+        let one = run_case_study(&base);
+        let two = run_case_study(&base.with_bus(
+            base.bus
+                .with_wiring(Wiring::parallel_data(2).expect("valid")),
+        ));
+        let t1 = one.total_time.expect("1-wire finishes").as_secs_f64();
+        let t2 = two.total_time.expect("2-wire finishes").as_secs_f64();
+        assert!(
+            t2 < t1,
+            "2-wire must be faster: 1-wire {t1}, 2-wire {t2}"
+        );
+        assert!(t1 / t2 < 2.0, "but not more than double ({})", t1 / t2);
+    }
+
+    #[test]
+    fn lease_expiry_produces_out_of_time() {
+        // A lease far shorter than the transfer time: the take must come
+        // back empty.
+        let cfg = CaseStudyConfig {
+            bus: BusParams::theseus_default().with_bit_rate(2_000.0),
+            entry_bytes: 512,
+            lease: SimDuration::from_secs(2), // transfer takes far longer
+            cbr_rate: 0.0,
+            cbr_packet: 1,
+            take_delay: SimDuration::ZERO,
+            client_think: SimDuration::ZERO,
+            server_service: SimDuration::ZERO,
+            client_endpoint: EndpointCosts::free(),
+            server_endpoint: EndpointCosts::free(),
+            horizon: SimDuration::from_secs(2_000),
+            wire_format: WireFormat::Xml,
+        };
+        let result = run_case_study(&cfg);
+        assert!(result.finished, "the exchange itself completes");
+        assert!(result.out_of_time, "but the entry is gone");
+    }
+
+    #[test]
+    fn tcp_baseline_is_fast() {
+        let cfg = CaseStudyConfig {
+            bus: BusParams::theseus_default(),
+            entry_bytes: 1024,
+            lease: SimDuration::from_secs(160),
+            cbr_rate: 0.0,
+            cbr_packet: 1,
+            take_delay: SimDuration::ZERO,
+            client_think: SimDuration::ZERO,
+            server_service: SimDuration::ZERO,
+            client_endpoint: EndpointCosts::free(),
+            server_endpoint: EndpointCosts::free(),
+            horizon: SimDuration::from_secs(10),
+            wire_format: WireFormat::Xml,
+        };
+        let result = run_case_study_tcp(&cfg, TcpParams::ethernet_10mbps());
+        assert!(result.finished);
+        assert!(!result.out_of_time);
+        assert!(result.total_time.expect("finished").as_secs_f64() < 1.0);
+    }
+}

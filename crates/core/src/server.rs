@@ -1,0 +1,641 @@
+//! The tuplespace server agent: the simulation counterpart of the paper's
+//! Java `SpaceServer` (JavaSpaces-like), reached through a transport
+//! endpoint and the XML wire protocol.
+//!
+//! The agent owns a [`Space`], decodes [`Request`]s from [`NetDeliver`]
+//! messages, charges a per-request service time (the RMI hop + JVM work +
+//! socket wrapper of Fig. 4), applies the operation and replies. Blocking
+//! `read`/`take` requests that find no match park as waiters and are woken
+//! by later writes or by their timeout.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use tsbus_des::{
+    Component, ComponentId, Context, EventId, Message, MessageExt, SimDuration, SimTime,
+};
+use tsbus_tpwire::NodeId;
+use tsbus_tuplespace::{Lease, Space, SubscriptionId, Template};
+use tsbus_xmlwire::{
+    event_to_wire, request_from_wire, response_to_wire, Request, Response, WireEvent,
+    WireFormat,
+};
+
+use crate::net::{NetDeliver, NetSend};
+
+/// Internal timer: service time for a request elapsed; apply it.
+#[derive(Debug)]
+struct Serviced {
+    from: NodeId,
+    format: WireFormat,
+    request: Request,
+}
+
+/// Internal timer: a parked waiter timed out.
+#[derive(Debug)]
+struct WaiterTimeout {
+    waiter: u64,
+}
+
+/// Internal timer: a lease deadline passed; sweep expirations so notify
+/// subscribers hear about them promptly.
+#[derive(Debug)]
+struct ExpirySweep;
+
+#[derive(Debug)]
+struct Waiter {
+    id: u64,
+    from: NodeId,
+    format: WireFormat,
+    template: Template,
+    take: bool,
+    timer: Option<EventId>,
+}
+
+/// Request/response counters of a server agent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests decoded.
+    pub requests: u64,
+    /// Responses sent.
+    pub responses: u64,
+    /// Requests that failed to decode.
+    pub decode_errors: u64,
+    /// Blocking requests that parked as waiters.
+    pub parked: u64,
+    /// Waiters that timed out empty-handed.
+    pub waiter_timeouts: u64,
+}
+
+/// The tuplespace server as a simulation component.
+///
+/// Wire it behind a transport endpoint: the endpoint delivers [`NetDeliver`]
+/// messages here and carries the [`NetSend`] replies back.
+#[derive(Debug)]
+pub struct SpaceServerAgent {
+    endpoint: ComponentId,
+    space: Space,
+    /// Fixed processing cost per request (RMI + JVM + wrapper).
+    service_time: SimDuration,
+    /// Additional cost per payload byte of the request (serialization
+    /// work); zero by default.
+    per_byte: SimDuration,
+    waiters: VecDeque<Waiter>,
+    next_waiter: u64,
+    /// Remote subscriptions: space subscription → (client address, wire
+    /// id, the client's wire encoding).
+    subscribers: HashMap<SubscriptionId, (NodeId, u64, WireFormat)>,
+    next_wire_sub: u64,
+    /// The expiry sweep currently scheduled, if any.
+    sweep_at: Option<SimTime>,
+    stats: ServerStats,
+}
+
+impl SpaceServerAgent {
+    /// Creates a server that replies through `endpoint`, charging
+    /// `service_time` per request.
+    #[must_use]
+    pub fn new(endpoint: ComponentId, service_time: SimDuration) -> Self {
+        SpaceServerAgent {
+            endpoint,
+            space: Space::new(),
+            service_time,
+            per_byte: SimDuration::ZERO,
+            waiters: VecDeque::new(),
+            next_waiter: 0,
+            subscribers: HashMap::new(),
+            next_wire_sub: 0,
+            sweep_at: None,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Adds a per-request-byte processing cost (builder style).
+    #[must_use]
+    pub fn with_per_byte_cost(mut self, per_byte: SimDuration) -> Self {
+        self.per_byte = per_byte;
+        self
+    }
+
+    /// The space, for post-run inspection.
+    #[must_use]
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// Mutable access to the space (to pre-seed scenarios).
+    pub fn space_mut(&mut self) -> &mut Space {
+        &mut self.space
+    }
+
+    /// Request/response counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    fn reply(
+        &mut self,
+        ctx: &mut Context<'_>,
+        to: NodeId,
+        format: WireFormat,
+        response: &Response,
+    ) {
+        self.stats.responses += 1;
+        let endpoint = self.endpoint;
+        let payload = Bytes::from(response_to_wire(response, format));
+        ctx.send(endpoint, NetSend { to, payload });
+    }
+
+    /// Applies a serviced request against the space, replying in the
+    /// client's own wire encoding.
+    fn apply(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        format: WireFormat,
+        request: Request,
+    ) {
+        let now = ctx.now();
+        match request {
+            Request::Write { tuple, lease_ns } => {
+                let lease = match lease_ns {
+                    None => Lease::Forever,
+                    Some(ns) => Lease::for_duration(now, SimDuration::from_nanos(ns)),
+                };
+                self.space.write(tuple, lease, now);
+                self.reply(ctx, from, format, &Response::WriteAck);
+                self.wake_waiters(ctx);
+            }
+            Request::Read { template, timeout_ns } => {
+                match self.space.read(&template, now) {
+                    Some(tuple) => {
+                        self.reply(ctx, from, format, &Response::Entry { tuple: Some(tuple) });
+                    }
+                    None => self.park(ctx, from, format, template, false, timeout_ns),
+                }
+            }
+            Request::Take { template, timeout_ns } => {
+                match self.space.take(&template, now) {
+                    Some(tuple) => {
+                        self.reply(ctx, from, format, &Response::Entry { tuple: Some(tuple) });
+                    }
+                    None => self.park(ctx, from, format, template, true, timeout_ns),
+                }
+            }
+            Request::ReadIfExists { template } => {
+                let tuple = self.space.read(&template, now);
+                self.reply(ctx, from, format, &Response::Entry { tuple });
+            }
+            Request::TakeIfExists { template } => {
+                let tuple = self.space.take(&template, now);
+                self.reply(ctx, from, format, &Response::Entry { tuple });
+            }
+            Request::Count { template } => {
+                let count = self.space.count(&template, now) as u64;
+                self.reply(ctx, from, format, &Response::Count { count });
+            }
+            Request::Subscribe { template, kinds } => {
+                let sub = self.space.subscribe(template, kinds);
+                let wire_id = self.next_wire_sub;
+                self.next_wire_sub += 1;
+                self.subscribers.insert(sub, (from, wire_id, format));
+                self.reply(ctx, from, format, &Response::SubscriptionAck { id: wire_id });
+            }
+            Request::Unsubscribe { id } => {
+                let found = self
+                    .subscribers
+                    .iter()
+                    .find(|(_, &(_, wire_id, _))| wire_id == id)
+                    .map(|(&sub, _)| sub);
+                match found {
+                    Some(sub) => {
+                        self.space.unsubscribe(sub);
+                        self.subscribers.remove(&sub);
+                        self.reply(ctx, from, format, &Response::WriteAck);
+                    }
+                    None => {
+                        let response = Response::Error {
+                            message: format!("unknown subscription {id}"),
+                        };
+                        self.reply(ctx, from, format, &response);
+                    }
+                }
+            }
+        }
+        self.pump_notifications(ctx);
+        self.arm_expiry_sweep(ctx);
+    }
+
+    /// Pushes pending space notifications to their remote subscribers as
+    /// `<event>` documents.
+    fn pump_notifications(&mut self, ctx: &mut Context<'_>) {
+        for notification in self.space.drain_notifications() {
+            let Some(&(to, wire_id, format)) =
+                self.subscribers.get(&notification.subscription)
+            else {
+                continue; // a local (non-wire) subscription, if any
+            };
+            let event = WireEvent {
+                subscription: wire_id,
+                kind: notification.kind,
+                tuple: notification.tuple,
+            };
+            let endpoint = self.endpoint;
+            let payload = Bytes::from(event_to_wire(&event, format));
+            ctx.send(endpoint, NetSend { to, payload });
+        }
+    }
+
+    /// Keeps an expiry sweep scheduled at the earliest lease deadline, so
+    /// `Expired` notifications fire on time even on an idle server.
+    fn arm_expiry_sweep(&mut self, ctx: &mut Context<'_>) {
+        if self.subscribers.is_empty() {
+            return; // nobody to tell; lazy expiry in ops suffices
+        }
+        let Some(deadline) = self.space.next_deadline() else {
+            return;
+        };
+        let due = deadline.max(ctx.now());
+        if self.sweep_at.is_some_and(|at| at <= due) {
+            return; // an earlier (or equal) sweep is already scheduled
+        }
+        self.sweep_at = Some(due);
+        let target = ctx.self_id();
+        ctx.schedule_at(due, target, ExpirySweep);
+    }
+
+    fn park(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        format: WireFormat,
+        template: Template,
+        take: bool,
+        timeout_ns: Option<u64>,
+    ) {
+        self.stats.parked += 1;
+        let id = self.next_waiter;
+        self.next_waiter += 1;
+        let timer = timeout_ns.map(|ns| {
+            ctx.schedule_self_in(SimDuration::from_nanos(ns), WaiterTimeout { waiter: id })
+        });
+        self.waiters.push_back(Waiter {
+            id,
+            from,
+            format,
+            template,
+            take,
+            timer,
+        });
+    }
+
+    /// Retries parked waiters in arrival order until none can make
+    /// progress.
+    fn wake_waiters(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        loop {
+            let mut satisfied: Option<(usize, tsbus_tuplespace::Tuple)> = None;
+            for (i, waiter) in self.waiters.iter().enumerate() {
+                let result = if waiter.take {
+                    self.space.take(&waiter.template, now)
+                } else {
+                    self.space.read(&waiter.template, now)
+                };
+                if let Some(tuple) = result {
+                    satisfied = Some((i, tuple));
+                    break;
+                }
+            }
+            let Some((i, tuple)) = satisfied else {
+                return;
+            };
+            let waiter = self.waiters.remove(i).expect("index from enumerate");
+            if let Some(timer) = waiter.timer {
+                ctx.cancel(timer);
+            }
+            self.reply(
+                ctx,
+                waiter.from,
+                waiter.format,
+                &Response::Entry { tuple: Some(tuple) },
+            );
+        }
+    }
+}
+
+impl Component for SpaceServerAgent {
+    fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
+        let msg = match msg.downcast::<NetDeliver>() {
+            Ok(deliver) => {
+                let NetDeliver { from, payload } = *deliver;
+                match request_from_wire(&payload) {
+                    Ok((request, format)) => {
+                        self.stats.requests += 1;
+                        let cost = self.service_time
+                            + self.per_byte.saturating_mul(payload.len() as u64);
+                        ctx.schedule_self_in(cost, Serviced { from, format, request });
+                    }
+                    Err(e) => {
+                        self.stats.decode_errors += 1;
+                        let response = Response::Error {
+                            message: format!("bad request: {e}"),
+                        };
+                        self.reply(ctx, from, WireFormat::Xml, &response);
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Serviced>() {
+            Ok(serviced) => {
+                let Serviced { from, format, request } = *serviced;
+                self.apply(ctx, from, format, request);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<WaiterTimeout>() {
+            Ok(timeout) => {
+                let id = timeout.waiter;
+                if let Some(pos) = self.waiters.iter().position(|w| w.id == id) {
+                    let waiter = self.waiters.remove(pos).expect("position just found");
+                    self.stats.waiter_timeouts += 1;
+                    self.reply(
+                        ctx,
+                        waiter.from,
+                        waiter.format,
+                        &Response::Entry { tuple: None },
+                    );
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        if msg.is::<ExpirySweep>() {
+            self.sweep_at = None;
+            let now = ctx.now();
+            self.space.expire(now);
+            self.pump_notifications(ctx);
+            self.arm_expiry_sweep(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsbus_tuplespace::{template, tuple, ValueType};
+    use tsbus_des::{SimTime, Simulator};
+    use tsbus_xmlwire::request_to_xml;
+
+    /// Captures NetSend replies the server pushes toward its endpoint.
+    #[derive(Default)]
+    struct FakeEndpoint {
+        replies: Vec<(SimTime, NodeId, Response)>,
+    }
+
+    impl Component for FakeEndpoint {
+        fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
+            if let Ok(send) = msg.downcast::<NetSend>() {
+                let text = String::from_utf8_lossy(&send.payload).into_owned();
+                let response =
+                    tsbus_xmlwire::response_from_xml(&text).expect("server output decodes");
+                self.replies.push((ctx.now(), send.to, response));
+            }
+        }
+    }
+
+    fn node(id: u8) -> NodeId {
+        NodeId::new(id).expect("valid")
+    }
+
+    fn deliver(ctx_target: ComponentId, sim: &mut Simulator, from: u8, request: &Request) {
+        let payload = Bytes::from(request_to_xml(request));
+        sim.with_context(|ctx| {
+            ctx.send(
+                ctx_target,
+                NetDeliver {
+                    from: node(from),
+                    payload,
+                },
+            );
+        });
+    }
+
+    fn setup(service: SimDuration) -> (Simulator, ComponentId, ComponentId) {
+        let mut sim = Simulator::new();
+        let endpoint = sim.add_component("fake_ep", FakeEndpoint::default());
+        let server = sim.add_component("server", SpaceServerAgent::new(endpoint, service));
+        (sim, endpoint, server)
+    }
+
+    #[test]
+    fn write_then_take_roundtrip() {
+        let (mut sim, endpoint, server) = setup(SimDuration::ZERO);
+        deliver(
+            server,
+            &mut sim,
+            1,
+            &Request::Write {
+                tuple: tuple!["e", 9],
+                lease_ns: None,
+            },
+        );
+        deliver(
+            server,
+            &mut sim,
+            1,
+            &Request::TakeIfExists {
+                template: template!["e", ValueType::Int],
+            },
+        );
+        sim.run(100);
+        let ep: &FakeEndpoint = sim.component(endpoint).expect("registered");
+        assert_eq!(ep.replies.len(), 2);
+        assert_eq!(ep.replies[0].2, Response::WriteAck);
+        assert_eq!(
+            ep.replies[1].2,
+            Response::Entry {
+                tuple: Some(tuple!["e", 9])
+            }
+        );
+    }
+
+    #[test]
+    fn service_time_delays_every_reply() {
+        let (mut sim, endpoint, server) = setup(SimDuration::from_millis(5));
+        deliver(
+            server,
+            &mut sim,
+            1,
+            &Request::Count {
+                template: Template::any(1),
+            },
+        );
+        sim.run(100);
+        let ep: &FakeEndpoint = sim.component(endpoint).expect("registered");
+        assert_eq!(ep.replies[0].0, SimTime::from_millis(5));
+        assert_eq!(ep.replies[0].2, Response::Count { count: 0 });
+    }
+
+    #[test]
+    fn blocking_take_waits_for_a_write() {
+        let (mut sim, endpoint, server) = setup(SimDuration::ZERO);
+        deliver(
+            server,
+            &mut sim,
+            2,
+            &Request::Take {
+                template: template!["late", ValueType::Int],
+                timeout_ns: None,
+            },
+        );
+        sim.run(100);
+        assert!(
+            sim.component::<FakeEndpoint>(endpoint)
+                .expect("registered")
+                .replies
+                .is_empty(),
+            "no reply before the write arrives"
+        );
+        sim.with_context(|ctx| {
+            ctx.schedule_in(
+                SimDuration::from_secs(3),
+                server,
+                NetDeliver {
+                    from: node(1),
+                    payload: Bytes::from(request_to_xml(&Request::Write {
+                        tuple: tuple!["late", 1],
+                        lease_ns: None,
+                    })),
+                },
+            );
+        });
+        sim.run(100);
+        let ep: &FakeEndpoint = sim.component(endpoint).expect("registered");
+        assert_eq!(ep.replies.len(), 2, "ack + woken waiter");
+        let woken = ep
+            .replies
+            .iter()
+            .find(|(_, to, _)| *to == node(2))
+            .expect("waiter reply");
+        assert_eq!(woken.0, SimTime::from_secs(3));
+        assert_eq!(
+            woken.2,
+            Response::Entry {
+                tuple: Some(tuple!["late", 1])
+            }
+        );
+    }
+
+    #[test]
+    fn blocking_take_times_out_empty() {
+        let (mut sim, endpoint, server) = setup(SimDuration::ZERO);
+        deliver(
+            server,
+            &mut sim,
+            2,
+            &Request::Take {
+                template: template!["never"],
+                timeout_ns: Some(1_000_000_000),
+            },
+        );
+        sim.run(100);
+        let ep: &FakeEndpoint = sim.component(endpoint).expect("registered");
+        assert_eq!(ep.replies.len(), 1);
+        assert_eq!(ep.replies[0].0, SimTime::from_secs(1));
+        assert_eq!(ep.replies[0].2, Response::Entry { tuple: None });
+        let srv: &SpaceServerAgent = sim.component(server).expect("registered");
+        assert_eq!(srv.stats().waiter_timeouts, 1);
+    }
+
+    #[test]
+    fn expired_lease_defeats_take_the_table_4_mechanism() {
+        let (mut sim, endpoint, server) = setup(SimDuration::ZERO);
+        deliver(
+            server,
+            &mut sim,
+            1,
+            &Request::Write {
+                tuple: tuple!["entry"],
+                lease_ns: Some(160_000_000_000), // 160 s
+            },
+        );
+        // The take arrives 161 s later: out of time.
+        sim.with_context(|ctx| {
+            ctx.schedule_in(
+                SimDuration::from_secs(161),
+                server,
+                NetDeliver {
+                    from: node(1),
+                    payload: Bytes::from(request_to_xml(&Request::TakeIfExists {
+                        template: template!["entry"],
+                    })),
+                },
+            );
+        });
+        sim.run(100);
+        let ep: &FakeEndpoint = sim.component(endpoint).expect("registered");
+        assert_eq!(ep.replies[1].2, Response::Entry { tuple: None });
+    }
+
+    #[test]
+    fn malformed_requests_get_an_error_response() {
+        let (mut sim, endpoint, server) = setup(SimDuration::ZERO);
+        sim.with_context(|ctx| {
+            ctx.send(
+                server,
+                NetDeliver {
+                    from: node(1),
+                    payload: Bytes::from_static(b"<garbage"),
+                },
+            );
+        });
+        sim.run(100);
+        let ep: &FakeEndpoint = sim.component(endpoint).expect("registered");
+        assert!(matches!(ep.replies[0].2, Response::Error { .. }));
+        let srv: &SpaceServerAgent = sim.component(server).expect("registered");
+        assert_eq!(srv.stats().decode_errors, 1);
+    }
+
+    #[test]
+    fn read_waiters_do_not_consume_take_waiters_do() {
+        let (mut sim, endpoint, server) = setup(SimDuration::ZERO);
+        deliver(
+            server,
+            &mut sim,
+            2,
+            &Request::Read {
+                template: template!["x"],
+                timeout_ns: None,
+            },
+        );
+        deliver(
+            server,
+            &mut sim,
+            3,
+            &Request::Take {
+                template: template!["x"],
+                timeout_ns: None,
+            },
+        );
+        deliver(
+            server,
+            &mut sim,
+            1,
+            &Request::Write {
+                tuple: tuple!["x"],
+                lease_ns: None,
+            },
+        );
+        sim.run(100);
+        let ep: &FakeEndpoint = sim.component(endpoint).expect("registered");
+        // Ack + read waiter + take waiter all answered; space now empty.
+        assert_eq!(ep.replies.len(), 3);
+        let srv: &SpaceServerAgent = sim.component(server).expect("registered");
+        assert_eq!(srv.space().stats().takes, 1);
+        assert_eq!(srv.space().stats().reads, 1);
+    }
+}

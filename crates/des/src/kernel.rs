@@ -1,0 +1,591 @@
+//! The simulation kernel: clock, pending-event set, component registry and
+//! the main event loop.
+
+use std::collections::HashSet;
+
+use crate::component::{make_context, Component, ComponentId, Context};
+use crate::event::{EventId, Message, ScheduledEvent};
+use crate::queue::{BinaryHeapQueue, EventQueue};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceLog;
+
+/// The mutable simulator state a [`Context`] can reach while a component is
+/// borrowed out for dispatch.
+pub(crate) struct SimCore {
+    pub(crate) now: SimTime,
+    pub(crate) queue: Box<dyn EventQueue>,
+    pub(crate) rng: SimRng,
+    pub(crate) trace: TraceLog,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    names: Vec<String>,
+    events_processed: u64,
+}
+
+impl SimCore {
+    pub(crate) fn schedule(
+        &mut self,
+        time: SimTime,
+        target: ComponentId,
+        msg: Box<dyn Message>,
+    ) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.trace.record(self.now, target, "sched", format_args!("{id} @ {time}"));
+        self.queue.push(ScheduledEvent {
+            time,
+            seq,
+            id,
+            target,
+            msg,
+        });
+        id
+    }
+
+    pub(crate) fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    pub(crate) fn name_of(&self, id: ComponentId) -> &str {
+        self.names.get(id.index()).map_or("?", String::as_str)
+    }
+}
+
+/// The default ceiling on dispatched events for [`Simulator::run`]; a
+/// backstop against accidentally unbounded simulations rather than a limit
+/// any real scenario in this workspace approaches.
+pub const DEFAULT_EVENT_LIMIT: u64 = u64::MAX;
+
+/// A deterministic discrete-event simulator.
+///
+/// Construction order is: create the simulator, register components with
+/// [`add_component`](Simulator::add_component), seed initial events (either
+/// from component [`start`](Component::start) hooks or externally with
+/// [`with_context`](Simulator::with_context)), then drive it with
+/// [`run_until`](Simulator::run_until) / [`run`](Simulator::run) /
+/// [`step`](Simulator::step).
+///
+/// Determinism contract: with the same seed, the same component registration
+/// order and the same scheduling calls, two runs produce identical event
+/// orders, identical RNG draws and identical traces — regardless of which
+/// [`EventQueue`] implementation backs the pending-event set.
+///
+/// # Examples
+///
+/// ```
+/// use tsbus_des::{Component, Context, Message, SimDuration, SimTime, Simulator};
+///
+/// #[derive(Debug)]
+/// struct Hello;
+///
+/// struct Greeter {
+///     greeted_at: Option<SimTime>,
+/// }
+///
+/// impl Component for Greeter {
+///     fn handle(&mut self, ctx: &mut Context<'_>, _msg: Box<dyn Message>) {
+///         self.greeted_at = Some(ctx.now());
+///     }
+/// }
+///
+/// let mut sim = Simulator::new();
+/// let id = sim.add_component("greeter", Greeter { greeted_at: None });
+/// sim.with_context(|ctx| {
+///     ctx.schedule_in(SimDuration::from_millis(5), id, Hello);
+/// });
+/// sim.run_until(SimTime::from_secs(1));
+/// let greeter: &Greeter = sim.component(id).expect("registered above");
+/// assert_eq!(greeter.greeted_at, Some(SimTime::from_nanos(5_000_000)));
+/// ```
+pub struct Simulator {
+    core: SimCore,
+    components: Vec<Option<Box<dyn Component>>>,
+    started: bool,
+}
+
+impl Simulator {
+    /// Creates a simulator with a binary-heap pending-event set and a fixed
+    /// default seed (0), so unseeded simulations are still reproducible.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_queue(Box::new(BinaryHeapQueue::new()))
+    }
+
+    /// Creates a simulator with an explicit random seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        let mut sim = Self::new();
+        sim.core.rng = SimRng::seeded(seed);
+        sim
+    }
+
+    /// Creates a simulator backed by a caller-chosen pending-event set
+    /// (e.g. [`CalendarQueue`](crate::CalendarQueue)).
+    #[must_use]
+    pub fn with_queue(queue: Box<dyn EventQueue>) -> Self {
+        Simulator {
+            core: SimCore {
+                now: SimTime::ZERO,
+                queue,
+                rng: SimRng::seeded(0),
+                trace: TraceLog::disabled(),
+                cancelled: HashSet::new(),
+                next_seq: 0,
+                names: Vec::new(),
+                events_processed: 0,
+            },
+            components: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Replaces the random seed. Call before the simulation starts drawing
+    /// random numbers, or reproducibility of the earlier draws is lost.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.core.rng = SimRng::seeded(seed);
+    }
+
+    /// Registers a component under `name` and returns its id.
+    ///
+    /// Registration order is part of the determinism contract (ids are handed
+    /// out sequentially), so build topologies in a fixed order.
+    pub fn add_component(
+        &mut self,
+        name: impl Into<String>,
+        component: impl Component,
+    ) -> ComponentId {
+        let id = ComponentId::from_raw(self.components.len());
+        self.components.push(Some(Box::new(component)));
+        self.core.names.push(name.into());
+        if self.started {
+            // Late-added components still get their start hook, at current time.
+            self.dispatch_start(id);
+        }
+        id
+    }
+
+    /// The current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The id the *next* call to [`add_component`](Self::add_component)
+    /// will return. Lets topology builders wire mutually-referencing
+    /// components by pre-computing their ids.
+    #[must_use]
+    pub fn next_component_id(&self) -> ComponentId {
+        ComponentId::from_raw(self.components.len())
+    }
+
+    /// Number of events dispatched so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// Number of events still pending.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// The registered name of a component, or `"?"` for an unknown id.
+    #[must_use]
+    pub fn name_of(&self, id: ComponentId) -> &str {
+        self.core.name_of(id)
+    }
+
+    /// Borrows a registered component as its concrete type.
+    ///
+    /// Returns `None` if the id is unknown or the component is not a `T`.
+    #[must_use]
+    pub fn component<T: Component>(&self, id: ComponentId) -> Option<&T> {
+        let boxed = self.components.get(id.index())?.as_deref()?;
+        (boxed as &dyn core::any::Any).downcast_ref::<T>()
+    }
+
+    /// Mutably borrows a registered component as its concrete type.
+    #[must_use]
+    pub fn component_mut<T: Component>(
+        &mut self,
+        id: ComponentId,
+    ) -> Option<&mut T> {
+        let boxed = self.components.get_mut(id.index())?.as_deref_mut()?;
+        (boxed as &mut dyn core::any::Any).downcast_mut::<T>()
+    }
+
+    /// Runs scenario code with a [`Context`] — the way external drivers seed
+    /// initial events or inject stimuli between `run_until` calls.
+    ///
+    /// The context is attributed to a synthetic "environment" component id
+    /// one past the last registered component.
+    pub fn with_context<R>(&mut self, f: impl FnOnce(&mut Context<'_>) -> R) -> R {
+        let env_id = ComponentId::from_raw(self.components.len());
+        let mut ctx = make_context(&mut self.core, env_id);
+        f(&mut ctx)
+    }
+
+    /// Enables in-memory tracing with the given capacity (older records are
+    /// dropped once full).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.core.trace = TraceLog::enabled(capacity);
+    }
+
+    /// The trace log (empty unless [`enable_trace`](Self::enable_trace) was
+    /// called).
+    #[must_use]
+    pub fn trace(&self) -> &TraceLog {
+        &self.core.trace
+    }
+
+    /// Direct access to the deterministic RNG, for scenario-level draws.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.core.rng
+    }
+
+    fn dispatch_start(&mut self, id: ComponentId) {
+        let mut component = self.components[id.index()]
+            .take()
+            .expect("component present and not re-entered");
+        {
+            let mut ctx = make_context(&mut self.core, id);
+            component.start(&mut ctx);
+        }
+        self.components[id.index()] = Some(component);
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for index in 0..self.components.len() {
+            self.dispatch_start(ComponentId::from_raw(index));
+        }
+    }
+
+    /// Dispatches the single earliest pending event.
+    ///
+    /// Returns `false` when no events are pending. Cancelled events are
+    /// skipped silently (they do not count as a step).
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        loop {
+            let Some(event) = self.core.queue.pop() else {
+                return false;
+            };
+            if self.core.cancelled.remove(&event.id.0) {
+                continue;
+            }
+            debug_assert!(event.time >= self.core.now, "event from the past");
+            self.core.now = event.time;
+            self.core.events_processed += 1;
+            let target = event.target;
+            self.core
+                .trace
+                .record(event.time, target, "fire", format_args!("{}", event.id));
+            let Some(slot) = self.components.get_mut(target.index()) else {
+                panic!(
+                    "event {} targets unknown component {target}",
+                    event.id
+                );
+            };
+            let mut component = slot.take().unwrap_or_else(|| {
+                panic!("component {target} re-entered during its own dispatch")
+            });
+            {
+                let mut ctx = make_context(&mut self.core, target);
+                component.handle(&mut ctx, event.msg);
+            }
+            self.components[target.index()] = Some(component);
+            return true;
+        }
+    }
+
+    /// Runs until the pending-event set drains or `limit` events have been
+    /// dispatched, returning the number of events dispatched.
+    pub fn run(&mut self, limit: u64) -> u64 {
+        let mut dispatched = 0;
+        while dispatched < limit && self.step() {
+            dispatched += 1;
+        }
+        dispatched
+    }
+
+    /// Runs every event with `time <= until`, then advances the clock to
+    /// exactly `until`. Returns the number of events dispatched.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        self.ensure_started();
+        let mut dispatched = 0;
+        loop {
+            match self.core.queue.peek_time() {
+                Some(t) if t <= until => {
+                    if self.step() {
+                        dispatched += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if until > self.core.now {
+            self.core.now = until;
+        }
+        dispatched
+    }
+
+    /// Runs for `span` of simulated time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) -> u64 {
+        let until = self.core.now.saturating_add(span);
+        self.run_until(until)
+    }
+
+    /// Runs like [`run_until`](Self::run_until) but paces dispatch against
+    /// the host wall clock, scaled by `speedup` (1.0 = real time, 2.0 = twice
+    /// real time). This mirrors the NS-2 *real-time scheduler* the paper uses
+    /// for hardware validation; simulation results are identical to the
+    /// virtual-time run, only wall-clock pacing differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speedup` is not a positive finite number.
+    pub fn run_until_realtime(&mut self, until: SimTime, speedup: f64) -> u64 {
+        assert!(
+            speedup.is_finite() && speedup > 0.0,
+            "speedup must be positive and finite, got {speedup}"
+        );
+        self.ensure_started();
+        let wall_start = std::time::Instant::now();
+        let sim_start = self.core.now;
+        let mut dispatched = 0;
+        loop {
+            match self.core.queue.peek_time() {
+                Some(t) if t <= until => {
+                    let sim_elapsed = t.saturating_duration_since(sim_start);
+                    let wall_target = std::time::Duration::from_secs_f64(
+                        sim_elapsed.as_secs_f64() / speedup,
+                    );
+                    let wall_elapsed = wall_start.elapsed();
+                    if wall_target > wall_elapsed {
+                        std::thread::sleep(wall_target - wall_elapsed);
+                    }
+                    if self.step() {
+                        dispatched += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if until > self.core.now {
+            self.core.now = until;
+        }
+        dispatched
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.core.now)
+            .field("components", &self.components.len())
+            .field("pending_events", &self.core.queue.len())
+            .field("events_processed", &self.core.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MessageExt;
+
+    #[derive(Debug, PartialEq)]
+    struct Num(u64);
+
+    /// Records the order in which numbered messages arrive.
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(SimTime, u64)>,
+    }
+
+    impl Component for Recorder {
+        fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
+            let num = msg.downcast::<Num>().expect("only Num is sent here");
+            self.seen.push((ctx.now(), num.0));
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_then_fifo_order() {
+        let mut sim = Simulator::new();
+        let id = sim.add_component("rec", Recorder::default());
+        sim.with_context(|ctx| {
+            ctx.schedule_in(SimDuration::from_nanos(10), id, Num(1));
+            ctx.schedule_in(SimDuration::from_nanos(5), id, Num(2));
+            ctx.schedule_in(SimDuration::from_nanos(10), id, Num(3));
+            ctx.send(id, Num(4));
+        });
+        sim.run(100);
+        let rec: &Recorder = sim.component(id).expect("registered");
+        assert_eq!(
+            rec.seen,
+            vec![
+                (SimTime::from_nanos(0), 4),
+                (SimTime::from_nanos(5), 2),
+                (SimTime::from_nanos(10), 1),
+                (SimTime::from_nanos(10), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut sim = Simulator::new();
+        let id = sim.add_component("rec", Recorder::default());
+        sim.with_context(|ctx| {
+            let doomed = ctx.schedule_in(SimDuration::from_nanos(5), id, Num(1));
+            ctx.schedule_in(SimDuration::from_nanos(6), id, Num(2));
+            ctx.cancel(doomed);
+        });
+        sim.run(100);
+        let rec: &Recorder = sim.component(id).expect("registered");
+        assert_eq!(rec.seen, vec![(SimTime::from_nanos(6), 2)]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let mut sim = Simulator::new();
+        assert_eq!(sim.run_until(SimTime::from_secs(3)), 0);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn run_until_is_inclusive_of_boundary_events() {
+        let mut sim = Simulator::new();
+        let id = sim.add_component("rec", Recorder::default());
+        sim.with_context(|ctx| {
+            ctx.schedule_at(SimTime::from_secs(1), id, Num(1));
+            ctx.schedule_at(SimTime::from_nanos(1_000_000_001), id, Num(2));
+        });
+        sim.run_until(SimTime::from_secs(1));
+        let rec: &Recorder = sim.component(id).expect("registered");
+        assert_eq!(rec.seen, vec![(SimTime::from_secs(1), 1)]);
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+        assert_eq!(sim.pending_events(), 1);
+    }
+
+    /// A component that re-arms itself a fixed number of times.
+    struct SelfScheduler {
+        remaining: u32,
+        fired: u32,
+    }
+
+    impl Component for SelfScheduler {
+        fn start(&mut self, ctx: &mut Context<'_>) {
+            ctx.schedule_self_in(SimDuration::from_nanos(1), Num(0));
+        }
+
+        fn handle(&mut self, ctx: &mut Context<'_>, _msg: Box<dyn Message>) {
+            self.fired += 1;
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.schedule_self_in(SimDuration::from_nanos(1), Num(0));
+            }
+        }
+    }
+
+    #[test]
+    fn start_hook_and_self_scheduling_work() {
+        let mut sim = Simulator::new();
+        let id = sim.add_component(
+            "self",
+            SelfScheduler {
+                remaining: 4,
+                fired: 0,
+            },
+        );
+        sim.run(100);
+        let s: &SelfScheduler = sim.component(id).expect("registered");
+        assert_eq!(s.fired, 5);
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn component_downcast_rejects_wrong_type() {
+        let mut sim = Simulator::new();
+        let id = sim.add_component("rec", Recorder::default());
+        assert!(sim.component::<SelfScheduler>(id).is_none());
+        assert!(sim.component::<Recorder>(id).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulator::new();
+        let id = sim.add_component("rec", Recorder::default());
+        sim.run_until(SimTime::from_secs(1));
+        sim.with_context(|ctx| {
+            ctx.schedule_at(SimTime::from_nanos(1), id, Num(0));
+        });
+    }
+
+    #[test]
+    fn named_components_are_reachable() {
+        let mut sim = Simulator::new();
+        let id = sim.add_component("alpha", Recorder::default());
+        assert_eq!(sim.name_of(id), "alpha");
+        assert_eq!(sim.name_of(ComponentId::from_raw(99)), "?");
+    }
+
+    #[test]
+    fn realtime_pacing_matches_virtual_results() {
+        // The real-time scheduler (the paper's validation mode) must
+        // produce identical simulation results to the virtual-time run;
+        // only wall-clock pacing differs. A huge speedup keeps the test
+        // fast.
+        let build = |sim: &mut Simulator| -> ComponentId {
+            let id = sim.add_component("rec", Recorder::default());
+            sim.with_context(|ctx| {
+                for i in 0..20u64 {
+                    ctx.schedule_in(SimDuration::from_millis(i * 10), id, Num(i));
+                }
+            });
+            id
+        };
+        let mut virtual_run = Simulator::new();
+        let idv = build(&mut virtual_run);
+        virtual_run.run_until(SimTime::from_secs(1));
+
+        let mut realtime_run = Simulator::new();
+        let idr = build(&mut realtime_run);
+        let wall = std::time::Instant::now();
+        realtime_run.run_until_realtime(SimTime::from_secs(1), 50.0);
+        let elapsed = wall.elapsed();
+        assert_eq!(
+            virtual_run.component::<Recorder>(idv).expect("registered").seen,
+            realtime_run.component::<Recorder>(idr).expect("registered").seen,
+        );
+        // 1 simulated second at 50x is ~20 ms of wall pacing.
+        assert!(
+            elapsed >= std::time::Duration::from_millis(2),
+            "real-time mode must actually pace ({elapsed:?})"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_draws() {
+        let mut a = Simulator::with_seed(42);
+        let mut b = Simulator::with_seed(42);
+        let draws_a: Vec<u64> = (0..32).map(|_| a.rng().next_u64()).collect();
+        let draws_b: Vec<u64> = (0..32).map(|_| b.rng().next_u64()).collect();
+        assert_eq!(draws_a, draws_b);
+    }
+}

@@ -1,0 +1,249 @@
+//! Deterministic random-number generation for simulations.
+//!
+//! [`SimRng`] wraps a seeded [`rand::rngs::StdRng`] and adds the handful of
+//! distributions the traffic models need (uniform, exponential, normal via
+//! Box–Muller). Named sub-streams ([`SimRng::stream`]) let independent model
+//! pieces draw from decorrelated sequences that are still fully determined by
+//! the master seed, so adding a draw in one component never perturbs another
+//! component's sequence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded, deterministic random-number generator with the distribution
+/// helpers simulation models need.
+///
+/// # Examples
+///
+/// ```
+/// use tsbus_des::SimRng;
+///
+/// let mut rng = SimRng::seeded(7);
+/// let a = rng.next_u64();
+/// let mut rng2 = SimRng::seeded(7);
+/// assert_eq!(a, rng2.next_u64()); // same seed, same sequence
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator (or its parent, for sub-streams) was created
+    /// with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent, named sub-stream. The sub-stream's sequence
+    /// depends only on the master seed and the name, not on how many draws
+    /// the parent has made.
+    #[must_use]
+    pub fn stream(&self, name: &str) -> SimRng {
+        SimRng::seeded(self.seed ^ fnv1a(name.as_bytes()))
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform draw in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn uniform_range(&mut self, low: f64, high: f64) -> f64 {
+        assert!(low < high, "uniform_range requires low < high");
+        low + self.uniform_f64() * (high - low)
+    }
+
+    /// A uniform integer draw in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below requires a positive bound");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// An exponentially distributed draw with the given mean (inverse-CDF
+    /// method) — the inter-arrival law of Poisson traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive and finite, got {mean}"
+        );
+        // 1 - u is in (0, 1], so ln never sees zero.
+        let u = self.uniform_f64();
+        -mean * (1.0 - u).ln()
+    }
+
+    /// A normally distributed draw (Box–Muller; one of the pair is
+    /// discarded for simplicity — determinism matters here, not throughput).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is non-finite.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "normal parameters must be finite with std_dev >= 0"
+        );
+        let u1 = loop {
+            let u = self.uniform_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.uniform_f64();
+        let z = (-2.0 * u1.ln()).sqrt()
+            * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// A Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.uniform_f64() < p
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// FNV-1a over bytes — a stable, dependency-free string hash for deriving
+/// sub-stream seeds (must never change across versions or saved experiment
+/// seeds would silently shift).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_independent_of_parent_draws() {
+        let mut a = SimRng::seeded(1);
+        let b = SimRng::seeded(1);
+        let _ = a.next_u64(); // perturb the parent
+        let mut sa = a.stream("cbr");
+        let mut sb = b.stream("cbr");
+        assert_eq!(sa.next_u64(), sb.next_u64());
+    }
+
+    #[test]
+    fn streams_with_different_names_differ() {
+        let root = SimRng::seeded(1);
+        let mut a = root.stream("alpha");
+        let mut b = root.stream("beta");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seeded(99);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exponential(2.5)).sum();
+        let mean = total / f64::from(n);
+        assert!((mean - 2.5).abs() < 0.1, "sample mean {mean} too far from 2.5");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut rng = SimRng::seeded(3);
+        for _ in 0..10_000 {
+            assert!(rng.exponential(0.001) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = SimRng::seeded(5);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / draws.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+        assert!((var.sqrt() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn uniform_range_respects_bounds() {
+        let mut rng = SimRng::seeded(8);
+        for _ in 0..1000 {
+            let x = rng.uniform_range(-3.0, 4.0);
+            assert!((-3.0..4.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SimRng::seeded(8);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seeded(8);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn exponential_rejects_bad_mean() {
+        let _ = SimRng::seeded(0).exponential(0.0);
+    }
+}

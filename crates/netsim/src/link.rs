@@ -1,0 +1,391 @@
+//! Point-to-point duplex links with serialization delay, propagation delay
+//! and drop-tail queueing — the NS-2 `duplex-link` analog.
+
+use std::collections::VecDeque;
+
+use tsbus_des::stats::{Counter, Utilization};
+use tsbus_des::{
+    Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime,
+};
+
+use crate::packet::{Deliver, Packet, Transmit};
+
+/// Transmission parameters of one link direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Channel bit rate in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Maximum packets queued per direction before drop-tail discards.
+    pub queue_limit: usize,
+}
+
+impl LinkSpec {
+    /// A convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is not positive and finite or `queue_limit`
+    /// is zero.
+    #[must_use]
+    pub fn new(bandwidth_bps: f64, delay: SimDuration, queue_limit: usize) -> Self {
+        assert!(
+            bandwidth_bps.is_finite() && bandwidth_bps > 0.0,
+            "link bandwidth must be positive and finite"
+        );
+        assert!(queue_limit > 0, "queue limit must allow at least one packet");
+        LinkSpec {
+            bandwidth_bps,
+            delay,
+            queue_limit,
+        }
+    }
+
+    /// Time to clock `bytes` onto the wire at this bandwidth.
+    #[must_use]
+    pub fn serialization_delay(&self, bytes: u32) -> SimDuration {
+        let bits = f64::from(bytes) * 8.0;
+        SimDuration::from_secs_f64(bits / self.bandwidth_bps)
+    }
+}
+
+/// Per-direction state: a FIFO of waiting packets and a busy flag.
+#[derive(Debug)]
+struct Direction {
+    queue: VecDeque<Packet>,
+    busy: bool,
+    utilization: Utilization,
+    forwarded: Counter,
+    dropped: Counter,
+}
+
+impl Direction {
+    fn new() -> Self {
+        Direction {
+            queue: VecDeque::new(),
+            busy: false,
+            utilization: Utilization::new(SimTime::ZERO),
+            forwarded: Counter::new(),
+            dropped: Counter::new(),
+        }
+    }
+}
+
+/// Internal timer: serialization of the head packet finished on a direction.
+#[derive(Debug)]
+struct TxDone {
+    /// 0 = a→b, 1 = b→a.
+    dir: usize,
+    packet: Packet,
+}
+
+/// Aggregate statistics of one link direction, harvested after a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkStats {
+    /// Packets fully transmitted.
+    pub forwarded: u64,
+    /// Packets discarded by drop-tail.
+    pub dropped: u64,
+    /// Fraction of time the transmitter was busy, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// A duplex point-to-point link between two endpoint components.
+///
+/// Endpoints send [`Transmit`] messages to the link; the link clocks each
+/// packet out for `size_bytes × 8 / bandwidth`, then delivers it to the
+/// opposite endpoint as a [`Deliver`] message after the propagation delay.
+/// Each direction has an independent transmitter and a drop-tail FIFO.
+///
+/// # Examples
+///
+/// See [`CbrSource`](crate::CbrSource) for an end-to-end example.
+#[derive(Debug)]
+pub struct Link {
+    spec: LinkSpec,
+    endpoint_a: ComponentId,
+    endpoint_b: ComponentId,
+    directions: [Direction; 2],
+}
+
+impl Link {
+    /// Creates a link between `endpoint_a` and `endpoint_b`.
+    #[must_use]
+    pub fn new(spec: LinkSpec, endpoint_a: ComponentId, endpoint_b: ComponentId) -> Self {
+        Link {
+            spec,
+            endpoint_a,
+            endpoint_b,
+            directions: [Direction::new(), Direction::new()],
+        }
+    }
+
+    /// The link's transmission parameters.
+    #[must_use]
+    pub fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+
+    /// Statistics for the a→b (`0`) or b→a (`1`) direction at instant `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir > 1`.
+    #[must_use]
+    pub fn stats(&self, dir: usize, now: SimTime) -> LinkStats {
+        let d = &self.directions[dir];
+        LinkStats {
+            forwarded: d.forwarded.count(),
+            dropped: d.dropped.count(),
+            utilization: d.utilization.fraction_busy(now),
+        }
+    }
+
+    fn dir_of(&self, from: ComponentId) -> Option<usize> {
+        if from == self.endpoint_a {
+            Some(0)
+        } else if from == self.endpoint_b {
+            Some(1)
+        } else {
+            None
+        }
+    }
+
+    fn receiver_of(&self, dir: usize) -> ComponentId {
+        if dir == 0 {
+            self.endpoint_b
+        } else {
+            self.endpoint_a
+        }
+    }
+
+    fn start_transmission(&mut self, ctx: &mut Context<'_>, dir: usize, packet: Packet) {
+        let tx_time = self.spec.serialization_delay(packet.size_bytes);
+        self.directions[dir].busy = true;
+        self.directions[dir].utilization.set_busy(ctx.now());
+        ctx.schedule_self_in(tx_time, TxDone { dir, packet });
+    }
+}
+
+impl Component for Link {
+    fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
+        let msg = match msg.downcast::<Transmit>() {
+            Ok(transmit) => {
+                let Transmit { from, packet } = *transmit;
+                let Some(dir) = self.dir_of(from) else {
+                    panic!(
+                        "Transmit from {from} which is not an endpoint of this link"
+                    );
+                };
+                if self.directions[dir].busy {
+                    if self.directions[dir].queue.len() >= self.spec.queue_limit {
+                        self.directions[dir].dropped.increment();
+                        ctx.trace("drop", format_args!("seq={}", packet.seq));
+                    } else {
+                        self.directions[dir].queue.push_back(packet);
+                    }
+                } else {
+                    self.start_transmission(ctx, dir, packet);
+                }
+                return;
+            }
+            Err(original) => original,
+        };
+        let done = msg
+            .downcast::<TxDone>()
+            .expect("links receive only Transmit and TxDone");
+        let TxDone { dir, packet } = *done;
+        self.directions[dir].forwarded.increment();
+        let receiver = self.receiver_of(dir);
+        ctx.schedule_in(self.spec.delay, receiver, Deliver { packet });
+        match self.directions[dir].queue.pop_front() {
+            Some(next) => self.start_transmission(ctx, dir, next),
+            None => {
+                self.directions[dir].busy = false;
+                self.directions[dir].utilization.set_idle(ctx.now());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use tsbus_des::Simulator;
+
+    /// Endpoint that records delivery times.
+    #[derive(Default)]
+    struct Endpoint {
+        deliveries: Vec<(SimTime, u64)>,
+    }
+
+    impl Component for Endpoint {
+        fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
+            let deliver = msg.downcast::<Deliver>().expect("endpoint gets Deliver");
+            self.deliveries.push((ctx.now(), deliver.packet.seq));
+        }
+    }
+
+    fn packet(src: ComponentId, dst: ComponentId, size: u32, seq: u64) -> Packet {
+        let mut p = Packet::new(src, dst, size, Bytes::new(), SimTime::ZERO);
+        p.seq = seq;
+        p
+    }
+
+    /// 1000 bytes at 8 Mb/s = 1 ms serialization, + 2 ms propagation = 3 ms.
+    #[test]
+    fn delivery_time_is_serialization_plus_propagation() {
+        let mut sim = Simulator::new();
+        let a = sim.add_component("a", Endpoint::default());
+        let b = sim.add_component("b", Endpoint::default());
+        let spec = LinkSpec::new(8_000_000.0, SimDuration::from_millis(2), 16);
+        let link = sim.add_component("link", Link::new(spec, a, b));
+        sim.with_context(|ctx| {
+            ctx.send(
+                link,
+                Transmit {
+                    from: a,
+                    packet: packet(a, b, 1000, 1),
+                },
+            );
+        });
+        sim.run(100);
+        let ep: &Endpoint = sim.component(b).expect("registered");
+        assert_eq!(ep.deliveries, vec![(SimTime::from_nanos(3_000_000), 1)]);
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_behind_transmitter() {
+        let mut sim = Simulator::new();
+        let a = sim.add_component("a", Endpoint::default());
+        let b = sim.add_component("b", Endpoint::default());
+        // 1 byte / 8 bit/s = 1 s serialization; no propagation.
+        let spec = LinkSpec::new(8.0, SimDuration::ZERO, 16);
+        let link = sim.add_component("link", Link::new(spec, a, b));
+        sim.with_context(|ctx| {
+            for seq in 1..=3 {
+                ctx.send(
+                    link,
+                    Transmit {
+                        from: a,
+                        packet: packet(a, b, 1, seq),
+                    },
+                );
+            }
+        });
+        sim.run(100);
+        let ep: &Endpoint = sim.component(b).expect("registered");
+        assert_eq!(
+            ep.deliveries,
+            vec![
+                (SimTime::from_secs(1), 1),
+                (SimTime::from_secs(2), 2),
+                (SimTime::from_secs(3), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn drop_tail_discards_beyond_queue_limit() {
+        let mut sim = Simulator::new();
+        let a = sim.add_component("a", Endpoint::default());
+        let b = sim.add_component("b", Endpoint::default());
+        let spec = LinkSpec::new(8.0, SimDuration::ZERO, 1);
+        let link = sim.add_component("link", Link::new(spec, a, b));
+        sim.with_context(|ctx| {
+            for seq in 1..=4 {
+                ctx.send(
+                    link,
+                    Transmit {
+                        from: a,
+                        packet: packet(a, b, 1, seq),
+                    },
+                );
+            }
+        });
+        sim.run(100);
+        // seq 1 transmits, seq 2 queues, seq 3 and 4 drop.
+        let ep: &Endpoint = sim.component(b).expect("registered");
+        assert_eq!(ep.deliveries.len(), 2);
+        let link_ref: &Link = sim.component(link).expect("registered");
+        let stats = link_ref.stats(0, sim.now());
+        assert_eq!(stats.forwarded, 2);
+        assert_eq!(stats.dropped, 2);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut sim = Simulator::new();
+        let a = sim.add_component("a", Endpoint::default());
+        let b = sim.add_component("b", Endpoint::default());
+        let spec = LinkSpec::new(8.0, SimDuration::ZERO, 16);
+        let link = sim.add_component("link", Link::new(spec, a, b));
+        sim.with_context(|ctx| {
+            ctx.send(
+                link,
+                Transmit {
+                    from: a,
+                    packet: packet(a, b, 1, 1),
+                },
+            );
+            ctx.send(
+                link,
+                Transmit {
+                    from: b,
+                    packet: packet(b, a, 1, 2),
+                },
+            );
+        });
+        sim.run(100);
+        // Both directions complete at 1 s — no head-of-line coupling.
+        let ea: &Endpoint = sim.component(a).expect("registered");
+        let eb: &Endpoint = sim.component(b).expect("registered");
+        assert_eq!(ea.deliveries, vec![(SimTime::from_secs(1), 2)]);
+        assert_eq!(eb.deliveries, vec![(SimTime::from_secs(1), 1)]);
+    }
+
+    #[test]
+    fn utilization_reflects_busy_time() {
+        let mut sim = Simulator::new();
+        let a = sim.add_component("a", Endpoint::default());
+        let b = sim.add_component("b", Endpoint::default());
+        let spec = LinkSpec::new(8.0, SimDuration::ZERO, 16);
+        let link = sim.add_component("link", Link::new(spec, a, b));
+        sim.with_context(|ctx| {
+            ctx.send(
+                link,
+                Transmit {
+                    from: a,
+                    packet: packet(a, b, 1, 1),
+                },
+            );
+        });
+        sim.run_until(SimTime::from_secs(2));
+        let link_ref: &Link = sim.component(link).expect("registered");
+        let stats = link_ref.stats(0, sim.now());
+        assert!((stats.utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn transmit_from_stranger_panics() {
+        let mut sim = Simulator::new();
+        let a = sim.add_component("a", Endpoint::default());
+        let b = sim.add_component("b", Endpoint::default());
+        let stranger = sim.add_component("s", Endpoint::default());
+        let spec = LinkSpec::new(8.0, SimDuration::ZERO, 16);
+        let link = sim.add_component("link", Link::new(spec, a, b));
+        sim.with_context(|ctx| {
+            ctx.send(
+                link,
+                Transmit {
+                    from: stranger,
+                    packet: packet(stranger, b, 1, 1),
+                },
+            );
+        });
+        sim.run(100);
+    }
+}

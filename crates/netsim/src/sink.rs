@@ -1,0 +1,200 @@
+//! Receiving endpoints that account for delivered traffic.
+
+use tsbus_des::stats::Summary;
+use tsbus_des::{Component, Context, Message, MessageExt, SimTime};
+
+use crate::packet::{Deliver, PacketSeq};
+
+/// A traffic sink: counts packets and bytes, tracks one-way latency and
+/// inter-arrival jitter — the NS-2 `LossMonitor`/`Agent/Null` analog.
+///
+/// # Examples
+///
+/// ```
+/// use tsbus_netsim::Sink;
+///
+/// let sink = Sink::new();
+/// assert_eq!(sink.packets_received(), 0);
+/// assert!(sink.latency().is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct Sink {
+    packets: u64,
+    bytes: u64,
+    latency: Summary,
+    inter_arrival: Summary,
+    last_arrival: Option<SimTime>,
+    first_arrival: Option<SimTime>,
+    seqs: Vec<PacketSeq>,
+}
+
+impl Sink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packets delivered so far.
+    #[must_use]
+    pub fn packets_received(&self) -> u64 {
+        self.packets
+    }
+
+    /// Bytes delivered so far (wire sizes).
+    #[must_use]
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes
+    }
+
+    /// One-way latency statistics (seconds).
+    #[must_use]
+    pub fn latency(&self) -> &Summary {
+        &self.latency
+    }
+
+    /// Inter-arrival gap statistics (seconds).
+    #[must_use]
+    pub fn inter_arrival(&self) -> &Summary {
+        &self.inter_arrival
+    }
+
+    /// Instant of the first delivery, if any.
+    #[must_use]
+    pub fn first_arrival(&self) -> Option<SimTime> {
+        self.first_arrival
+    }
+
+    /// Instant of the most recent delivery, if any.
+    #[must_use]
+    pub fn last_arrival(&self) -> Option<SimTime> {
+        self.last_arrival
+    }
+
+    /// The sequence numbers received, in arrival order.
+    #[must_use]
+    pub fn received_seqs(&self) -> &[PacketSeq] {
+        &self.seqs
+    }
+
+    /// Sequence numbers missing from the contiguous range
+    /// `[0, max_seen]` — the packets lost (or still in flight).
+    #[must_use]
+    pub fn missing_seqs(&self) -> Vec<PacketSeq> {
+        let Some(&max) = self.seqs.iter().max() else {
+            return Vec::new();
+        };
+        let mut seen = vec![false; usize::try_from(max).unwrap_or(usize::MAX) + 1];
+        for &s in &self.seqs {
+            if let Ok(idx) = usize::try_from(s) {
+                if idx < seen.len() {
+                    seen[idx] = true;
+                }
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|&(_, &present)| !present)
+            .map(|(i, _)| i as PacketSeq)
+            .collect()
+    }
+}
+
+impl Component for Sink {
+    fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
+        let Ok(deliver) = msg.downcast::<Deliver>() else {
+            return; // sinks ignore anything that is not a delivery
+        };
+        let packet = deliver.packet;
+        let now = ctx.now();
+        self.packets += 1;
+        self.bytes += u64::from(packet.size_bytes);
+        self.latency
+            .record(now.saturating_duration_since(packet.sent_at).as_secs_f64());
+        if let Some(last) = self.last_arrival {
+            self.inter_arrival
+                .record(now.saturating_duration_since(last).as_secs_f64());
+        }
+        self.first_arrival.get_or_insert(now);
+        self.last_arrival = Some(now);
+        self.seqs.push(packet.seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+    use bytes::Bytes;
+    use tsbus_des::{ComponentId, SimDuration, Simulator};
+
+    fn deliver_at(
+        sim: &mut Simulator,
+        sink: ComponentId,
+        at: SimDuration,
+        seq: PacketSeq,
+        size: u32,
+        sent_at: SimTime,
+    ) {
+        sim.with_context(|ctx| {
+            let mut p = Packet::new(
+                ComponentId::from_raw(999),
+                sink,
+                size,
+                Bytes::new(),
+                sent_at,
+            );
+            p.seq = seq;
+            ctx.schedule_in(at, sink, Deliver { packet: p });
+        });
+    }
+
+    #[test]
+    fn sink_accounts_bytes_latency_and_gaps() {
+        let mut sim = Simulator::new();
+        let sink = sim.add_component("sink", Sink::new());
+        deliver_at(&mut sim, sink, SimDuration::from_secs(1), 0, 10, SimTime::ZERO);
+        deliver_at(
+            &mut sim,
+            sink,
+            SimDuration::from_secs(3),
+            1,
+            20,
+            SimTime::from_secs(2),
+        );
+        sim.run(100);
+        let s: &Sink = sim.component(sink).expect("registered");
+        assert_eq!(s.packets_received(), 2);
+        assert_eq!(s.bytes_received(), 30);
+        assert_eq!(s.latency().mean(), 1.0); // delays of 1 s and 1 s
+        assert_eq!(s.inter_arrival().mean(), 2.0);
+        assert_eq!(s.first_arrival(), Some(SimTime::from_secs(1)));
+        assert_eq!(s.last_arrival(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn missing_seqs_reports_gaps() {
+        let mut sim = Simulator::new();
+        let sink = sim.add_component("sink", Sink::new());
+        for (t, seq) in [(1u64, 0u64), (2, 1), (3, 4)] {
+            deliver_at(
+                &mut sim,
+                sink,
+                SimDuration::from_secs(t),
+                seq,
+                1,
+                SimTime::ZERO,
+            );
+        }
+        sim.run(100);
+        let s: &Sink = sim.component(sink).expect("registered");
+        assert_eq!(s.missing_seqs(), vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_sink_has_no_gaps() {
+        let sink = Sink::new();
+        assert!(sink.missing_seqs().is_empty());
+        assert_eq!(sink.first_arrival(), None);
+    }
+}

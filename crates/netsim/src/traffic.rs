@@ -1,0 +1,611 @@
+//! Traffic generators: CBR (the paper's workload), Poisson, and exponential
+//! on/off — the NS-2 `Application/Traffic/*` analogs.
+//!
+//! Every generator is a [`Component`] that hands [`Transmit`] messages to a
+//! link (or any component that accepts them) on its own schedule. Generators
+//! address their packets to a destination endpoint so sinks can attribute
+//! flows.
+
+use bytes::Bytes;
+use tsbus_des::{
+    Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime,
+};
+
+use crate::packet::{Packet, Transmit};
+
+/// Internal self-message: emit the next packet.
+#[derive(Debug)]
+struct Emit;
+
+/// Internal self-message for on/off sources: toggle the burst state.
+#[derive(Debug)]
+struct Toggle;
+
+/// Constant-bit-rate source: one `packet_size` packet every
+/// `packet_size / rate` seconds.
+///
+/// A `rate_bytes_per_sec` of `0.0` is allowed and produces no traffic — this
+/// is exactly the paper's Table 4 row "CBR 0 B/s".
+///
+/// # Examples
+///
+/// ```
+/// use tsbus_des::{SimDuration, SimTime, Simulator};
+/// use tsbus_netsim::{CbrSource, Link, LinkSpec, Sink};
+///
+/// let mut sim = Simulator::new();
+/// let sink_id = sim.add_component("sink", Sink::new());
+/// // Build the chain: source -> link -> sink.
+/// // Component ids are assigned in registration order, so reserve the
+/// // source id by registering a placeholder order: sink, source, link.
+/// let source_id = tsbus_des::ComponentId::from_raw(1);
+/// let link_id = tsbus_des::ComponentId::from_raw(2);
+/// sim.add_component(
+///     "cbr",
+///     CbrSource::new(source_id, link_id, sink_id, 100.0, 10),
+/// );
+/// sim.add_component(
+///     "link",
+///     Link::new(LinkSpec::new(1e6, SimDuration::ZERO, 64), source_id, sink_id),
+/// );
+/// sim.run_until(SimTime::from_secs(1));
+/// let sink: &Sink = sim.component(sink_id).expect("registered");
+/// assert_eq!(sink.packets_received(), 10); // 100 B/s in 10-byte packets
+/// ```
+#[derive(Debug)]
+pub struct CbrSource {
+    self_id: ComponentId,
+    link: ComponentId,
+    dst: ComponentId,
+    rate_bytes_per_sec: f64,
+    packet_size: u32,
+    start_at: SimTime,
+    stop_at: SimTime,
+    next_seq: u64,
+    sent_packets: u64,
+    sent_bytes: u64,
+}
+
+impl CbrSource {
+    /// Creates a CBR source that starts at time zero and never stops.
+    ///
+    /// `self_id` must be the id this component will be registered under (the
+    /// source needs its own address before registration to stamp packets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_bytes_per_sec` is negative or non-finite, or
+    /// `packet_size` is zero.
+    #[must_use]
+    pub fn new(
+        self_id: ComponentId,
+        link: ComponentId,
+        dst: ComponentId,
+        rate_bytes_per_sec: f64,
+        packet_size: u32,
+    ) -> Self {
+        assert!(
+            rate_bytes_per_sec.is_finite() && rate_bytes_per_sec >= 0.0,
+            "CBR rate must be non-negative and finite"
+        );
+        assert!(packet_size > 0, "packet size must be positive");
+        CbrSource {
+            self_id,
+            link,
+            dst,
+            rate_bytes_per_sec,
+            packet_size,
+            start_at: SimTime::ZERO,
+            stop_at: SimTime::MAX,
+            next_seq: 0,
+            sent_packets: 0,
+            sent_bytes: 0,
+        }
+    }
+
+    /// Restricts emission to the window `[start, stop)`.
+    #[must_use]
+    pub fn active_between(mut self, start: SimTime, stop: SimTime) -> Self {
+        self.start_at = start;
+        self.stop_at = stop;
+        self
+    }
+
+    /// The constant inter-packet gap, or `None` for a silent (0 B/s) source.
+    #[must_use]
+    pub fn period(&self) -> Option<SimDuration> {
+        if self.rate_bytes_per_sec <= 0.0 {
+            None
+        } else {
+            Some(SimDuration::from_secs_f64(
+                f64::from(self.packet_size) / self.rate_bytes_per_sec,
+            ))
+        }
+    }
+
+    /// Packets emitted so far.
+    #[must_use]
+    pub fn sent_packets(&self) -> u64 {
+        self.sent_packets
+    }
+
+    /// Bytes emitted so far.
+    #[must_use]
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    fn emit(&mut self, ctx: &mut Context<'_>) {
+        let mut packet = Packet::new(
+            self.self_id,
+            self.dst,
+            self.packet_size,
+            Bytes::new(),
+            ctx.now(),
+        );
+        packet.seq = self.next_seq;
+        self.next_seq += 1;
+        self.sent_packets += 1;
+        self.sent_bytes += u64::from(self.packet_size);
+        let link = self.link;
+        let from = self.self_id;
+        ctx.send(link, Transmit { from, packet });
+    }
+}
+
+impl Component for CbrSource {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        debug_assert_eq!(
+            self.self_id,
+            ctx.self_id(),
+            "CbrSource registered under a different id than it was built with"
+        );
+        if self.period().is_some() {
+            let first = self.start_at.max(ctx.now());
+            ctx.schedule_at(first, ctx.self_id(), Emit);
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
+        if !msg.is::<Emit>() {
+            return; // CBR sources ignore deliveries and stray messages
+        }
+        if ctx.now() >= self.stop_at {
+            return;
+        }
+        self.emit(ctx);
+        let period = self
+            .period()
+            .expect("Emit is only scheduled for a nonzero rate");
+        ctx.schedule_self_in(period, Emit);
+    }
+}
+
+/// Poisson source: exponentially distributed inter-packet gaps with the
+/// given mean rate.
+#[derive(Debug)]
+pub struct PoissonSource {
+    self_id: ComponentId,
+    link: ComponentId,
+    dst: ComponentId,
+    mean_rate_pps: f64,
+    packet_size: u32,
+    next_seq: u64,
+    sent_packets: u64,
+}
+
+impl PoissonSource {
+    /// Creates a Poisson source emitting `mean_rate_pps` packets per second
+    /// on average.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_rate_pps` is not positive and finite or
+    /// `packet_size` is zero.
+    #[must_use]
+    pub fn new(
+        self_id: ComponentId,
+        link: ComponentId,
+        dst: ComponentId,
+        mean_rate_pps: f64,
+        packet_size: u32,
+    ) -> Self {
+        assert!(
+            mean_rate_pps.is_finite() && mean_rate_pps > 0.0,
+            "Poisson rate must be positive and finite"
+        );
+        assert!(packet_size > 0, "packet size must be positive");
+        PoissonSource {
+            self_id,
+            link,
+            dst,
+            mean_rate_pps,
+            packet_size,
+            next_seq: 0,
+            sent_packets: 0,
+        }
+    }
+
+    /// Packets emitted so far.
+    #[must_use]
+    pub fn sent_packets(&self) -> u64 {
+        self.sent_packets
+    }
+
+    fn arm(&self, ctx: &mut Context<'_>) {
+        let gap = ctx.rng().exponential(1.0 / self.mean_rate_pps);
+        ctx.schedule_self_in(SimDuration::from_secs_f64(gap), Emit);
+    }
+}
+
+impl Component for PoissonSource {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        self.arm(ctx);
+    }
+
+    fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
+        if !msg.is::<Emit>() {
+            return;
+        }
+        let mut packet = Packet::new(
+            self.self_id,
+            self.dst,
+            self.packet_size,
+            Bytes::new(),
+            ctx.now(),
+        );
+        packet.seq = self.next_seq;
+        self.next_seq += 1;
+        self.sent_packets += 1;
+        let link = self.link;
+        let from = self.self_id;
+        ctx.send(link, Transmit { from, packet });
+        self.arm(ctx);
+    }
+}
+
+/// Exponential on/off source (NS-2 `Traffic/Expoo`): bursts of CBR traffic
+/// with exponentially distributed on and off period lengths.
+#[derive(Debug)]
+pub struct OnOffSource {
+    self_id: ComponentId,
+    link: ComponentId,
+    dst: ComponentId,
+    /// Rate while in the "on" state.
+    burst_rate_bytes_per_sec: f64,
+    packet_size: u32,
+    mean_on: SimDuration,
+    mean_off: SimDuration,
+    on: bool,
+    next_seq: u64,
+    sent_packets: u64,
+}
+
+impl OnOffSource {
+    /// Creates an on/off source, starting in the "off" state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates/durations are not positive and finite or
+    /// `packet_size` is zero.
+    #[must_use]
+    pub fn new(
+        self_id: ComponentId,
+        link: ComponentId,
+        dst: ComponentId,
+        burst_rate_bytes_per_sec: f64,
+        packet_size: u32,
+        mean_on: SimDuration,
+        mean_off: SimDuration,
+    ) -> Self {
+        assert!(
+            burst_rate_bytes_per_sec.is_finite() && burst_rate_bytes_per_sec > 0.0,
+            "burst rate must be positive and finite"
+        );
+        assert!(packet_size > 0, "packet size must be positive");
+        assert!(!mean_on.is_zero() && !mean_off.is_zero(), "mean periods must be positive");
+        OnOffSource {
+            self_id,
+            link,
+            dst,
+            burst_rate_bytes_per_sec,
+            packet_size,
+            mean_on,
+            mean_off,
+            on: false,
+            next_seq: 0,
+            sent_packets: 0,
+        }
+    }
+
+    /// Packets emitted so far.
+    #[must_use]
+    pub fn sent_packets(&self) -> u64 {
+        self.sent_packets
+    }
+
+    fn packet_period(&self) -> SimDuration {
+        SimDuration::from_secs_f64(
+            f64::from(self.packet_size) / self.burst_rate_bytes_per_sec,
+        )
+    }
+
+    fn arm_toggle(&self, ctx: &mut Context<'_>) {
+        let mean = if self.on { self.mean_on } else { self.mean_off };
+        let span = ctx.rng().exponential(mean.as_secs_f64());
+        ctx.schedule_self_in(SimDuration::from_secs_f64(span), Toggle);
+    }
+}
+
+impl Component for OnOffSource {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        self.arm_toggle(ctx);
+    }
+
+    fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
+        if msg.is::<Toggle>() {
+            self.on = !self.on;
+            if self.on {
+                ctx.schedule_self_in(SimDuration::ZERO, Emit);
+            }
+            self.arm_toggle(ctx);
+        } else if msg.is::<Emit>() && self.on {
+            let mut packet = Packet::new(
+                self.self_id,
+                self.dst,
+                self.packet_size,
+                Bytes::new(),
+                ctx.now(),
+            );
+            packet.seq = self.next_seq;
+            self.next_seq += 1;
+            self.sent_packets += 1;
+            let link = self.link;
+            let from = self.self_id;
+            ctx.send(link, Transmit { from, packet });
+            ctx.schedule_self_in(self.packet_period(), Emit);
+        }
+    }
+}
+
+/// Trace-driven source: replays a fixed `(time, size)` schedule — the NS-2
+/// `Application/Traffic/Trace` analog, used to feed captured workloads
+/// through the simulated network.
+#[derive(Debug)]
+pub struct TraceSource {
+    self_id: ComponentId,
+    link: ComponentId,
+    dst: ComponentId,
+    /// Remaining `(emission time, packet size)` entries, soonest first.
+    schedule: Vec<(SimTime, u32)>,
+    cursor: usize,
+    next_seq: u64,
+    sent_packets: u64,
+}
+
+/// Internal timer for [`TraceSource`].
+#[derive(Debug)]
+struct TraceEmit;
+
+impl TraceSource {
+    /// Creates a source replaying `schedule` (sorted by time internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scheduled packet size is zero.
+    #[must_use]
+    pub fn new(
+        self_id: ComponentId,
+        link: ComponentId,
+        dst: ComponentId,
+        mut schedule: Vec<(SimTime, u32)>,
+    ) -> Self {
+        assert!(
+            schedule.iter().all(|&(_, size)| size > 0),
+            "trace packet sizes must be positive"
+        );
+        schedule.sort_by_key(|&(at, _)| at);
+        TraceSource {
+            self_id,
+            link,
+            dst,
+            schedule,
+            cursor: 0,
+            next_seq: 0,
+            sent_packets: 0,
+        }
+    }
+
+    /// Packets emitted so far.
+    #[must_use]
+    pub fn sent_packets(&self) -> u64 {
+        self.sent_packets
+    }
+
+    fn arm_next(&self, ctx: &mut Context<'_>) {
+        if let Some(&(at, _)) = self.schedule.get(self.cursor) {
+            let target = ctx.self_id();
+            ctx.schedule_at(at.max(ctx.now()), target, TraceEmit);
+        }
+    }
+}
+
+impl Component for TraceSource {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        self.arm_next(ctx);
+    }
+
+    fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
+        if !msg.is::<TraceEmit>() {
+            return;
+        }
+        let Some(&(_, size)) = self.schedule.get(self.cursor) else {
+            return;
+        };
+        self.cursor += 1;
+        let mut packet = Packet::new(self.self_id, self.dst, size, Bytes::new(), ctx.now());
+        packet.seq = self.next_seq;
+        self.next_seq += 1;
+        self.sent_packets += 1;
+        let link = self.link;
+        let from = self.self_id;
+        ctx.send(link, Transmit { from, packet });
+        self.arm_next(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{Link, LinkSpec};
+    use crate::sink::Sink;
+    use tsbus_des::Simulator;
+
+    fn fast_link(a: ComponentId, b: ComponentId) -> Link {
+        Link::new(LinkSpec::new(1e9, SimDuration::ZERO, 1024), a, b)
+    }
+
+    #[test]
+    fn cbr_rate_is_exact() {
+        let mut sim = Simulator::new();
+        let sink = sim.add_component("sink", Sink::new());
+        let src_id = ComponentId::from_raw(1);
+        let link_id = ComponentId::from_raw(2);
+        sim.add_component("cbr", CbrSource::new(src_id, link_id, sink, 50.0, 5));
+        sim.add_component("link", fast_link(src_id, sink));
+        sim.run_until(SimTime::from_secs(10));
+        let s: &Sink = sim.component(sink).expect("registered");
+        // 50 B/s in 5-byte packets = 10 packets/s; emissions at t = 0, 0.1,
+        // ..., 9.9 are all delivered within the window; the t = 10.0 packet
+        // is still serializing when the run stops.
+        assert_eq!(s.packets_received(), 100);
+        assert_eq!(s.bytes_received(), 500);
+    }
+
+    #[test]
+    fn zero_rate_cbr_is_silent() {
+        let mut sim = Simulator::new();
+        let sink = sim.add_component("sink", Sink::new());
+        let src_id = ComponentId::from_raw(1);
+        let link_id = ComponentId::from_raw(2);
+        sim.add_component("cbr", CbrSource::new(src_id, link_id, sink, 0.0, 5));
+        sim.add_component("link", fast_link(src_id, sink));
+        sim.run_until(SimTime::from_secs(10));
+        let s: &Sink = sim.component(sink).expect("registered");
+        assert_eq!(s.packets_received(), 0);
+    }
+
+    #[test]
+    fn cbr_respects_activity_window() {
+        let mut sim = Simulator::new();
+        let sink = sim.add_component("sink", Sink::new());
+        let src_id = ComponentId::from_raw(1);
+        let link_id = ComponentId::from_raw(2);
+        sim.add_component(
+            "cbr",
+            CbrSource::new(src_id, link_id, sink, 10.0, 10)
+                .active_between(SimTime::from_secs(5), SimTime::from_secs(8)),
+        );
+        sim.add_component("link", fast_link(src_id, sink));
+        sim.run_until(SimTime::from_secs(20));
+        let s: &Sink = sim.component(sink).expect("registered");
+        // 1 packet/s in [5, 8): t = 5, 6, 7 → 3 packets.
+        assert_eq!(s.packets_received(), 3);
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_close() {
+        let mut sim = Simulator::with_seed(7);
+        let sink = sim.add_component("sink", Sink::new());
+        let src_id = ComponentId::from_raw(1);
+        let link_id = ComponentId::from_raw(2);
+        sim.add_component(
+            "poisson",
+            PoissonSource::new(src_id, link_id, sink, 100.0, 1),
+        );
+        sim.add_component("link", fast_link(src_id, sink));
+        sim.run_until(SimTime::from_secs(100));
+        let s: &Sink = sim.component(sink).expect("registered");
+        let rate = s.packets_received() as f64 / 100.0;
+        assert!((rate - 100.0).abs() < 5.0, "observed rate {rate}");
+    }
+
+    #[test]
+    fn onoff_duty_cycle_shapes_throughput() {
+        let mut sim = Simulator::with_seed(11);
+        let sink = sim.add_component("sink", Sink::new());
+        let src_id = ComponentId::from_raw(1);
+        let link_id = ComponentId::from_raw(2);
+        sim.add_component(
+            "onoff",
+            OnOffSource::new(
+                src_id,
+                link_id,
+                sink,
+                1000.0,
+                10,
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(1),
+            ),
+        );
+        sim.add_component("link", fast_link(src_id, sink));
+        sim.run_until(SimTime::from_secs(200));
+        let s: &Sink = sim.component(sink).expect("registered");
+        // 50% duty cycle of 1000 B/s ≈ 500 B/s; loose tolerance.
+        let rate = s.bytes_received() as f64 / 200.0;
+        assert!(
+            (300.0..700.0).contains(&rate),
+            "observed mean rate {rate} B/s"
+        );
+    }
+
+    #[test]
+    fn trace_source_replays_its_schedule_exactly() {
+        let mut sim = Simulator::new();
+        let sink = sim.add_component("sink", Sink::new());
+        let src_id = ComponentId::from_raw(1);
+        let link_id = ComponentId::from_raw(2);
+        let schedule = vec![
+            (SimTime::from_secs(3), 7u32), // out of order on purpose
+            (SimTime::from_secs(1), 10),
+            (SimTime::from_secs(2), 20),
+        ];
+        sim.add_component("trace", TraceSource::new(src_id, link_id, sink, schedule));
+        sim.add_component("link", fast_link(src_id, sink));
+        sim.run_until(SimTime::from_secs(10));
+        let s: &Sink = sim.component(sink).expect("registered");
+        assert_eq!(s.packets_received(), 3);
+        assert_eq!(s.bytes_received(), 37);
+        // Replay order is time-sorted regardless of input order.
+        assert_eq!(s.received_seqs(), &[0, 1, 2]);
+        assert_eq!(s.first_arrival().map(|t| t.as_nanos() / 1_000_000_000), Some(1));
+    }
+
+    #[test]
+    fn trace_source_with_empty_schedule_is_silent() {
+        let mut sim = Simulator::new();
+        let sink = sim.add_component("sink", Sink::new());
+        let src_id = ComponentId::from_raw(1);
+        let link_id = ComponentId::from_raw(2);
+        sim.add_component("trace", TraceSource::new(src_id, link_id, sink, Vec::new()));
+        sim.add_component("link", fast_link(src_id, sink));
+        sim.run_until(SimTime::from_secs(1));
+        let s: &Sink = sim.component(sink).expect("registered");
+        assert_eq!(s.packets_received(), 0);
+    }
+
+    #[test]
+    fn sources_stamp_increasing_sequence_numbers() {
+        let mut sim = Simulator::new();
+        let sink = sim.add_component("sink", Sink::new());
+        let src_id = ComponentId::from_raw(1);
+        let link_id = ComponentId::from_raw(2);
+        sim.add_component("cbr", CbrSource::new(src_id, link_id, sink, 100.0, 10));
+        sim.add_component("link", fast_link(src_id, sink));
+        sim.run_until(SimTime::from_secs(1));
+        let s: &Sink = sim.component(sink).expect("registered");
+        let seqs = s.received_seqs();
+        assert!(!seqs.is_empty());
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+}

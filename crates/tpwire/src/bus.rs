@@ -1,0 +1,1552 @@
+//! The discrete-event TpWIRE bus model: master scheduler, daisy chain of
+//! [`SlaveDevice`]s, retry/timeout handling, interrupt-driven stream relay
+//! and *n*-wire lanes.
+//!
+//! ## Service model
+//!
+//! Attached components exchange **byte streams** through the bus:
+//!
+//! * [`SendStream`] — queue a payload at a source slave, addressed to
+//!   another slave or to the master. The bus pushes a 3-byte header
+//!   (`[dst, len_hi, len_lo]`) plus the payload into the source slave's
+//!   outbound FIFO; the slave raises its interrupt flag.
+//! * The **master** discovers pending data honestly, over the wire: its
+//!   periodic round-robin keep-alive poll (a `SELECT_NODE` transaction whose
+//!   acknowledge carries the slave's pending-interrupt bit) finds the
+//!   source, reads the header, and relays the payload with
+//!   `READ_DATA`/`WRITE_DATA` bursts through the stream FIFO, re-arbitrating
+//!   between flows every [`BusParams::relay_chunk`] bytes. INT bits observed
+//!   on in-flight RX frames accelerate polling.
+//! * [`StreamDelivered`] — chunks arriving at the destination, with an
+//!   `end_of_message` marker; [`StreamSent`] / [`StreamFailed`] report
+//!   completion to the sender's attachment.
+//!
+//! ## Fidelity notes (see also `DESIGN.md` §5)
+//!
+//! * Every TX frame feeds every slave's reset watchdog (daisy-chain
+//!   pass-through), so any bus activity keeps the chain alive; only a truly
+//!   idle bus lets slaves reach the 2048-bit reset timeout.
+//! * Frame errors: a corrupted TX executes nowhere and costs the master a
+//!   response timeout before the resend; a corrupted RX means the slave
+//!   *did* execute. The master distinguishes the two (timeout vs bad CRC):
+//!   after a lost acknowledge of a write-class command it proceeds without
+//!   resending (the write happened), and retried stream reads are made
+//!   idempotent by the alternating-bit read port (`DATA[0]` toggle), so
+//!   streams survive frame errors without duplication or loss.
+//! * In `ParallelBuses` wiring, concurrent lanes never touch the same slave
+//!   at the same time (per-slave ownership is held for the duration of a
+//!   service slot), modeling driver-level mutual exclusion.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use tsbus_des::stats::BusyTime;
+use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimTime};
+
+use crate::frame::{Command, RxFrame, RxType, TxFrame};
+use crate::node::{AddressSpace, NodeId};
+use crate::slave::{SlaveDevice, STREAM_ADDR};
+use crate::wiring::BusParams;
+
+/// Header byte that addresses the master instead of a slave.
+const DST_MASTER: u8 = 0x80;
+
+/// Length of the relay header pushed ahead of every stream payload.
+pub const STREAM_HEADER_BYTES: usize = 3;
+
+/// Largest payload one [`SendStream`] may carry (16-bit length field).
+pub const MAX_STREAM_PAYLOAD: usize = u16::MAX as usize;
+
+/// One end of a stream transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamEndpoint {
+    /// The bus master (or its attached host).
+    Master,
+    /// A slave node.
+    Slave(NodeId),
+}
+
+impl std::fmt::Display for StreamEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamEndpoint::Master => write!(f, "master"),
+            StreamEndpoint::Slave(node) => write!(f, "{node}"),
+        }
+    }
+}
+
+/// Message to the bus: queue `payload` at slave `from`, addressed to `to`.
+///
+/// The payload (plus a 3-byte relay header) enters the source slave's
+/// outbound FIFO immediately; the actual transfer starts once the master
+/// discovers the slave's interrupt over the wire.
+#[derive(Debug)]
+pub struct SendStream {
+    /// The slave whose attachment is sending.
+    pub from: NodeId,
+    /// The destination endpoint.
+    pub to: StreamEndpoint,
+    /// The application payload (may be empty).
+    pub payload: Bytes,
+}
+
+/// Message to the bus: write `command` into *every* slave's command
+/// register at once, through the virtual broadcast node (id 127) — the
+/// specification's mechanism "to access all nodes simultaneously".
+///
+/// Broadcast transactions elicit no RX frames; the master fires and
+/// forgets (two frames: a broadcast `SELECT_NODE`, then the
+/// `WRITE_COMMAND`).
+#[derive(Debug)]
+pub struct BroadcastCommand {
+    /// The value written into every slave's command register.
+    pub command: u8,
+}
+
+/// Message to the bus: the master's host sends `payload` to a slave
+/// directly (no discovery; the master originates the write burst).
+#[derive(Debug)]
+pub struct MasterSend {
+    /// The destination slave.
+    pub to: NodeId,
+    /// The application payload (may be empty).
+    pub payload: Bytes,
+}
+
+/// Message from the bus to a destination attachment: a chunk of stream
+/// bytes arrived.
+#[derive(Debug)]
+pub struct StreamDelivered {
+    /// Originating endpoint.
+    pub from: StreamEndpoint,
+    /// Destination endpoint (the attachment receiving this message).
+    pub to: StreamEndpoint,
+    /// The chunk of payload bytes, in order.
+    pub bytes: Bytes,
+    /// True on the final chunk of one [`SendStream`] / [`MasterSend`]
+    /// payload.
+    pub end_of_message: bool,
+}
+
+/// Message from the bus to the sender's attachment: the payload was fully
+/// relayed.
+#[derive(Debug)]
+pub struct StreamSent {
+    /// Originating endpoint.
+    pub from: StreamEndpoint,
+    /// Destination endpoint.
+    pub to: StreamEndpoint,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// Message from the bus to the sender's attachment: the transfer was
+/// abandoned (transaction retries exhausted, or the header named an unknown
+/// destination).
+#[derive(Debug)]
+pub struct StreamFailed {
+    /// Originating endpoint.
+    pub from: StreamEndpoint,
+    /// Destination endpoint as far as it was known.
+    pub to: Option<StreamEndpoint>,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// Aggregate bus statistics.
+#[derive(Debug, Clone, Default)]
+pub struct BusStats {
+    /// Completed transactions (including polls; excluding retries).
+    pub transactions: u64,
+    /// Re-sent transactions (timeout or corrupted frame).
+    pub retries: u64,
+    /// Transactions abandoned after exhausting retries.
+    pub failures: u64,
+    /// Keep-alive/discovery polls issued.
+    pub polls: u64,
+    /// Stream payload bytes fully relayed to their destination.
+    pub bytes_relayed: u64,
+    /// Stream messages fully relayed.
+    pub messages_relayed: u64,
+    /// Stream messages abandoned.
+    pub messages_failed: u64,
+    /// Deliveries dropped because the destination had no attachment.
+    pub dropped_deliveries: u64,
+}
+
+/// Where a relay job's bytes come from.
+#[derive(Debug)]
+enum JobSource {
+    /// The stream FIFO of the slave at this chain position (read over the
+    /// wire).
+    Fifo(usize),
+    /// Bytes the master already holds (a [`MasterSend`]).
+    Local(VecDeque<u8>),
+}
+
+/// A stream transfer in progress.
+#[derive(Debug)]
+struct RelayJob {
+    from: StreamEndpoint,
+    to: StreamEndpoint,
+    source: JobSource,
+    dst_pos: Option<usize>,
+    total: usize,
+    read_done: usize,
+    written: usize,
+    buffer: VecDeque<u8>,
+    /// Read budget left in the current service slot.
+    chunk_left: usize,
+    /// Whether the current slot is in its write phase.
+    writing: bool,
+    /// Read-and-discard job (unknown destination recovery): the payload is
+    /// drained from the source FIFO but never delivered.
+    discard: bool,
+}
+
+impl RelayJob {
+    fn src_pos(&self) -> Option<usize> {
+        match self.source {
+            JobSource::Fifo(pos) => Some(pos),
+            JobSource::Local(_) => None,
+        }
+    }
+}
+
+/// One decision of the job state machine (see
+/// [`TpWireBus::continue_job`]).
+#[derive(Debug)]
+enum JobStep {
+    /// Ensure source selection/pointer, then read one payload byte.
+    EnsureAndRead { src_pos: usize },
+    /// Ensure destination selection/pointer, then write one payload byte.
+    EnsureAndWrite { dst_node: NodeId },
+    /// Hand buffered bytes to the master attachment (no transactions).
+    DeliverToMaster {
+        from: StreamEndpoint,
+        bytes: Vec<u8>,
+        end_of_message: bool,
+        discard: bool,
+    },
+    /// Drain the destination slave's inbound FIFO to its attachment, then
+    /// handle the chunk boundary.
+    DrainInboundThenBoundary {
+        from: StreamEndpoint,
+        to: StreamEndpoint,
+        dst_pos: usize,
+        end_of_message: bool,
+    },
+    /// Nothing buffered: go straight to the chunk boundary.
+    ChunkBoundary,
+    /// Move `k` bytes from the source FIFO in one DMA burst.
+    DmaRead { src_pos: usize, k: usize },
+    /// Move these buffered bytes to the destination in one DMA burst.
+    DmaWrite { dst_pos: usize, bytes: Vec<u8> },
+}
+
+/// What the master is doing on one lane.
+#[derive(Debug)]
+enum Activity {
+    /// A chain-wide broadcast in progress; the remaining command value to
+    /// send after the broadcast select (`None` once it went out).
+    Broadcast { pending_command: Option<u8> },
+    /// Keep-alive / discovery poll of the slave at `pos`.
+    Poll { pos: usize },
+    /// Reading the 3-byte relay header from the slave at `src_pos`.
+    Discover { src_pos: usize, header: Vec<u8> },
+    /// Relaying a stream payload.
+    Job(RelayJob),
+}
+
+/// Per-lane master state.
+#[derive(Debug)]
+struct Lane {
+    activity: Option<Activity>,
+    in_flight: Option<InFlight>,
+    /// Master's belief about which node is selected on this lane.
+    selected: Option<(u8, AddressSpace)>,
+    /// Master's belief that the selected node's pointer sits at the stream
+    /// FIFO (conservative: cleared on every selection change).
+    ptr_at_stream: bool,
+    busy_time: BusyTime,
+    busy_since: Option<SimTime>,
+}
+
+/// What kind of bus operation a lane has in flight.
+#[derive(Debug)]
+enum InFlightKind {
+    /// One ordinary TX frame transaction.
+    Frame(TxFrame),
+    /// A DMA burst writing these stream bytes to the slave at `pos`.
+    DmaWrite { pos: usize, bytes: Vec<u8> },
+    /// A DMA burst reading up to `k` stream bytes from the slave at `pos`.
+    DmaRead { pos: usize, k: usize },
+}
+
+#[derive(Debug)]
+struct InFlight {
+    kind: InFlightKind,
+    attempts: u8,
+}
+
+/// Outcome of one transaction attempt, delivered as a self-message.
+#[derive(Debug)]
+struct TxnComplete {
+    lane: usize,
+    outcome: Outcome,
+}
+
+#[derive(Debug)]
+enum Outcome {
+    /// A valid RX arrived.
+    Ok(RxFrame),
+    /// A DMA burst completed; for reads, carries the block.
+    BurstOk(Vec<u8>),
+    /// No RX within the response timeout (corrupt TX, missing node, slave
+    /// in reset): the command did not execute anywhere.
+    NoReply,
+    /// An RX arrived but failed its CRC check: the slave *did* execute the
+    /// command, only the reply was lost.
+    BadRx,
+}
+
+/// The periodic poll timer.
+#[derive(Debug)]
+struct PollTimer;
+
+/// The TpWIRE bus as a simulation component.
+///
+/// Build it with a chain of node ids (position in the vector = daisy-chain
+/// position, nearest to the master first), attach device components with
+/// [`attach`](TpWireBus::attach), then drive it with [`SendStream`] /
+/// [`MasterSend`] messages. See `tests/` in this crate for end-to-end
+/// examples.
+#[derive(Debug)]
+pub struct TpWireBus {
+    params: BusParams,
+    chain: Vec<SlaveDevice>,
+    /// raw node id → chain position.
+    positions: HashMap<u8, usize>,
+    attachments: HashMap<u8, ComponentId>,
+    master_attachment: Option<ComponentId>,
+    lanes: Vec<Lane>,
+    /// Parked jobs awaiting a lane.
+    jobs: VecDeque<RelayJob>,
+    /// Broadcast commands waiting for a lane (highest priority: chain-wide
+    /// control actions preempt data transfers at the next slot).
+    broadcasts: VecDeque<u8>,
+    /// Which lane currently owns each slave position (mutual exclusion
+    /// between lanes in multi-lane wirings).
+    owners: Vec<Option<usize>>,
+    /// Per-lane, per-slave alternating-bit state for stream FIFO reads:
+    /// the toggle the next fresh `READ_DATA` on that lane will carry.
+    read_toggles: Vec<Vec<bool>>,
+    /// An RX INT bit was observed; accelerate polling.
+    int_seen: bool,
+    poll_cursor: usize,
+    next_poll_due: SimTime,
+    poll_timer_armed: bool,
+    stats: BusStats,
+}
+
+impl TpWireBus {
+    /// Creates a bus with the given parameters and slave chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` is empty or contains a duplicate node id.
+    #[must_use]
+    pub fn new(params: BusParams, chain: Vec<NodeId>) -> Self {
+        assert!(!chain.is_empty(), "a TpWIRE network needs at least one slave");
+        let mut positions = HashMap::new();
+        let devices: Vec<SlaveDevice> = chain
+            .iter()
+            .enumerate()
+            .map(|(pos, &node)| {
+                let previous = positions.insert(node.raw(), pos);
+                assert!(previous.is_none(), "duplicate node id {node} in chain");
+                let mut device = SlaveDevice::new(node);
+                device.set_port_count(usize::from(params.wiring.lanes()));
+                device
+            })
+            .collect();
+        let lanes = (0..params.wiring.lanes())
+            .map(|_| Lane {
+                activity: None,
+                in_flight: None,
+                selected: None,
+                ptr_at_stream: false,
+                busy_time: BusyTime::new(),
+                busy_since: None,
+            })
+            .collect();
+        let owners = vec![None; devices.len()];
+        let read_toggles =
+            vec![vec![true; devices.len()]; usize::from(params.wiring.lanes())];
+        TpWireBus {
+            params,
+            chain: devices,
+            positions,
+            attachments: HashMap::new(),
+            master_attachment: None,
+            lanes,
+            jobs: VecDeque::new(),
+            broadcasts: VecDeque::new(),
+            owners,
+            read_toggles,
+            int_seen: false,
+            poll_cursor: 0,
+            next_poll_due: SimTime::ZERO,
+            poll_timer_armed: false,
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Registers `component` to receive [`StreamDelivered`] /
+    /// [`StreamSent`] / [`StreamFailed`] messages for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of the chain.
+    pub fn attach(&mut self, node: NodeId, component: ComponentId) {
+        assert!(
+            self.positions.contains_key(&node.raw()),
+            "{node} is not part of this chain"
+        );
+        self.attachments.insert(node.raw(), component);
+    }
+
+    /// Registers the component receiving master-addressed deliveries.
+    pub fn attach_master(&mut self, component: ComponentId) {
+        self.master_attachment = Some(component);
+    }
+
+    /// The bus parameters.
+    #[must_use]
+    pub fn params(&self) -> &BusParams {
+        &self.params
+    }
+
+    /// Number of slaves on the chain.
+    #[must_use]
+    pub fn slave_count(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Borrows the slave with the given node id, if present.
+    #[must_use]
+    pub fn slave(&self, node: NodeId) -> Option<&SlaveDevice> {
+        self.positions.get(&node.raw()).map(|&pos| &self.chain[pos])
+    }
+
+    /// Aggregate statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+
+    /// Fraction of time the given lane's transmitter was busy in
+    /// `[0, now]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range for the wiring.
+    #[must_use]
+    pub fn lane_utilization(&self, lane: usize, now: SimTime) -> f64 {
+        let extra = match self.lanes[lane].busy_since {
+            Some(since) => now.saturating_duration_since(since),
+            None => tsbus_des::SimDuration::ZERO,
+        };
+        let busy = self.lanes[lane].busy_time.total() + extra;
+        let window = now.as_secs_f64();
+        if window <= 0.0 {
+            0.0
+        } else {
+            (busy.as_secs_f64() / window).min(1.0)
+        }
+    }
+
+    fn attachment_of(&self, endpoint: StreamEndpoint) -> Option<ComponentId> {
+        match endpoint {
+            StreamEndpoint::Master => self.master_attachment,
+            StreamEndpoint::Slave(node) => self.attachments.get(&node.raw()).copied(),
+        }
+    }
+
+    fn notify(&mut self, ctx: &mut Context<'_>, endpoint: StreamEndpoint, msg: impl Message) {
+        if let Some(component) = self.attachment_of(endpoint) {
+            ctx.send(component, msg);
+        } else {
+            self.stats.dropped_deliveries += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction engine
+    // ------------------------------------------------------------------
+
+    /// Issues `frame` on `lane`, driving the slave chain and scheduling the
+    /// completion event.
+    fn issue(&mut self, ctx: &mut Context<'_>, lane_idx: usize, frame: TxFrame, attempts: u8) {
+        let p = self.params;
+        let frame_time = p.frame_time();
+        let hop = p.bits_to_time(p.hop_delay_bits);
+        let now = ctx.now();
+        let timeout_cost =
+            frame_time + p.response_timeout() + p.bits_to_time(p.gap_bits);
+
+        let lane = &mut self.lanes[lane_idx];
+        lane.in_flight = Some(InFlight {
+            kind: InFlightKind::Frame(frame),
+            attempts,
+        });
+        if lane.busy_since.is_none() {
+            lane.busy_since = Some(now);
+        }
+
+        let tx_corrupt = p.frame_error_rate > 0.0 && ctx.rng().chance(p.frame_error_rate);
+        if tx_corrupt {
+            ctx.schedule_self_in(
+                timeout_cost,
+                TxnComplete {
+                    lane: lane_idx,
+                    outcome: Outcome::NoReply,
+                },
+            );
+            return;
+        }
+
+        // Drive every slave (daisy-chain pass-through), collecting the reply.
+        // During a broadcast activity every slave is selected, executes,
+        // and stays silent ("none of them replies"), so replies collected
+        // here are discarded wholesale.
+        let in_broadcast = matches!(
+            self.lanes[lane_idx].activity,
+            Some(Activity::Broadcast { .. })
+        );
+        let broadcast = in_broadcast
+            || (frame.cmd == Command::SelectNode
+                && frame.data & 0x7F == NodeId::BROADCAST.raw());
+        let mut reply: Option<(usize, RxFrame)> = None;
+        for (pos, slave) in self.chain.iter_mut().enumerate() {
+            let arrival = now + frame_time + hop * (pos as u64 + 1);
+            if let Some(rx) = slave.on_tx(&frame, lane_idx, arrival, &p) {
+                debug_assert!(
+                    broadcast || reply.is_none(),
+                    "two slaves replied to one TX"
+                );
+                reply = Some((pos, rx));
+            }
+        }
+        if broadcast {
+            reply = None;
+        }
+
+        if broadcast {
+            // No reply expected; model as a successful fire-and-forget.
+            let cost = p.broadcast_time(self.chain.len() as u32);
+            ctx.schedule_self_in(
+                cost,
+                TxnComplete {
+                    lane: lane_idx,
+                    outcome: Outcome::Ok(RxFrame::new(false, RxType::Status, 0)),
+                },
+            );
+            return;
+        }
+
+        match reply {
+            Some((pos, mut rx)) => {
+                // INT bit: OR of pending interrupts along the return path
+                // (positions 0..=pos, including the replier).
+                rx.int = self.chain[..=pos].iter().any(SlaveDevice::pending_interrupt);
+                let rx_corrupt =
+                    p.frame_error_rate > 0.0 && ctx.rng().chance(p.frame_error_rate);
+                let cost = p.transaction_time(pos as u32 + 1);
+                let outcome = if rx_corrupt {
+                    Outcome::BadRx
+                } else {
+                    Outcome::Ok(rx)
+                };
+                ctx.schedule_self_in(
+                    cost,
+                    TxnComplete {
+                        lane: lane_idx,
+                        outcome,
+                    },
+                );
+            }
+            None => {
+                ctx.schedule_self_in(
+                    timeout_cost,
+                    TxnComplete {
+                        lane: lane_idx,
+                        outcome: Outcome::NoReply,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Issues a DMA burst on `lane`. The three arming transactions (select
+    /// system space, point at the DMA counter, write the block length) are
+    /// folded into the burst cost; state effects are applied through the
+    /// slave's DMA entry points.
+    ///
+    /// Error model: a corruption anywhere in the arming or data frames
+    /// aborts the block before it commits (the slave's DMA engine discards
+    /// partial blocks, and retains a read block until the next arming), so
+    /// plain whole-burst retries stay byte-exact. A corrupted *block
+    /// acknowledge* on a write means the data landed; the master verifies
+    /// by re-reading the DMA counter (one extra transaction) instead of
+    /// resending.
+    fn issue_burst(&mut self, ctx: &mut Context<'_>, lane_idx: usize, kind: InFlightKind, attempts: u8) {
+        let p = self.params;
+        let now = ctx.now();
+        let lane = &mut self.lanes[lane_idx];
+        if lane.busy_since.is_none() {
+            lane.busy_since = Some(now);
+        }
+        let (pos, k, is_write) = match &kind {
+            InFlightKind::DmaWrite { pos, bytes } => (*pos, bytes.len(), true),
+            InFlightKind::DmaRead { pos, k } => (*pos, *k, false),
+            InFlightKind::Frame(_) => unreachable!("issue_burst takes DMA kinds only"),
+        };
+        let hops = pos as u32 + 1;
+        let cost = p.dma_burst_time(k as u32, hops);
+
+        // One corruption draw over the arming + data frames (≈ k + 7
+        // frame slots), one for the block acknowledge.
+        let per_frame = p.frame_error_rate;
+        let body_frames = k as f64 + 7.0;
+        let body_corrupt = per_frame > 0.0
+            && ctx.rng().chance(1.0 - (1.0 - per_frame).powf(body_frames));
+        if body_corrupt {
+            self.lanes[lane_idx].in_flight = Some(InFlight { kind, attempts });
+            let timeout_cost = cost + p.response_timeout();
+            ctx.schedule_self_in(
+                timeout_cost,
+                TxnComplete {
+                    lane: lane_idx,
+                    outcome: Outcome::NoReply,
+                },
+            );
+            return;
+        }
+        let ack_corrupt = per_frame > 0.0 && ctx.rng().chance(per_frame);
+        let mut total = cost;
+        if ack_corrupt {
+            // Write verification / read block re-request costs one extra
+            // ordinary transaction.
+            total += p.transaction_time(hops);
+            self.stats.retries += 1;
+        }
+        let arrival = now + total;
+        // Every other slave on this port sees the burst pass through:
+        // watchdogs fed, selections cleared (the arming select addressed
+        // the target).
+        for (other, slave) in self.chain.iter_mut().enumerate() {
+            if other != pos {
+                slave.observe_burst(lane_idx, arrival, &p);
+            }
+        }
+        let outcome = if is_write {
+            let InFlightKind::DmaWrite { pos, ref bytes } = kind else {
+                unreachable!()
+            };
+            if self.chain[pos].dma_burst_write(lane_idx, bytes, arrival, &p) {
+                Outcome::BurstOk(Vec::new())
+            } else {
+                Outcome::NoReply // interface in reset: nothing applied
+            }
+        } else {
+            match self.chain[pos].dma_burst_read(lane_idx, k, arrival, &p) {
+                Some(block) => Outcome::BurstOk(block),
+                None => Outcome::NoReply,
+            }
+        };
+        // After a successful burst the lane is selected at the target in
+        // memory space with the pointer parked on the stream FIFO.
+        if matches!(outcome, Outcome::BurstOk(_)) {
+            let node_raw = self.chain[pos].node().raw();
+            self.lanes[lane_idx].selected = Some((node_raw, AddressSpace::Memory));
+            self.lanes[lane_idx].ptr_at_stream = true;
+        }
+        self.lanes[lane_idx].in_flight = Some(InFlight { kind, attempts });
+        ctx.schedule_self_in(
+            total,
+            TxnComplete {
+                lane: lane_idx,
+                outcome,
+            },
+        );
+    }
+
+    /// Handles a completed transaction attempt: retry bookkeeping, then
+    /// activity advancement.
+    fn on_txn_complete(&mut self, ctx: &mut Context<'_>, lane_idx: usize, outcome: Outcome) {
+        let in_flight = self.lanes[lane_idx]
+            .in_flight
+            .take()
+            .expect("completion without an in-flight transaction");
+        let frame = match in_flight.kind {
+            InFlightKind::Frame(frame) => frame,
+            kind @ (InFlightKind::DmaWrite { .. } | InFlightKind::DmaRead { .. }) => {
+                match outcome {
+                    Outcome::BurstOk(block) => {
+                        // Arming (3 transactions) + the burst itself.
+                        self.stats.transactions += 4;
+                        self.advance_burst(ctx, lane_idx, &kind, Some(block));
+                    }
+                    Outcome::NoReply => {
+                        if in_flight.attempts < self.params.max_retries {
+                            self.stats.retries += 1;
+                            self.issue_burst(ctx, lane_idx, kind, in_flight.attempts + 1);
+                        } else {
+                            self.stats.failures += 1;
+                            self.lanes[lane_idx].selected = None;
+                            self.lanes[lane_idx].ptr_at_stream = false;
+                            self.advance_burst(ctx, lane_idx, &kind, None);
+                        }
+                    }
+                    Outcome::Ok(_) | Outcome::BadRx => {
+                        unreachable!("bursts produce BurstOk or NoReply only")
+                    }
+                }
+                return;
+            }
+        };
+        match outcome {
+            Outcome::Ok(rx) => {
+                self.stats.transactions += 1;
+                if rx.int {
+                    self.int_seen = true;
+                }
+                self.advance_activity(ctx, lane_idx, frame, Some(rx));
+            }
+            Outcome::BurstOk(_) => unreachable!("frame transactions never burst"),
+            Outcome::BadRx
+                if matches!(
+                    frame.cmd,
+                    Command::WriteData
+                        | Command::SelectNode
+                        | Command::SetPointer
+                        | Command::WriteCommand
+                ) =>
+            {
+                // The command executed; only the acknowledge was lost. A
+                // resend would double-execute (e.g. duplicate a FIFO
+                // write), so the master proceeds with a synthetic "blank"
+                // acknowledge instead. Reads fall through to the retry arm
+                // below — the alternating-bit FIFO port makes retried
+                // stream reads idempotent.
+                self.stats.transactions += 1;
+                self.stats.retries += 1; // the lost RX still cost the wire time
+                let synthetic = RxFrame::new(false, RxType::Status, 0);
+                self.advance_activity(ctx, lane_idx, frame, Some(synthetic));
+            }
+            Outcome::NoReply | Outcome::BadRx => {
+                if in_flight.attempts < self.params.max_retries {
+                    self.stats.retries += 1;
+                    self.issue(ctx, lane_idx, frame, in_flight.attempts + 1);
+                } else {
+                    self.stats.failures += 1;
+                    // Whatever the master believed about this lane's
+                    // selection may be stale (e.g. the slave reset).
+                    self.lanes[lane_idx].selected = None;
+                    self.lanes[lane_idx].ptr_at_stream = false;
+                    self.advance_activity(ctx, lane_idx, frame, None);
+                }
+            }
+        }
+    }
+
+    /// Advances the lane's current activity after a transaction concluded
+    /// (`rx = None` means the transaction failed permanently).
+    fn advance_activity(
+        &mut self,
+        ctx: &mut Context<'_>,
+        lane_idx: usize,
+        frame: TxFrame,
+        rx: Option<RxFrame>,
+    ) {
+        // Track the master's view of lane selection and pointer state.
+        if rx.is_some() {
+            match frame.cmd {
+                Command::SelectNode => {
+                    let space = if frame.data & 0x80 != 0 {
+                        AddressSpace::System
+                    } else {
+                        AddressSpace::Memory
+                    };
+                    self.lanes[lane_idx].selected = Some((frame.data & 0x7F, space));
+                    self.lanes[lane_idx].ptr_at_stream = false;
+                }
+                Command::SetPointer => {
+                    self.lanes[lane_idx].ptr_at_stream = frame.data == STREAM_ADDR;
+                }
+                _ => {}
+            }
+        }
+
+        let activity = self.lanes[lane_idx]
+            .activity
+            .take()
+            .expect("transaction outside any activity");
+        match activity {
+            Activity::Broadcast { pending_command } => {
+                match pending_command {
+                    Some(command) => {
+                        // The broadcast select reached everyone; now the
+                        // command itself, also unacknowledged.
+                        self.lanes[lane_idx].activity =
+                            Some(Activity::Broadcast { pending_command: None });
+                        self.issue(
+                            ctx,
+                            lane_idx,
+                            TxFrame::new(Command::WriteCommand, command),
+                            0,
+                        );
+                    }
+                    None => {
+                        // Broadcast selections are transient: deselect by
+                        // reselecting nothing (lane belief cleared so the
+                        // next activity re-establishes its own selection).
+                        self.lanes[lane_idx].selected = None;
+                        self.lanes[lane_idx].ptr_at_stream = false;
+                        self.schedule_lane(ctx, lane_idx);
+                    }
+                }
+            }
+            Activity::Poll { pos } => {
+                if let Some(rx) = rx {
+                    // A source we are already relaying from keeps its
+                    // interrupt raised until its FIFO drains; only a *new*
+                    // source (no active or parked job reading it) warrants
+                    // a header read.
+                    if rx.status_pending_interrupt() && !self.source_busy(pos) {
+                        self.lanes[lane_idx].activity = Some(Activity::Discover {
+                            src_pos: pos,
+                            header: Vec::with_capacity(STREAM_HEADER_BYTES),
+                        });
+                        self.continue_discover(ctx, lane_idx);
+                        return;
+                    }
+                }
+                self.release_owner(pos, lane_idx);
+                self.schedule_lane(ctx, lane_idx);
+            }
+            Activity::Discover { src_pos, mut header } => {
+                let Some(rx) = rx else {
+                    // Give up; the slave's interrupt stays pending and a
+                    // later poll retries discovery. (Header bytes already
+                    // popped are lost — a real 1-wire hazard under frame
+                    // errors.)
+                    self.release_owner(src_pos, lane_idx);
+                    self.schedule_lane(ctx, lane_idx);
+                    return;
+                };
+                if frame.cmd == Command::ReadData {
+                    header.push(rx.data);
+                    self.read_toggles[lane_idx][src_pos] =
+                        !self.read_toggles[lane_idx][src_pos];
+                }
+                if header.len() == STREAM_HEADER_BYTES {
+                    self.finish_discovery(ctx, lane_idx, src_pos, &header);
+                } else {
+                    self.lanes[lane_idx].activity =
+                        Some(Activity::Discover { src_pos, header });
+                    self.continue_discover(ctx, lane_idx);
+                }
+            }
+            Activity::Job(mut job) => {
+                let Some(rx) = rx else {
+                    self.fail_job(ctx, lane_idx, job, "bus transaction retries exhausted");
+                    self.schedule_lane(ctx, lane_idx);
+                    return;
+                };
+                let mut flip_src = None;
+                match frame.cmd {
+                    Command::ReadData => {
+                        job.buffer.push_back(rx.data);
+                        job.read_done += 1;
+                        job.chunk_left = job.chunk_left.saturating_sub(1);
+                        flip_src = job.src_pos();
+                    }
+                    Command::WriteData => {
+                        job.written += 1;
+                    }
+                    _ => {}
+                }
+                if let Some(pos) = flip_src {
+                    self.read_toggles[lane_idx][pos] = !self.read_toggles[lane_idx][pos];
+                }
+                self.lanes[lane_idx].activity = Some(Activity::Job(job));
+                self.continue_job(ctx, lane_idx);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Poll / discovery
+    // ------------------------------------------------------------------
+
+    /// Applies a completed (or permanently failed) DMA burst to the job on
+    /// `lane` and keeps the job moving.
+    fn advance_burst(
+        &mut self,
+        ctx: &mut Context<'_>,
+        lane_idx: usize,
+        kind: &InFlightKind,
+        result: Option<Vec<u8>>,
+    ) {
+        let activity = self.lanes[lane_idx]
+            .activity
+            .take()
+            .expect("burst outside any activity");
+        let Activity::Job(mut job) = activity else {
+            unreachable!("bursts only run inside relay jobs")
+        };
+        let Some(block) = result else {
+            self.fail_job(ctx, lane_idx, job, "DMA burst retries exhausted");
+            self.schedule_lane(ctx, lane_idx);
+            return;
+        };
+        match kind {
+            InFlightKind::DmaRead { .. } => {
+                job.read_done += block.len();
+                job.chunk_left = job.chunk_left.saturating_sub(block.len());
+                job.buffer.extend(block);
+            }
+            InFlightKind::DmaWrite { bytes, .. } => {
+                job.written += bytes.len();
+            }
+            InFlightKind::Frame(_) => unreachable!(),
+        }
+        self.lanes[lane_idx].activity = Some(Activity::Job(job));
+        self.continue_job(ctx, lane_idx);
+    }
+
+    fn continue_discover(&mut self, ctx: &mut Context<'_>, lane_idx: usize) {
+        let Some(Activity::Discover { src_pos, .. }) = &self.lanes[lane_idx].activity else {
+            unreachable!("continue_discover outside discovery")
+        };
+        let src_pos = *src_pos;
+        let node = self.chain[src_pos].node();
+        if self.lanes[lane_idx].selected != Some((node.raw(), AddressSpace::Memory)) {
+            self.issue(ctx, lane_idx, TxFrame::select(node, false), 0);
+        } else if !self.lanes[lane_idx].ptr_at_stream {
+            self.issue(ctx, lane_idx, TxFrame::new(Command::SetPointer, STREAM_ADDR), 0);
+        } else {
+            let frame = self.stream_read_frame(lane_idx, src_pos);
+            self.issue(ctx, lane_idx, frame, 0);
+        }
+    }
+
+    /// Builds the next stream-FIFO read for the slave at `pos` on `lane`,
+    /// carrying the port's current alternating-bit toggle in `DATA[0]`.
+    fn stream_read_frame(&self, lane: usize, pos: usize) -> TxFrame {
+        TxFrame::new(Command::ReadData, u8::from(self.read_toggles[lane][pos]))
+    }
+
+    fn finish_discovery(
+        &mut self,
+        ctx: &mut Context<'_>,
+        lane_idx: usize,
+        src_pos: usize,
+        header: &[u8],
+    ) {
+        let src_node = self.chain[src_pos].node();
+        let dst_byte = header[0];
+        let total = usize::from(header[1]) << 8 | usize::from(header[2]);
+        let (to, dst_pos, discard) = if dst_byte == DST_MASTER {
+            (StreamEndpoint::Master, None, false)
+        } else {
+            match NodeId::new(dst_byte)
+                .ok()
+                .and_then(|n| self.positions.get(&n.raw()).map(|&p| (n, p)))
+            {
+                Some((node, pos)) => (StreamEndpoint::Slave(node), Some(pos), false),
+                // Unknown destination: drain the payload from the FIFO (so
+                // the stream stays framed) but discard it, then report the
+                // failure to the sender.
+                None => (StreamEndpoint::Master, None, true),
+            }
+        };
+        let job = RelayJob {
+            from: StreamEndpoint::Slave(src_node),
+            to,
+            source: JobSource::Fifo(src_pos),
+            dst_pos,
+            total,
+            read_done: 0,
+            written: 0,
+            buffer: VecDeque::new(),
+            chunk_left: usize::from(self.params.relay_chunk),
+            writing: false,
+            discard,
+        };
+        // Source is already owned by this lane; claim the destination too.
+        if let Some(dst) = dst_pos {
+            if dst != src_pos && !self.try_own(dst, lane_idx) {
+                // Destination busy on another lane: park the job.
+                self.release_owner(src_pos, lane_idx);
+                self.jobs.push_back(job);
+                self.schedule_lane(ctx, lane_idx);
+                return;
+            }
+        }
+        self.lanes[lane_idx].activity = Some(Activity::Job(job));
+        self.continue_job(ctx, lane_idx);
+    }
+
+    // ------------------------------------------------------------------
+    // Relay jobs
+    // ------------------------------------------------------------------
+
+    /// Drives the job state machine: issues the next transaction, delivers
+    /// buffered bytes, completes or parks the job.
+    ///
+    /// Implemented decide-then-act: each iteration inspects the job under a
+    /// short borrow, produces a [`JobStep`], then executes it with `self`
+    /// free again.
+    fn continue_job(&mut self, ctx: &mut Context<'_>, lane_idx: usize) {
+        loop {
+            let relay_chunk = usize::from(self.params.relay_chunk);
+            let now = ctx.now();
+            let jobs_waiting = !self.jobs.is_empty();
+            let poll_due = now >= self.next_poll_due;
+
+            // -------- decide --------
+            let step = {
+                let lane = &mut self.lanes[lane_idx];
+                let Some(Activity::Job(job)) = &mut lane.activity else {
+                    unreachable!("continue_job outside a job")
+                };
+
+                if !job.writing {
+                    match &mut job.source {
+                        JobSource::Local(data) => {
+                            // Master-held bytes: "read" a chunk instantly.
+                            let take = relay_chunk.min(data.len());
+                            let taken: Vec<u8> = data.drain(..take).collect();
+                            job.buffer.extend(taken);
+                            job.read_done += take;
+                            job.writing = true;
+                            continue;
+                        }
+                        JobSource::Fifo(src_pos) => {
+                            if job.read_done == job.total || job.chunk_left == 0 {
+                                job.writing = true;
+                                continue;
+                            }
+                            let remaining = job.total - job.read_done;
+                            let dma = usize::from(self.params.dma_block);
+                            if dma >= 2 && remaining >= 2 && job.chunk_left >= 2 {
+                                JobStep::DmaRead {
+                                    src_pos: *src_pos,
+                                    k: remaining.min(job.chunk_left).min(dma),
+                                }
+                            } else {
+                                JobStep::EnsureAndRead { src_pos: *src_pos }
+                            }
+                        }
+                    }
+                } else {
+                    match job.to {
+                        StreamEndpoint::Master => {
+                            if job.buffer.is_empty() {
+                                JobStep::ChunkBoundary
+                            } else {
+                                let bytes: Vec<u8> = job.buffer.drain(..).collect();
+                                job.written += bytes.len();
+                                JobStep::DeliverToMaster {
+                                    from: job.from,
+                                    bytes,
+                                    end_of_message: job.written == job.total,
+                                    discard: job.discard,
+                                }
+                            }
+                        }
+                        StreamEndpoint::Slave(dst_node) => {
+                            let dma = usize::from(self.params.dma_block);
+                            if dma >= 2 && job.buffer.len() >= 2 {
+                                let take = job.buffer.len().min(dma);
+                                let bytes: Vec<u8> = job.buffer.drain(..take).collect();
+                                JobStep::DmaWrite {
+                                    dst_pos: job
+                                        .dst_pos
+                                        .expect("slave destination has a position"),
+                                    bytes,
+                                }
+                            } else if job.buffer.front().is_some() {
+                                JobStep::EnsureAndWrite { dst_node }
+                            } else {
+                                JobStep::DrainInboundThenBoundary {
+                                    from: job.from,
+                                    to: job.to,
+                                    dst_pos: job
+                                        .dst_pos
+                                        .expect("slave destination has a position"),
+                                    end_of_message: job.written == job.total,
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+
+            // -------- act --------
+            match step {
+                JobStep::EnsureAndRead { src_pos } => {
+                    let node = self.chain[src_pos].node();
+                    if self.lanes[lane_idx].selected
+                        != Some((node.raw(), AddressSpace::Memory))
+                    {
+                        self.issue(ctx, lane_idx, TxFrame::select(node, false), 0);
+                    } else if !self.lanes[lane_idx].ptr_at_stream {
+                        self.issue(
+                            ctx,
+                            lane_idx,
+                            TxFrame::new(Command::SetPointer, STREAM_ADDR),
+                            0,
+                        );
+                    } else {
+                        let frame = self.stream_read_frame(lane_idx, src_pos);
+                        self.issue(ctx, lane_idx, frame, 0);
+                    }
+                    return;
+                }
+                JobStep::EnsureAndWrite { dst_node } => {
+                    if self.lanes[lane_idx].selected
+                        != Some((dst_node.raw(), AddressSpace::Memory))
+                    {
+                        self.issue(ctx, lane_idx, TxFrame::select(dst_node, false), 0);
+                    } else if !self.lanes[lane_idx].ptr_at_stream {
+                        self.issue(
+                            ctx,
+                            lane_idx,
+                            TxFrame::new(Command::SetPointer, STREAM_ADDR),
+                            0,
+                        );
+                    } else {
+                        let Some(Activity::Job(job)) = &mut self.lanes[lane_idx].activity
+                        else {
+                            unreachable!()
+                        };
+                        let byte = job.buffer.pop_front().expect("checked above");
+                        self.issue(ctx, lane_idx, TxFrame::new(Command::WriteData, byte), 0);
+                    }
+                    return;
+                }
+                JobStep::DeliverToMaster {
+                    from,
+                    bytes,
+                    end_of_message,
+                    discard,
+                } => {
+                    if !discard {
+                        let delivered = StreamDelivered {
+                            from,
+                            to: StreamEndpoint::Master,
+                            bytes: Bytes::from(bytes),
+                            end_of_message,
+                        };
+                        self.notify(ctx, StreamEndpoint::Master, delivered);
+                    }
+                    if self.finish_or_park(ctx, lane_idx, relay_chunk, jobs_waiting, poll_due) {
+                        return;
+                    }
+                }
+                JobStep::DrainInboundThenBoundary {
+                    from,
+                    to,
+                    dst_pos,
+                    end_of_message,
+                } => {
+                    let arrived = self.chain[dst_pos].take_inbound();
+                    if !arrived.is_empty() {
+                        let delivered = StreamDelivered {
+                            from,
+                            to,
+                            bytes: Bytes::from(arrived),
+                            end_of_message,
+                        };
+                        self.notify(ctx, to, delivered);
+                    }
+                    if self.finish_or_park(ctx, lane_idx, relay_chunk, jobs_waiting, poll_due) {
+                        return;
+                    }
+                }
+                JobStep::ChunkBoundary => {
+                    if self.finish_or_park(ctx, lane_idx, relay_chunk, jobs_waiting, poll_due) {
+                        return;
+                    }
+                }
+                JobStep::DmaRead { src_pos, k } => {
+                    self.issue_burst(
+                        ctx,
+                        lane_idx,
+                        InFlightKind::DmaRead { pos: src_pos, k },
+                        0,
+                    );
+                    return;
+                }
+                JobStep::DmaWrite { dst_pos, bytes } => {
+                    self.issue_burst(
+                        ctx,
+                        lane_idx,
+                        InFlightKind::DmaWrite {
+                            pos: dst_pos,
+                            bytes,
+                        },
+                        0,
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Chunk-boundary handling: completes a finished job, parks the job if
+    /// other work waits, or opens the next service slot. Returns `true` if
+    /// the lane was handed off (caller must stop driving this job).
+    fn finish_or_park(
+        &mut self,
+        ctx: &mut Context<'_>,
+        lane_idx: usize,
+        relay_chunk: usize,
+        jobs_waiting: bool,
+        poll_due: bool,
+    ) -> bool {
+        let done = {
+            let Some(Activity::Job(job)) = &self.lanes[lane_idx].activity else {
+                unreachable!()
+            };
+            job.written == job.total
+        };
+        if done {
+            let Some(Activity::Job(job)) = self.lanes[lane_idx].activity.take() else {
+                unreachable!()
+            };
+            self.complete_job(ctx, lane_idx, job);
+            self.schedule_lane(ctx, lane_idx);
+            return true;
+        }
+        // Open the next service slot.
+        {
+            let Some(Activity::Job(job)) = &mut self.lanes[lane_idx].activity else {
+                unreachable!()
+            };
+            job.chunk_left = relay_chunk;
+            job.writing = false;
+        }
+        // Fairness: if other work is waiting, park this job.
+        if jobs_waiting || poll_due {
+            let Some(Activity::Job(job)) = self.lanes[lane_idx].activity.take() else {
+                unreachable!()
+            };
+            if let Some(p) = job.src_pos() {
+                self.release_owner(p, lane_idx);
+            }
+            if let Some(p) = job.dst_pos {
+                self.release_owner(p, lane_idx);
+            }
+            self.jobs.push_back(job);
+            self.schedule_lane(ctx, lane_idx);
+            return true;
+        }
+        false
+    }
+
+    fn complete_job(&mut self, ctx: &mut Context<'_>, lane_idx: usize, job: RelayJob) {
+        if let Some(p) = job.src_pos() {
+            self.release_owner(p, lane_idx);
+        }
+        if let Some(p) = job.dst_pos {
+            self.release_owner(p, lane_idx);
+        }
+        if job.discard {
+            self.stats.messages_failed += 1;
+            let failed = StreamFailed {
+                from: job.from,
+                to: None,
+                reason: "stream header named an unknown destination".to_owned(),
+            };
+            self.notify(ctx, job.from, failed);
+        } else {
+            self.stats.bytes_relayed += job.total as u64;
+            self.stats.messages_relayed += 1;
+            if job.total == 0 {
+                // Empty payloads never pass through the write loop, so the
+                // destination still deserves its (empty) delivery event.
+                let delivered = StreamDelivered {
+                    from: job.from,
+                    to: job.to,
+                    bytes: Bytes::new(),
+                    end_of_message: true,
+                };
+                self.notify(ctx, job.to, delivered);
+            }
+            let sent = StreamSent {
+                from: job.from,
+                to: job.to,
+                len: job.total,
+            };
+            self.notify(ctx, job.from, sent);
+        }
+    }
+
+    fn fail_job(&mut self, ctx: &mut Context<'_>, lane_idx: usize, job: RelayJob, reason: &str) {
+        if let Some(p) = job.src_pos() {
+            self.release_owner(p, lane_idx);
+        }
+        if let Some(p) = job.dst_pos {
+            self.release_owner(p, lane_idx);
+        }
+        self.stats.messages_failed += 1;
+        let failed = StreamFailed {
+            from: job.from,
+            to: Some(job.to),
+            reason: reason.to_owned(),
+        };
+        self.notify(ctx, job.from, failed);
+    }
+
+    // ------------------------------------------------------------------
+    // Lane scheduling
+    // ------------------------------------------------------------------
+
+    /// Whether some relay work (parked or on any lane) is already consuming
+    /// the outbound FIFO of the slave at `pos`.
+    fn source_busy(&self, pos: usize) -> bool {
+        if self.jobs.iter().any(|j| j.src_pos() == Some(pos)) {
+            return true;
+        }
+        self.lanes.iter().any(|lane| match &lane.activity {
+            Some(Activity::Discover { src_pos, .. }) => *src_pos == pos,
+            Some(Activity::Job(job)) => job.src_pos() == Some(pos),
+            _ => false,
+        })
+    }
+
+    fn try_own(&mut self, pos: usize, lane_idx: usize) -> bool {
+        match self.owners[pos] {
+            None => {
+                self.owners[pos] = Some(lane_idx);
+                true
+            }
+            Some(owner) => owner == lane_idx,
+        }
+    }
+
+    fn release_owner(&mut self, pos: usize, lane_idx: usize) {
+        if self.owners[pos] == Some(lane_idx) {
+            self.owners[pos] = None;
+        }
+    }
+
+    /// Picks the next activity for an idle lane, or arms the poll timer.
+    fn schedule_lane(&mut self, ctx: &mut Context<'_>, lane_idx: usize) {
+        debug_assert!(self.lanes[lane_idx].activity.is_none());
+        debug_assert!(self.lanes[lane_idx].in_flight.is_none());
+
+        // Chain-wide broadcasts first: control actions preempt data.
+        if let Some(command) = self.broadcasts.pop_front() {
+            self.lanes[lane_idx].activity = Some(Activity::Broadcast {
+                pending_command: Some(command),
+            });
+            self.issue(ctx, lane_idx, TxFrame::select(NodeId::BROADCAST, false), 0);
+            return;
+        }
+
+        // Periodic polls take priority when due, so new flows keep being
+        // discovered under load. (The INT hint alone must NOT preempt jobs:
+        // sources being relayed keep their interrupt raised, so it would
+        // starve the very transfers it announced.)
+        if ctx.now() >= self.next_poll_due {
+            if let Some(pos) = self.next_poll_target(lane_idx) {
+                self.start_poll(ctx, lane_idx, pos);
+                return;
+            }
+        }
+
+        // Resume a parked job whose endpoints are free.
+        let mut picked: Option<usize> = None;
+        for (i, job) in self.jobs.iter().enumerate() {
+            let free = |p: usize| self.owners[p].is_none() || self.owners[p] == Some(lane_idx);
+            if job.src_pos().is_none_or(free) && job.dst_pos.is_none_or(free) {
+                picked = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = picked {
+            let job = self.jobs.remove(i).expect("index from enumerate");
+            if let Some(p) = job.src_pos() {
+                let owned = self.try_own(p, lane_idx);
+                debug_assert!(owned);
+            }
+            if let Some(p) = job.dst_pos {
+                let owned = self.try_own(p, lane_idx);
+                debug_assert!(owned);
+            }
+            self.lanes[lane_idx].activity = Some(Activity::Job(job));
+            self.continue_job(ctx, lane_idx);
+            return;
+        }
+
+        // No job runnable: an INT edge wakes the poller early (the
+        // idle-discovery fast path) — but only when no job is parked.
+        // A parked job keeps its source's INT raised, and in multi-lane
+        // wirings eager INT-polls from one lane can transiently own the
+        // very slave another lane's job resume needs, livelocking the
+        // lanes into polling each other's endpoints forever. Parked jobs
+        // rely on the periodic poll for new-source discovery instead.
+        if self.int_seen && self.jobs.is_empty() {
+            if let Some(pos) = self.next_poll_target(lane_idx) {
+                self.start_poll(ctx, lane_idx, pos);
+                return;
+            }
+        }
+
+        // Nothing to do: close this lane's busy interval, arm the timer.
+        if let Some(since) = self.lanes[lane_idx].busy_since.take() {
+            let span = ctx.now().saturating_duration_since(since);
+            self.lanes[lane_idx].busy_time.add(span);
+        }
+        if !self.poll_timer_armed {
+            self.poll_timer_armed = true;
+            let due = self.next_poll_due.max(ctx.now());
+            let self_id = ctx.self_id();
+            ctx.schedule_at(due, self_id, PollTimer);
+        }
+    }
+
+    /// Finds the next pollable slave position (round-robin, skipping slaves
+    /// owned by other lanes). Returns `None` when every candidate is busy.
+    fn next_poll_target(&mut self, lane_idx: usize) -> Option<usize> {
+        let n = self.chain.len();
+        for step in 0..n {
+            let pos = (self.poll_cursor + step) % n;
+            if self.owners[pos].is_none() || self.owners[pos] == Some(lane_idx) {
+                self.poll_cursor = (pos + 1) % n;
+                return Some(pos);
+            }
+        }
+        None
+    }
+
+    fn start_poll(&mut self, ctx: &mut Context<'_>, lane_idx: usize, pos: usize) {
+        self.stats.polls += 1;
+        // Each poll consumes the INT latch; a still-pending slave re-raises
+        // it on the next RX frame that passes it.
+        self.int_seen = false;
+        self.next_poll_due = ctx.now() + self.params.bits_to_time(self.params.idle_poll_bits);
+        let owned = self.try_own(pos, lane_idx);
+        debug_assert!(owned, "poll target ownership checked by caller");
+        self.lanes[lane_idx].activity = Some(Activity::Poll { pos });
+        let node = self.chain[pos].node();
+        self.issue(ctx, lane_idx, TxFrame::select(node, false), 0);
+    }
+
+    fn kick_idle_lanes(&mut self, ctx: &mut Context<'_>) {
+        for lane_idx in 0..self.lanes.len() {
+            if self.lanes[lane_idx].activity.is_none()
+                && self.lanes[lane_idx].in_flight.is_none()
+            {
+                self.schedule_lane(ctx, lane_idx);
+            }
+        }
+    }
+}
+
+impl Component for TpWireBus {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        // Begin the keep-alive poll cycle immediately.
+        self.kick_idle_lanes(ctx);
+    }
+
+    fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
+        let msg = match msg.downcast::<TxnComplete>() {
+            Ok(done) => {
+                let TxnComplete { lane, outcome } = *done;
+                self.on_txn_complete(ctx, lane, outcome);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<PollTimer>() {
+            Ok(_) => {
+                self.poll_timer_armed = false;
+                self.kick_idle_lanes(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<SendStream>() {
+            Ok(send) => {
+                let SendStream { from, to, payload } = *send;
+                assert!(
+                    payload.len() <= MAX_STREAM_PAYLOAD,
+                    "stream payload exceeds {MAX_STREAM_PAYLOAD} bytes"
+                );
+                let Some(&pos) = self.positions.get(&from.raw()) else {
+                    panic!("SendStream from {from}, which is not on this chain");
+                };
+                let dst_byte = match to {
+                    StreamEndpoint::Master => DST_MASTER,
+                    StreamEndpoint::Slave(node) => node.raw(),
+                };
+                let len = payload.len();
+                let header = [dst_byte, (len >> 8) as u8, (len & 0xFF) as u8];
+                self.chain[pos].push_outbound(header);
+                self.chain[pos].push_outbound(payload.iter().copied());
+                // The non-empty FIFO raises the slave's interrupt; treat the
+                // (out-of-band) enqueue as an INT edge so an idle master
+                // polls promptly.
+                self.int_seen = true;
+                self.kick_idle_lanes(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<BroadcastCommand>() {
+            Ok(broadcast) => {
+                self.broadcasts.push_back(broadcast.command);
+                self.kick_idle_lanes(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        match msg.downcast::<MasterSend>() {
+            Ok(send) => {
+                let MasterSend { to, payload } = *send;
+                assert!(
+                    payload.len() <= MAX_STREAM_PAYLOAD,
+                    "stream payload exceeds {MAX_STREAM_PAYLOAD} bytes"
+                );
+                let Some(&pos) = self.positions.get(&to.raw()) else {
+                    panic!("MasterSend to {to}, which is not on this chain");
+                };
+                let job = RelayJob {
+                    from: StreamEndpoint::Master,
+                    to: StreamEndpoint::Slave(to),
+                    source: JobSource::Local(payload.iter().copied().collect()),
+                    dst_pos: Some(pos),
+                    total: payload.len(),
+                    read_done: 0,
+                    written: 0,
+                    buffer: VecDeque::new(),
+                    chunk_left: 0,
+                    writing: false,
+                    discard: false,
+                };
+                self.jobs.push_back(job);
+                self.kick_idle_lanes(ctx);
+            }
+            Err(other) => {
+                panic!("TpWireBus received unexpected message {other:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,729 @@
+//! End-to-end tests of the discrete-event TpWIRE bus: stream relay through
+//! the master, discovery over the wire, n-wire scaling, error injection and
+//! cross-validation against the analytic timing model.
+
+use bytes::Bytes;
+use tsbus_des::{
+    Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime, Simulator,
+};
+use tsbus_tpwire::{
+    analytic, BusParams, MasterSend, NodeId, SendStream, StreamDelivered, StreamEndpoint,
+    StreamSent, TpWireBus, Wiring,
+};
+
+/// An attachment that records everything the bus tells it.
+#[derive(Default)]
+struct Recorder {
+    delivered: Vec<u8>,
+    messages: Vec<(StreamEndpoint, Vec<u8>)>,
+    current: Vec<u8>,
+    completions: Vec<(SimTime, usize)>,
+    first_delivery: Option<SimTime>,
+    last_delivery: Option<SimTime>,
+}
+
+impl Component for Recorder {
+    fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
+        let msg = match msg.downcast::<StreamDelivered>() {
+            Ok(d) => {
+                self.delivered.extend_from_slice(&d.bytes);
+                self.current.extend_from_slice(&d.bytes);
+                self.first_delivery.get_or_insert(ctx.now());
+                self.last_delivery = Some(ctx.now());
+                if d.end_of_message {
+                    let whole = std::mem::take(&mut self.current);
+                    self.messages.push((d.from, whole));
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(sent) = msg.downcast::<StreamSent>() {
+            self.completions.push((ctx.now(), sent.len));
+        }
+    }
+}
+
+fn node(id: u8) -> NodeId {
+    NodeId::new(id).expect("valid test node id")
+}
+
+/// Builds a sim with a bus of `n` slaves (ids 1..=n) and one recorder per
+/// slave plus a master recorder. Returns (sim, bus id, recorder ids).
+fn build(params: BusParams, n: u8) -> (Simulator, ComponentId, Vec<ComponentId>, ComponentId) {
+    let mut sim = Simulator::with_seed(42);
+    let recorders: Vec<ComponentId> = (1..=n)
+        .map(|i| sim.add_component(format!("rec{i}"), Recorder::default()))
+        .collect();
+    let master_rec = sim.add_component("rec_master", Recorder::default());
+    let chain: Vec<NodeId> = (1..=n).map(node).collect();
+    let mut bus = TpWireBus::new(params, chain);
+    for (i, &rec) in recorders.iter().enumerate() {
+        bus.attach(node(i as u8 + 1), rec);
+    }
+    bus.attach_master(master_rec);
+    let bus_id = sim.add_component("bus", bus);
+    (sim, bus_id, recorders, master_rec)
+}
+
+#[test]
+fn single_message_arrives_intact() {
+    let (mut sim, bus, recs, _) = build(BusParams::theseus_default(), 4);
+    let payload: Vec<u8> = (0..=255).collect();
+    sim.with_context(|ctx| {
+        ctx.send(
+            bus,
+            SendStream {
+                from: node(1),
+                to: StreamEndpoint::Slave(node(3)),
+                payload: Bytes::from(payload.clone()),
+            },
+        );
+    });
+    sim.run_until(SimTime::from_secs(1));
+    let rec: &Recorder = sim.component(recs[2]).expect("registered");
+    assert_eq!(rec.delivered, payload);
+    assert_eq!(rec.messages.len(), 1);
+    assert_eq!(rec.messages[0].0, StreamEndpoint::Slave(node(1)));
+    // The sender was told exactly once.
+    let sender: &Recorder = sim.component(recs[0]).expect("registered");
+    assert_eq!(sender.completions.len(), 1);
+    assert_eq!(sender.completions[0].1, payload.len());
+}
+
+#[test]
+fn relay_time_matches_analytic_model_within_tolerance() {
+    // Uncontended transfer: the DES time should sit within a few percent of
+    // the closed-form model (extra cost: at most one pre-transfer idle poll
+    // and poll-interval interleaving).
+    let params = BusParams::theseus_default();
+    let (mut sim, bus, recs, _) = build(params, 4);
+    let len = 512usize;
+    let payload = vec![0xA5u8; len];
+    let start = SimTime::from_nanos(1); // after the t=0 poll burst settles
+    sim.with_context(|ctx| {
+        ctx.schedule_at(
+            start,
+            bus,
+            SendStream {
+                from: node(1),
+                to: StreamEndpoint::Slave(node(3)),
+                payload: Bytes::from(payload),
+            },
+        );
+    });
+    sim.run_until(SimTime::from_secs(1));
+    let rec: &Recorder = sim.component(recs[2]).expect("registered");
+    let finished = rec.last_delivery.expect("message delivered");
+    let measured = finished.duration_since(start).as_secs_f64();
+    let predicted = analytic::message_relay_time(&params, 0, 2, len).as_secs_f64();
+    let ratio = measured / predicted;
+    assert!(
+        (0.95..1.35).contains(&ratio),
+        "DES {measured}s vs analytic {predicted}s (ratio {ratio})"
+    );
+}
+
+#[test]
+fn messages_to_master_are_delivered() {
+    let (mut sim, bus, _, master_rec) = build(BusParams::theseus_default(), 2);
+    sim.with_context(|ctx| {
+        ctx.send(
+            bus,
+            SendStream {
+                from: node(2),
+                to: StreamEndpoint::Master,
+                payload: Bytes::from_static(b"to the master"),
+            },
+        );
+    });
+    sim.run_until(SimTime::from_millis(100));
+    let rec: &Recorder = sim.component(master_rec).expect("registered");
+    assert_eq!(rec.delivered, b"to the master");
+    assert_eq!(rec.messages.len(), 1);
+}
+
+#[test]
+fn master_send_reaches_slave() {
+    let (mut sim, bus, recs, _) = build(BusParams::theseus_default(), 2);
+    sim.with_context(|ctx| {
+        ctx.send(
+            bus,
+            MasterSend {
+                to: node(2),
+                payload: Bytes::from_static(b"hello from the master"),
+            },
+        );
+    });
+    sim.run_until(SimTime::from_millis(100));
+    let rec: &Recorder = sim.component(recs[1]).expect("registered");
+    assert_eq!(rec.delivered, b"hello from the master");
+    assert_eq!(rec.messages[0].0, StreamEndpoint::Master);
+}
+
+#[test]
+fn empty_payload_still_signals_end_of_message() {
+    let (mut sim, bus, recs, _) = build(BusParams::theseus_default(), 2);
+    sim.with_context(|ctx| {
+        ctx.send(
+            bus,
+            SendStream {
+                from: node(1),
+                to: StreamEndpoint::Slave(node(2)),
+                payload: Bytes::new(),
+            },
+        );
+    });
+    sim.run_until(SimTime::from_millis(100));
+    let rec: &Recorder = sim.component(recs[1]).expect("registered");
+    assert_eq!(rec.messages.len(), 1);
+    assert!(rec.messages[0].1.is_empty());
+}
+
+#[test]
+fn two_flows_interleave_and_both_complete() {
+    let (mut sim, bus, recs, _) = build(BusParams::theseus_default(), 4);
+    let a = vec![1u8; 300];
+    let b = vec![2u8; 300];
+    sim.with_context(|ctx| {
+        ctx.send(
+            bus,
+            SendStream {
+                from: node(1),
+                to: StreamEndpoint::Slave(node(3)),
+                payload: Bytes::from(a.clone()),
+            },
+        );
+        ctx.send(
+            bus,
+            SendStream {
+                from: node(2),
+                to: StreamEndpoint::Slave(node(4)),
+                payload: Bytes::from(b.clone()),
+            },
+        );
+    });
+    sim.run_until(SimTime::from_secs(1));
+    let rec3: &Recorder = sim.component(recs[2]).expect("registered");
+    let rec4: &Recorder = sim.component(recs[3]).expect("registered");
+    assert_eq!(rec3.delivered, a);
+    assert_eq!(rec4.delivered, b);
+    // Interleaving: the second flow must start delivering before the first
+    // finishes (chunked fairness), not strictly after.
+    let first_done = rec3.last_delivery.expect("flow 1 done");
+    let second_start = rec4.first_delivery.expect("flow 2 started");
+    assert!(
+        second_start < first_done,
+        "flows must share the bus: flow2 started {second_start}, flow1 done {first_done}"
+    );
+}
+
+#[test]
+fn background_flow_slows_foreground_flow() {
+    // The Table 4 mechanism in miniature: the same transfer takes longer
+    // when a competing flow loads the bus.
+    let run = |with_background: bool| -> SimDuration {
+        let (mut sim, bus, recs, _) = build(BusParams::theseus_default(), 4);
+        let start = SimTime::from_nanos(1);
+        sim.with_context(|ctx| {
+            ctx.schedule_at(
+                start,
+                bus,
+                SendStream {
+                    from: node(1),
+                    to: StreamEndpoint::Slave(node(3)),
+                    payload: Bytes::from(vec![7u8; 400]),
+                },
+            );
+            if with_background {
+                ctx.schedule_at(
+                    start,
+                    bus,
+                    SendStream {
+                        from: node(2),
+                        to: StreamEndpoint::Slave(node(4)),
+                        payload: Bytes::from(vec![9u8; 400]),
+                    },
+                );
+            }
+        });
+        sim.run_until(SimTime::from_secs(1));
+        let rec: &Recorder = sim.component(recs[2]).expect("registered");
+        rec.last_delivery
+            .expect("foreground delivered")
+            .duration_since(start)
+    };
+    let alone = run(false);
+    let contended = run(true);
+    assert!(
+        contended > alone.mul_f64(1.5),
+        "contention must slow the transfer: alone {alone}, contended {contended}"
+    );
+}
+
+#[test]
+fn parallel_buses_run_flows_concurrently() {
+    let single = BusParams::theseus_default();
+    let dual = single.with_wiring(Wiring::parallel_buses(2).expect("valid"));
+    let run = |params: BusParams| -> SimDuration {
+        let (mut sim, bus, recs, _) = build(params, 4);
+        let start = SimTime::from_nanos(1);
+        sim.with_context(|ctx| {
+            for (src, dst) in [(1u8, 3u8), (2, 4)] {
+                ctx.schedule_at(
+                    start,
+                    bus,
+                    SendStream {
+                        from: node(src),
+                        to: StreamEndpoint::Slave(node(dst)),
+                        payload: Bytes::from(vec![src; 400]),
+                    },
+                );
+            }
+        });
+        sim.run_until(SimTime::from_secs(1));
+        let done3 = sim
+            .component::<Recorder>(recs[2])
+            .expect("registered")
+            .last_delivery
+            .expect("flow 1 done");
+        let done4 = sim
+            .component::<Recorder>(recs[3])
+            .expect("registered")
+            .last_delivery
+            .expect("flow 2 done");
+        done3.max(done4).duration_since(start)
+    };
+    let t1 = run(single);
+    let t2 = run(dual);
+    assert!(
+        t2.as_secs_f64() < t1.as_secs_f64() * 0.7,
+        "two buses must parallelize two flows: 1-wire {t1}, 2-bus {t2}"
+    );
+}
+
+#[test]
+fn parallel_data_mode_shortens_transfers() {
+    let single = BusParams::theseus_default();
+    let dual = single.with_wiring(Wiring::parallel_data(2).expect("valid"));
+    let run = |params: BusParams| -> SimDuration {
+        let (mut sim, bus, recs, _) = build(params, 4);
+        let start = SimTime::from_nanos(1);
+        sim.with_context(|ctx| {
+            ctx.schedule_at(
+                start,
+                bus,
+                SendStream {
+                    from: node(1),
+                    to: StreamEndpoint::Slave(node(3)),
+                    payload: Bytes::from(vec![1u8; 400]),
+                },
+            );
+        });
+        sim.run_until(SimTime::from_secs(1));
+        sim.component::<Recorder>(recs[2])
+            .expect("registered")
+            .last_delivery
+            .expect("delivered")
+            .duration_since(start)
+    };
+    let t1 = run(single).as_secs_f64();
+    let t2 = run(dual).as_secs_f64();
+    let speedup = t1 / t2;
+    assert!(
+        (1.2..2.0).contains(&speedup),
+        "mode-A speedup {speedup} outside the 'almost double' band"
+    );
+}
+
+#[test]
+fn frame_errors_cost_retries_but_streams_survive() {
+    // A modest error rate: retries mask the losses and the payload still
+    // arrives complete (per-frame retry, chunked FIFO discipline).
+    let params = BusParams::theseus_default().with_frame_error_rate(0.02);
+    let (mut sim, bus, recs, _) = build(params, 2);
+    let payload = vec![0x55u8; 200];
+    sim.with_context(|ctx| {
+        ctx.send(
+            bus,
+            SendStream {
+                from: node(1),
+                to: StreamEndpoint::Slave(node(2)),
+                payload: Bytes::from(payload.clone()),
+            },
+        );
+    });
+    sim.run_until(SimTime::from_secs(1));
+    let bus_ref: &TpWireBus = sim.component(bus).expect("registered");
+    assert!(
+        bus_ref.stats().retries > 0,
+        "2% frame errors must trigger retries"
+    );
+    let rec: &Recorder = sim.component(recs[1]).expect("registered");
+    // Retries re-execute commands, so FIFO bytes may duplicate or drop in
+    // degenerate cases; with per-frame retries and a 2% rate, the stream
+    // should still complete at the right length the vast majority of seeds.
+    assert_eq!(rec.delivered.len(), payload.len());
+}
+
+#[test]
+fn keep_alive_polling_prevents_slave_resets() {
+    let params = BusParams::theseus_default();
+    let (mut sim, bus, _, _) = build(params, 4);
+    // A long idle stretch: polls must keep every slave's watchdog fed.
+    sim.run_until(SimTime::from_secs(2));
+    let bus_ref: &TpWireBus = sim.component(bus).expect("registered");
+    for id in 1..=4u8 {
+        let slave = bus_ref.slave(node(id)).expect("on chain");
+        assert_eq!(
+            slave.reset_count(),
+            0,
+            "slave {id} reset despite keep-alive polling"
+        );
+    }
+    assert!(bus_ref.stats().polls > 100, "polling should be periodic");
+}
+
+#[test]
+fn bus_utilization_rises_under_load() {
+    let params = BusParams::theseus_default();
+    let (mut sim, bus, _, _) = build(params, 2);
+    let idle_util = {
+        sim.run_until(SimTime::from_millis(10));
+        let b: &TpWireBus = sim.component(bus).expect("registered");
+        b.lane_utilization(0, sim.now())
+    };
+    sim.with_context(|ctx| {
+        ctx.send(
+            bus,
+            SendStream {
+                from: node(1),
+                to: StreamEndpoint::Slave(node(2)),
+                payload: Bytes::from(vec![0u8; 4000]),
+            },
+        );
+    });
+    sim.run_until(SimTime::from_millis(20));
+    let b: &TpWireBus = sim.component(bus).expect("registered");
+    let busy_util = b.lane_utilization(0, sim.now());
+    assert!(
+        busy_util > idle_util,
+        "load must raise utilization ({idle_util} → {busy_util})"
+    );
+    assert!(busy_util > 0.5, "a saturating transfer should keep the lane busy");
+}
+
+#[test]
+fn back_to_back_messages_preserve_order_and_framing() {
+    let (mut sim, bus, recs, _) = build(BusParams::theseus_default(), 2);
+    sim.with_context(|ctx| {
+        for i in 0..5u8 {
+            ctx.send(
+                bus,
+                SendStream {
+                    from: node(1),
+                    to: StreamEndpoint::Slave(node(2)),
+                    payload: Bytes::from(vec![i; 10 + usize::from(i)]),
+                },
+            );
+        }
+    });
+    sim.run_until(SimTime::from_secs(1));
+    let rec: &Recorder = sim.component(recs[1]).expect("registered");
+    assert_eq!(rec.messages.len(), 5, "five distinct messages");
+    for (i, (_, bytes)) in rec.messages.iter().enumerate() {
+        assert_eq!(bytes.len(), 10 + i);
+        assert!(bytes.iter().all(|&b| b == i as u8), "message {i} intact");
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let (mut sim, bus, recs, _) = build(BusParams::theseus_default(), 4);
+        sim.with_context(|ctx| {
+            ctx.send(
+                bus,
+                SendStream {
+                    from: node(1),
+                    to: StreamEndpoint::Slave(node(3)),
+                    payload: Bytes::from(vec![3u8; 123]),
+                },
+            );
+        });
+        sim.run_until(SimTime::from_millis(50));
+        let rec: &Recorder = sim.component(recs[2]).expect("registered");
+        (
+            rec.last_delivery,
+            sim.events_processed(),
+            sim.component::<TpWireBus>(bus)
+                .expect("registered")
+                .stats()
+                .transactions,
+        )
+    };
+    assert_eq!(run(), run(), "same seed, same topology, same trace");
+}
+
+#[test]
+fn dma_bursts_deliver_intact_payloads() {
+    let params = BusParams::theseus_default().with_dma_block(32).with_relay_chunk(64);
+    let (mut sim, bus, recs, _) = build(params, 2);
+    let payload: Vec<u8> = (0..=255).collect();
+    sim.with_context(|ctx| {
+        ctx.send(
+            bus,
+            SendStream {
+                from: node(1),
+                to: StreamEndpoint::Slave(node(2)),
+                payload: Bytes::from(payload.clone()),
+            },
+        );
+    });
+    sim.run_until(SimTime::from_millis(100));
+    let rec: &Recorder = sim.component(recs[1]).expect("registered");
+    assert_eq!(rec.delivered, payload, "DMA relay must be byte-exact");
+    assert_eq!(rec.messages.len(), 1);
+}
+
+#[test]
+fn dma_bursts_are_faster_than_per_byte_relay() {
+    let run = |params: BusParams| -> SimDuration {
+        let (mut sim, bus, recs, _) = build(params, 2);
+        let start = SimTime::from_nanos(1);
+        sim.with_context(|ctx| {
+            ctx.schedule_at(
+                start,
+                bus,
+                SendStream {
+                    from: node(1),
+                    to: StreamEndpoint::Slave(node(2)),
+                    payload: Bytes::from(vec![0xEEu8; 512]),
+                },
+            );
+        });
+        sim.run_until(SimTime::from_secs(1));
+        sim.component::<Recorder>(recs[1])
+            .expect("registered")
+            .last_delivery
+            .expect("delivered")
+            .duration_since(start)
+    };
+    let base = BusParams::theseus_default().with_relay_chunk(32);
+    let plain = run(base);
+    let dma = run(base.with_dma_block(32));
+    let speedup = plain.as_secs_f64() / dma.as_secs_f64();
+    assert!(
+        speedup > 1.3,
+        "DMA should cut per-byte framing roughly in half (speedup {speedup})"
+    );
+}
+
+#[test]
+fn dma_bursts_survive_frame_errors() {
+    // Burst-level recovery: aborted blocks retry whole, so payloads stay
+    // byte-exact under a modest error rate.
+    let params = BusParams::theseus_default()
+        .with_dma_block(16)
+        .with_relay_chunk(32)
+        .with_frame_error_rate(0.01);
+    let (mut sim, bus, recs, _) = build(params, 2);
+    let payload = vec![0x5Au8; 300];
+    sim.with_context(|ctx| {
+        ctx.send(
+            bus,
+            SendStream {
+                from: node(1),
+                to: StreamEndpoint::Slave(node(2)),
+                payload: Bytes::from(payload.clone()),
+            },
+        );
+    });
+    sim.run_until(SimTime::from_secs(1));
+    let rec: &Recorder = sim.component(recs[1]).expect("registered");
+    assert_eq!(rec.delivered, payload);
+    let bus_ref: &TpWireBus = sim.component(bus).expect("registered");
+    assert!(bus_ref.stats().retries > 0, "1% errors must cost retries");
+}
+
+#[test]
+fn dma_and_plain_relay_interleave_across_flows() {
+    // DMA is a bus-wide policy, but flows of different sizes mix: a tiny
+    // (sub-burst) message and a large one share the bus correctly.
+    let params = BusParams::theseus_default().with_dma_block(16);
+    let (mut sim, bus, recs, _) = build(params, 4);
+    sim.with_context(|ctx| {
+        ctx.send(
+            bus,
+            SendStream {
+                from: node(1),
+                to: StreamEndpoint::Slave(node(3)),
+                payload: Bytes::from(vec![1u8; 200]),
+            },
+        );
+        ctx.send(
+            bus,
+            SendStream {
+                from: node(2),
+                to: StreamEndpoint::Slave(node(4)),
+                payload: Bytes::from_static(b"x"),
+            },
+        );
+    });
+    sim.run_until(SimTime::from_secs(1));
+    let rec3: &Recorder = sim.component(recs[2]).expect("registered");
+    let rec4: &Recorder = sim.component(recs[3]).expect("registered");
+    assert_eq!(rec3.delivered, vec![1u8; 200]);
+    assert_eq!(rec4.delivered, b"x".to_vec());
+}
+
+#[test]
+fn broadcast_command_reaches_every_slave_at_once() {
+    use tsbus_tpwire::BroadcastCommand;
+    let (mut sim, bus, _, _) = build(BusParams::theseus_default(), 4);
+    sim.with_context(|ctx| {
+        ctx.send(bus, BroadcastCommand { command: 0xA4 });
+    });
+    sim.run_until(SimTime::from_millis(1));
+    let bus_ref: &TpWireBus = sim.component(bus).expect("registered");
+    for id in 1..=4u8 {
+        let slave = bus_ref.slave(node(id)).expect("on chain");
+        assert_eq!(
+            slave.command_reg(),
+            0xA4,
+            "slave {id} must see the broadcast command"
+        );
+    }
+}
+
+#[test]
+fn broadcast_interleaves_with_stream_traffic() {
+    use tsbus_tpwire::BroadcastCommand;
+    let (mut sim, bus, recs, _) = build(BusParams::theseus_default(), 2);
+    let payload = vec![0x3Cu8; 120];
+    sim.with_context(|ctx| {
+        ctx.send(
+            bus,
+            SendStream {
+                from: node(1),
+                to: StreamEndpoint::Slave(node(2)),
+                payload: Bytes::from(payload.clone()),
+            },
+        );
+        // A broadcast fired mid-transfer must neither corrupt the stream
+        // nor get lost.
+        ctx.schedule_in(
+            SimDuration::from_micros(200),
+            bus,
+            BroadcastCommand { command: 0x11 },
+        );
+    });
+    sim.run_until(SimTime::from_millis(10));
+    let rec: &Recorder = sim.component(recs[1]).expect("registered");
+    assert_eq!(rec.delivered, payload, "stream survives the broadcast");
+    let bus_ref: &TpWireBus = sim.component(bus).expect("registered");
+    assert_eq!(bus_ref.slave(node(1)).expect("on chain").command_reg(), 0x11);
+    assert_eq!(bus_ref.slave(node(2)).expect("on chain").command_reg(), 0x11);
+}
+
+#[test]
+fn stream_integrity_across_the_configuration_matrix() {
+    // Byte-exact delivery for every combination of wiring, chunk size and
+    // DMA setting, across payload sizes that straddle the chunk/burst
+    // boundaries.
+    let wirings = [
+        Wiring::Single,
+        Wiring::parallel_data(2).expect("valid"),
+        Wiring::parallel_buses(2).expect("valid"),
+    ];
+    for wiring in wirings {
+        for chunk in [1u16, 3, 8, 17] {
+            for dma in [0u16, 4, 16] {
+                for len in [0usize, 1, 2, 7, 8, 9, 33, 100] {
+                    let params = BusParams::theseus_default()
+                        .with_wiring(wiring)
+                        .with_relay_chunk(chunk)
+                        .with_dma_block(dma);
+                    let (mut sim, bus, recs, _) = build(params, 3);
+                    let payload: Vec<u8> =
+                        (0..len).map(|i| (i * 7 % 256) as u8).collect();
+                    sim.with_context(|ctx| {
+                        ctx.send(
+                            bus,
+                            SendStream {
+                                from: node(1),
+                                to: StreamEndpoint::Slave(node(3)),
+                                payload: Bytes::from(payload.clone()),
+                            },
+                        );
+                    });
+                    sim.run_until(SimTime::from_millis(200));
+                    let rec: &Recorder = sim.component(recs[2]).expect("registered");
+                    assert_eq!(
+                        rec.delivered, payload,
+                        "corrupted under {wiring}, chunk={chunk}, dma={dma}, len={len}"
+                    );
+                    assert_eq!(
+                        rec.messages.len(),
+                        1,
+                        "framing broken under {wiring}, chunk={chunk}, dma={dma}, len={len}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_trace_captures_bus_activity() {
+    let mut sim = Simulator::with_seed(42);
+    sim.enable_trace(4096);
+    let bus_id = ComponentId::from_raw(0);
+    let bus = TpWireBus::new(BusParams::theseus_default(), vec![node(1), node(2)]);
+    let actual = sim.add_component("bus", bus);
+    assert_eq!(actual, bus_id);
+    sim.with_context(|ctx| {
+        ctx.send(
+            bus_id,
+            SendStream {
+                from: node(1),
+                to: StreamEndpoint::Slave(node(2)),
+                payload: Bytes::from_static(b"traced"),
+            },
+        );
+    });
+    sim.run_until(SimTime::from_micros(500));
+    let trace = sim.trace();
+    assert!(trace.is_enabled());
+    let scheds = trace.with_label("sched").count();
+    let fires = trace.with_label("fire").count();
+    assert!(scheds > 10, "bus transactions schedule events ({scheds})");
+    assert!(fires > 10, "and they fire ({fires})");
+    let text = trace.to_text();
+    assert!(text.lines().count() > 20);
+}
+
+#[test]
+fn regression_mode_b_single_flow_does_not_livelock() {
+    // Two lanes + a single relay flow between two slaves: eager INT-polls
+    // from the idle lane once transiently owned the endpoints the parked
+    // job needed, livelocking both lanes into polling forever.
+    let params = BusParams::theseus_default()
+        .with_wiring(Wiring::parallel_buses(2).expect("valid"));
+    let (mut sim, bus, recs, _) = build(params, 2);
+    sim.with_context(|ctx| {
+        for _ in 0..5 {
+            ctx.send(
+                bus,
+                SendStream {
+                    from: node(1),
+                    to: StreamEndpoint::Slave(node(2)),
+                    payload: Bytes::from_static(b"x"),
+                },
+            );
+        }
+    });
+    sim.run_until(SimTime::from_millis(50));
+    let rec: &Recorder = sim.component(recs[1]).expect("registered");
+    assert_eq!(rec.messages.len(), 5, "all five messages must drain");
+}

@@ -1,0 +1,562 @@
+//! A thread-safe, wall-clock tuplespace server — the analog of the paper's
+//! Java `SpaceServer` prototype, for use from real threads rather than the
+//! simulator.
+//!
+//! [`SpaceServer`] wraps a [`Space`] behind a mutex/condvar pair
+//! (`parking_lot`) and maps wall-clock time onto the space's [`SimTime`]
+//! axis. It adds the blocking primitives every tuplespace implementation
+//! provides (`take` that waits for a match, with optional timeout) and
+//! channel-based notify (crossbeam channels).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use tsbus_des::{SimDuration, SimTime};
+
+use crate::space::{EventKind, Lease, Notification, Space, SpaceStats, SubscriptionId};
+use crate::template::Template;
+use crate::tuple::Tuple;
+use crate::txn::TxnId;
+
+/// Error: a blocking operation hit its timeout before a match appeared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimedOut;
+
+impl std::fmt::Display for WaitTimedOut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "timed out waiting for a matching tuple")
+    }
+}
+
+impl std::error::Error for WaitTimedOut {}
+
+struct Shared {
+    space: Mutex<State>,
+    changed: Condvar,
+    epoch: Instant,
+}
+
+struct State {
+    space: Space,
+    subscribers: Vec<(SubscriptionId, Sender<Notification>)>,
+}
+
+impl State {
+    /// Routes pending notifications to their subscribers' channels.
+    fn pump(&mut self) {
+        for event in self.space.drain_notifications() {
+            if let Some((_, tx)) = self
+                .subscribers
+                .iter()
+                .find(|(id, _)| *id == event.subscription)
+            {
+                let _ = tx.send(event); // a dropped receiver just unsubscribed
+            }
+        }
+    }
+}
+
+/// A shared, thread-safe tuplespace server.
+///
+/// Cheap to clone (all clones address the same space), usable from any
+/// number of producer/consumer threads.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use tsbus_tuplespace::{template, tuple, SpaceServer, ValueType};
+///
+/// let server = SpaceServer::new();
+/// let worker = server.clone();
+/// let handle = std::thread::spawn(move || {
+///     worker
+///         .take_blocking(&template!["job", ValueType::Int], Some(Duration::from_secs(5)))
+/// });
+/// server.write(tuple!["job", 1], None);
+/// let job = handle.join().expect("worker thread")?;
+/// assert_eq!(job, tuple!["job", 1]);
+/// # Ok::<(), tsbus_tuplespace::WaitTimedOut>(())
+/// ```
+#[derive(Clone)]
+pub struct SpaceServer {
+    shared: Arc<Shared>,
+}
+
+impl SpaceServer {
+    /// Creates an empty server; its internal clock starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        SpaceServer {
+            shared: Arc::new(Shared {
+                space: Mutex::new(State {
+                    space: Space::new(),
+                    subscribers: Vec::new(),
+                }),
+                changed: Condvar::new(),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from(self.shared.epoch.elapsed())
+    }
+
+    /// Writes a tuple; `lease` of `None` means forever.
+    pub fn write(&self, tuple: Tuple, lease: Option<Duration>) {
+        let now = self.now();
+        let lease = match lease {
+            None => Lease::Forever,
+            Some(d) => Lease::for_duration(now, d.into()),
+        };
+        let mut state = self.shared.space.lock();
+        state.space.write(tuple, lease, now);
+        state.pump();
+        drop(state);
+        self.shared.changed.notify_all();
+    }
+
+    /// Non-blocking read (JavaSpaces `readIfExists`).
+    pub fn read_if_exists(&self, template: &Template) -> Option<Tuple> {
+        let now = self.now();
+        let mut state = self.shared.space.lock();
+        let result = state.space.read(template, now);
+        state.pump();
+        result
+    }
+
+    /// Non-blocking take (JavaSpaces `takeIfExists`).
+    pub fn take_if_exists(&self, template: &Template) -> Option<Tuple> {
+        let now = self.now();
+        let mut state = self.shared.space.lock();
+        let result = state.space.take(template, now);
+        state.pump();
+        result
+    }
+
+    /// Bulk non-blocking take: drains up to `limit` matches, oldest first.
+    pub fn take_all(&self, template: &Template, limit: usize) -> Vec<Tuple> {
+        let now = self.now();
+        let mut state = self.shared.space.lock();
+        let result = state.space.take_all(template, now, limit);
+        state.pump();
+        result
+    }
+
+    /// Blocking read: waits until a matching tuple exists (or the timeout
+    /// elapses) and returns a copy without removing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaitTimedOut`] if `timeout` elapses first. `None` means
+    /// wait forever.
+    pub fn read_blocking(
+        &self,
+        template: &Template,
+        timeout: Option<Duration>,
+    ) -> Result<Tuple, WaitTimedOut> {
+        self.wait_for(template, timeout, |space, tpl, now| space.read(tpl, now))
+    }
+
+    /// Blocking take: waits until a matching tuple exists (or the timeout
+    /// elapses) and removes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaitTimedOut`] if `timeout` elapses first. `None` means
+    /// wait forever.
+    pub fn take_blocking(
+        &self,
+        template: &Template,
+        timeout: Option<Duration>,
+    ) -> Result<Tuple, WaitTimedOut> {
+        self.wait_for(template, timeout, |space, tpl, now| space.take(tpl, now))
+    }
+
+    fn wait_for(
+        &self,
+        template: &Template,
+        timeout: Option<Duration>,
+        mut op: impl FnMut(&mut Space, &Template, SimTime) -> Option<Tuple>,
+    ) -> Result<Tuple, WaitTimedOut> {
+        let deadline = timeout.map(|d| Instant::now() + d);
+        let mut state = self.shared.space.lock();
+        loop {
+            let now = self.now();
+            if let Some(tuple) = op(&mut state.space, template, now) {
+                state.pump();
+                drop(state);
+                self.shared.changed.notify_all();
+                return Ok(tuple);
+            }
+            state.pump();
+            // Wake at the earliest of: caller deadline, next lease expiry
+            // (so expiry notifications stay timely), or a change signal.
+            let lease_wake = state.space.next_deadline().map(|t| {
+                self.shared.epoch + Duration::from(t.saturating_duration_since(SimTime::ZERO))
+            });
+            let wake = match (deadline, lease_wake) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (Some(a), None) => Some(a),
+                (None, Some(b)) => Some(b),
+                (None, None) => None,
+            };
+            match wake {
+                Some(instant) => {
+                    let timed_out = self
+                        .shared
+                        .changed
+                        .wait_until(&mut state, instant)
+                        .timed_out();
+                    if timed_out {
+                        if let Some(d) = deadline {
+                            if Instant::now() >= d {
+                                return Err(WaitTimedOut);
+                            }
+                        }
+                        // Otherwise we woke for a lease deadline: loop and
+                        // let `op` observe the expiry.
+                    }
+                }
+                None => {
+                    self.shared.changed.wait(&mut state);
+                }
+            }
+        }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let now = self.now();
+        self.shared.space.lock().space.len(now)
+    }
+
+    /// Whether the space is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counts live entries matching `template`.
+    #[must_use]
+    pub fn count(&self, template: &Template) -> usize {
+        let now = self.now();
+        self.shared.space.lock().space.count(template, now)
+    }
+
+    /// Operation counters.
+    #[must_use]
+    pub fn stats(&self) -> SpaceStats {
+        self.shared.space.lock().space.stats()
+    }
+
+    /// Subscribes to events matching `template`; notifications arrive on
+    /// the returned channel. Dropping the receiver effectively
+    /// unsubscribes.
+    pub fn subscribe(
+        &self,
+        template: Template,
+        kinds: impl IntoIterator<Item = EventKind>,
+    ) -> Receiver<Notification> {
+        let (tx, rx) = unbounded();
+        let mut state = self.shared.space.lock();
+        let id = state.space.subscribe(template, kinds);
+        state.subscribers.push((id, tx));
+        rx
+    }
+
+    /// Opens a transaction; the returned guard aborts on drop unless
+    /// [`commit`](Transaction::commit)ted.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tsbus_tuplespace::{template, tuple, SpaceServer};
+    ///
+    /// let server = SpaceServer::new();
+    /// server.write(tuple!["balance", 100], None);
+    /// {
+    ///     let txn = server.transaction();
+    ///     let taken = txn.take(&template!["balance", tsbus_tuplespace::ValueType::Int]);
+    ///     assert!(taken.is_some());
+    ///     txn.write(tuple!["balance", 90], None);
+    ///     txn.commit();
+    /// }
+    /// assert!(server.read_if_exists(&template!["balance", 90]).is_some());
+    /// ```
+    #[must_use]
+    pub fn transaction(&self) -> Transaction {
+        let id = self.with_space(|space, _| space.txn_begin());
+        Transaction {
+            server: self.clone(),
+            id,
+            finished: false,
+        }
+    }
+
+    /// Runs `f` with exclusive access to the underlying [`Space`] and the
+    /// server's current instant — the extension point for helpers like the
+    /// [`discovery`](crate::discovery) functions.
+    pub fn with_space<R>(&self, f: impl FnOnce(&mut Space, SimTime) -> R) -> R {
+        let now = self.now();
+        let mut state = self.shared.space.lock();
+        let result = f(&mut state.space, now);
+        state.pump();
+        drop(state);
+        self.shared.changed.notify_all();
+        result
+    }
+}
+
+/// An open transaction on a [`SpaceServer`]; aborts on drop unless
+/// committed (so a panicking thread never leaves entries hidden).
+#[derive(Debug)]
+pub struct Transaction {
+    server: SpaceServer,
+    id: TxnId,
+    finished: bool,
+}
+
+impl Transaction {
+    /// Writes a tuple under this transaction (visible to others at commit).
+    pub fn write(&self, tuple: Tuple, lease: Option<Duration>) {
+        self.server.with_space(|space, now| {
+            let lease = match lease {
+                None => Lease::Forever,
+                Some(d) => Lease::for_duration(now, d.into()),
+            };
+            space
+                .txn_write(self.id, tuple, lease, now)
+                .expect("transaction open while the guard lives");
+        });
+    }
+
+    /// Takes the oldest visible match under this transaction (reinstated
+    /// if the transaction aborts).
+    #[must_use]
+    pub fn take(&self, template: &Template) -> Option<Tuple> {
+        self.server.with_space(|space, now| {
+            space
+                .txn_take(self.id, template, now)
+                .expect("transaction open while the guard lives")
+        })
+    }
+
+    /// Reads the oldest visible match without removing it.
+    #[must_use]
+    pub fn read(&self, template: &Template) -> Option<Tuple> {
+        self.server.with_space(|space, now| {
+            space
+                .txn_read(self.id, template, now)
+                .expect("transaction open while the guard lives")
+        })
+    }
+
+    /// Makes every effect of the transaction permanent.
+    pub fn commit(mut self) {
+        self.finished = true;
+        self.server.with_space(|space, now| {
+            space
+                .txn_commit(self.id, now)
+                .expect("transaction open while the guard lives");
+        });
+    }
+
+    /// Discards every effect of the transaction (also what dropping the
+    /// guard does).
+    pub fn abort(mut self) {
+        self.finished = true;
+        self.server.with_space(|space, now| {
+            space
+                .txn_abort(self.id, now)
+                .expect("transaction open while the guard lives");
+        });
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.server.with_space(|space, now| {
+                // The guard owns the id, so the abort cannot fail — but a
+                // destructor must never panic regardless.
+                let _ = space.txn_abort(self.id, now);
+            });
+        }
+    }
+}
+
+impl Default for SpaceServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SpaceServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpaceServer")
+            .field("entries", &self.shared.space.lock().space.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+    use crate::{template, tuple};
+
+    #[test]
+    fn write_then_take_across_threads() {
+        let server = SpaceServer::new();
+        let consumer = server.clone();
+        let handle = std::thread::spawn(move || {
+            consumer.take_blocking(
+                &template!["work", ValueType::Int],
+                Some(Duration::from_secs(5)),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        server.write(tuple!["work", 9], None);
+        let got = handle.join().expect("consumer thread").expect("no timeout");
+        assert_eq!(got, tuple!["work", 9]);
+        assert!(server.is_empty());
+    }
+
+    #[test]
+    fn blocking_take_times_out() {
+        let server = SpaceServer::new();
+        let start = Instant::now();
+        let result =
+            server.take_blocking(&template!["never"], Some(Duration::from_millis(50)));
+        assert_eq!(result, Err(WaitTimedOut));
+        assert!(start.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn lease_expiry_is_wall_clock() {
+        let server = SpaceServer::new();
+        server.write(tuple!["ttl"], Some(Duration::from_millis(30)));
+        assert!(server.read_if_exists(&template!["ttl"]).is_some());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(server.read_if_exists(&template!["ttl"]).is_none());
+    }
+
+    #[test]
+    fn blocking_read_leaves_entry_in_place() {
+        let server = SpaceServer::new();
+        server.write(tuple!["keep", 1], None);
+        let got = server
+            .read_blocking(&template!["keep", ValueType::Int], Some(Duration::from_secs(1)))
+            .expect("present");
+        assert_eq!(got, tuple!["keep", 1]);
+        assert_eq!(server.len(), 1);
+    }
+
+    #[test]
+    fn exactly_one_of_many_takers_wins() {
+        // The paper's redundancy algorithm depends on this: of N actuators
+        // racing to take the start tuple, exactly one succeeds.
+        let server = SpaceServer::new();
+        server.write(tuple!["start"], None);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = server.clone();
+                std::thread::spawn(move || {
+                    s.take_blocking(&template!["start"], Some(Duration::from_millis(100)))
+                        .is_ok()
+                })
+            })
+            .collect();
+        let winners = handles
+            .into_iter()
+            .map(|h| h.join().expect("taker thread"))
+            .filter(|&won| won)
+            .count();
+        assert_eq!(winners, 1, "exactly one taker may win the tuple");
+    }
+
+    #[test]
+    fn notifications_arrive_on_channel() {
+        let server = SpaceServer::new();
+        let rx = server.subscribe(template!["evt", ValueType::Int], [EventKind::Written]);
+        server.write(tuple!["evt", 1], None);
+        server.write(tuple!["other"], None);
+        let n = rx.recv_timeout(Duration::from_secs(1)).expect("notified");
+        assert_eq!(n.tuple, tuple!["evt", 1]);
+        assert!(rx.try_recv().is_err(), "non-matching write not notified");
+    }
+
+    #[test]
+    fn transaction_commits_atomically() {
+        let server = SpaceServer::new();
+        server.write(tuple!["slot"], None);
+        let txn = server.transaction();
+        assert_eq!(txn.take(&template!["slot"]), Some(tuple!["slot"]));
+        txn.write(tuple!["replacement"], None);
+        // Mid-transaction, other threads see neither the old nor new tuple.
+        assert!(server.read_if_exists(&template!["slot"]).is_none());
+        assert!(server.read_if_exists(&template!["replacement"]).is_none());
+        txn.commit();
+        assert!(server.read_if_exists(&template!["replacement"]).is_some());
+        assert!(server.read_if_exists(&template!["slot"]).is_none());
+    }
+
+    #[test]
+    fn dropped_transaction_aborts() {
+        let server = SpaceServer::new();
+        server.write(tuple!["precious"], None);
+        {
+            let txn = server.transaction();
+            let _ = txn.take(&template!["precious"]);
+            assert!(server.read_if_exists(&template!["precious"]).is_none());
+            // guard dropped without commit
+        }
+        assert!(
+            server.read_if_exists(&template!["precious"]).is_some(),
+            "abort-on-drop reinstates the taken entry"
+        );
+    }
+
+    #[test]
+    fn panicking_holder_does_not_lose_entries() {
+        let server = SpaceServer::new();
+        server.write(tuple!["held"], None);
+        let worker = server.clone();
+        let result = std::thread::spawn(move || {
+            let txn = worker.transaction();
+            let _ = txn.take(&template!["held"]);
+            panic!("worker dies mid-transaction");
+        })
+        .join();
+        assert!(result.is_err(), "the worker panicked");
+        assert!(
+            server.read_if_exists(&template!["held"]).is_some(),
+            "unwinding dropped the guard, which aborted the transaction"
+        );
+    }
+
+    #[test]
+    fn take_all_is_atomic_under_the_lock() {
+        let server = SpaceServer::new();
+        for i in 0..10 {
+            server.write(tuple!["bulk", i], None);
+        }
+        let got = server.take_all(&template!["bulk", ValueType::Int], 7);
+        assert_eq!(got.len(), 7);
+        assert_eq!(server.count(&template!["bulk", ValueType::Int]), 3);
+    }
+
+    #[test]
+    fn count_and_stats() {
+        let server = SpaceServer::new();
+        server.write(tuple!["c", 1], None);
+        server.write(tuple!["c", 2], None);
+        assert_eq!(server.count(&template!["c", ValueType::Int]), 2);
+        assert_eq!(server.stats().writes, 2);
+    }
+}

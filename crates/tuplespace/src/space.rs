@@ -1,0 +1,614 @@
+//! The tuplespace itself: a leased, associatively-addressed tuple store
+//! with deterministic (timestamp) ordering and subscribe/notify events.
+//!
+//! [`Space`] is *passive* with respect to time: every operation takes the
+//! current instant explicitly, so the same type serves the discrete-event
+//! simulation (driven by [`SimTime`]) and the live threaded server (which
+//! maps wall-clock time onto `SimTime` offsets).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use tsbus_des::SimTime;
+
+use crate::template::Template;
+use crate::tuple::Tuple;
+use crate::txn::{HeldEntry, TxnRegistry};
+
+/// Identifies an entry while it lives in a space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntryId(u64);
+
+impl EntryId {
+    pub(crate) fn from_seq(seq: u64) -> Self {
+        EntryId(seq)
+    }
+}
+
+impl fmt::Display for EntryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "entry#{}", self.0)
+    }
+}
+
+/// Identifies a subscription registered with [`Space::subscribe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriptionId(u64);
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub#{}", self.0)
+    }
+}
+
+/// How long a written entry stays alive.
+///
+/// The paper's Table 4 experiment leases entries for 160 s; a `take` that
+/// arrives after the lease expired finds nothing ("only if the entry
+/// lifetime is not out-of-date").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Lease {
+    /// The entry never expires.
+    #[default]
+    Forever,
+    /// The entry expires at the given absolute instant.
+    Until(SimTime),
+}
+
+impl Lease {
+    /// A lease expiring `duration` after `now`.
+    #[must_use]
+    pub fn for_duration(now: SimTime, duration: tsbus_des::SimDuration) -> Lease {
+        Lease::Until(now.saturating_add(duration))
+    }
+
+    /// Whether the lease is still alive at `now` (expiry is exclusive: an
+    /// entry leased *until* t is gone *at* t).
+    #[must_use]
+    pub fn is_alive(&self, now: SimTime) -> bool {
+        match self {
+            Lease::Forever => true,
+            Lease::Until(deadline) => now < *deadline,
+        }
+    }
+}
+
+/// What happened to an entry — delivered to matching subscriptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The entry was written into the space.
+    Written,
+    /// The entry was removed by a `take`.
+    Taken,
+    /// The entry's lease ran out.
+    Expired,
+}
+
+/// A notification produced for one subscription.
+#[derive(Debug, Clone)]
+pub struct Notification {
+    /// The subscription this notification is for.
+    pub subscription: SubscriptionId,
+    /// What happened.
+    pub kind: EventKind,
+    /// The entry involved.
+    pub entry: EntryId,
+    /// The tuple involved (cloned; the entry itself may be gone).
+    pub tuple: Tuple,
+    /// When it happened.
+    pub at: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    id: EntryId,
+    tuple: Tuple,
+    lease: Lease,
+    written_at: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct Subscription {
+    id: SubscriptionId,
+    template: Template,
+    kinds: Vec<EventKind>,
+}
+
+/// Aggregate operation counters of a space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpaceStats {
+    /// Entries written.
+    pub writes: u64,
+    /// Successful reads.
+    pub reads: u64,
+    /// Successful takes.
+    pub takes: u64,
+    /// Reads/takes that found no matching live entry.
+    pub misses: u64,
+    /// Entries that expired before being taken.
+    pub expirations: u64,
+}
+
+/// A tuplespace: an unstructured, associatively-addressed, leased tuple
+/// store.
+///
+/// Entries are totally ordered by write timestamp (insertion sequence
+/// breaks ties), per the paper's footnote 1; `read`/`take` return the
+/// *oldest* live match, which makes producer/consumer patterns FIFO.
+///
+/// # Examples
+///
+/// ```
+/// use tsbus_des::SimTime;
+/// use tsbus_tuplespace::{template, tuple, Lease, Space, ValueType};
+///
+/// let mut space = Space::new();
+/// let now = SimTime::ZERO;
+/// space.write(tuple!["job", 1], Lease::Forever, now);
+/// space.write(tuple!["job", 2], Lease::Forever, now);
+///
+/// let tpl = template!["job", ValueType::Int];
+/// let first = space.take(&tpl, now).expect("a job is queued");
+/// assert_eq!(first, tuple!["job", 1]); // oldest first
+/// assert_eq!(space.len(now), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Space {
+    /// Live entries, keyed by insertion sequence (= timestamp order).
+    entries: BTreeMap<u64, Entry>,
+    subscriptions: Vec<Subscription>,
+    pending: Vec<Notification>,
+    next_entry: u64,
+    next_subscription: u64,
+    stats: SpaceStats,
+    txns: TxnRegistry,
+}
+
+impl Space {
+    /// Creates an empty space.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries at `now` (expired entries are purged first).
+    #[must_use]
+    pub fn len(&mut self, now: SimTime) -> usize {
+        self.expire(now);
+        self.entries.len()
+    }
+
+    /// Whether no live entries remain at `now`.
+    #[must_use]
+    pub fn is_empty(&mut self, now: SimTime) -> bool {
+        self.len(now) == 0
+    }
+
+    /// Operation counters.
+    #[must_use]
+    pub fn stats(&self) -> SpaceStats {
+        self.stats
+    }
+
+    /// Writes a tuple with the given lease; returns its entry id.
+    pub fn write(&mut self, tuple: Tuple, lease: Lease, now: SimTime) -> EntryId {
+        self.expire(now);
+        let seq = self.next_entry;
+        self.next_entry += 1;
+        let id = EntryId(seq);
+        self.notify_all(EventKind::Written, id, &tuple, now);
+        self.entries.insert(
+            seq,
+            Entry {
+                id,
+                tuple,
+                lease,
+                written_at: now,
+            },
+        );
+        self.stats.writes += 1;
+        id
+    }
+
+    /// Returns (a clone of) the oldest live tuple matching `template`,
+    /// without removing it.
+    pub fn read(&mut self, template: &Template, now: SimTime) -> Option<Tuple> {
+        self.expire(now);
+        let found = self
+            .entries
+            .values()
+            .find(|entry| template.matches(&entry.tuple))
+            .map(|entry| entry.tuple.clone());
+        if found.is_some() {
+            self.stats.reads += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    /// Returns clones of *all* live tuples matching `template`, oldest
+    /// first, without removing any.
+    pub fn read_all(&mut self, template: &Template, now: SimTime) -> Vec<Tuple> {
+        self.expire(now);
+        self.entries
+            .values()
+            .filter(|entry| template.matches(&entry.tuple))
+            .map(|entry| entry.tuple.clone())
+            .collect()
+    }
+
+    /// Removes and returns the oldest live tuple matching `template`.
+    pub fn take(&mut self, template: &Template, now: SimTime) -> Option<Tuple> {
+        self.expire(now);
+        let seq = self
+            .entries
+            .iter()
+            .find(|(_, entry)| template.matches(&entry.tuple))
+            .map(|(&seq, _)| seq);
+        match seq {
+            Some(seq) => {
+                let entry = self.entries.remove(&seq).expect("just found");
+                self.stats.takes += 1;
+                self.notify_all(EventKind::Taken, entry.id, &entry.tuple, now);
+                Some(entry.tuple)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes and returns up to `limit` live tuples matching `template`,
+    /// oldest first (the JavaSpaces05-style bulk take).
+    pub fn take_all(
+        &mut self,
+        template: &Template,
+        now: SimTime,
+        limit: usize,
+    ) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        while out.len() < limit {
+            match self.take(template, now) {
+                Some(tuple) => out.push(tuple),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Counts live entries matching `template`.
+    pub fn count(&mut self, template: &Template, now: SimTime) -> usize {
+        self.expire(now);
+        self.entries
+            .values()
+            .filter(|entry| template.matches(&entry.tuple))
+            .count()
+    }
+
+    /// The write instant of a live entry, if it is still present.
+    #[must_use]
+    pub fn written_at(&self, id: EntryId) -> Option<SimTime> {
+        self.entries.get(&id.0).map(|e| e.written_at)
+    }
+
+    /// Purges entries whose leases have run out, emitting `Expired`
+    /// notifications. Called implicitly by every operation; call it
+    /// explicitly to force timely notifications on an otherwise idle space.
+    pub fn expire(&mut self, now: SimTime) {
+        let dead: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, entry)| !entry.lease.is_alive(now))
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in dead {
+            let entry = self.entries.remove(&seq).expect("listed above");
+            self.stats.expirations += 1;
+            // The notification carries the lease deadline, not `now`: the
+            // entry ceased to exist at its deadline even if we only noticed
+            // later.
+            let at = match entry.lease {
+                Lease::Until(deadline) => deadline,
+                Lease::Forever => now,
+            };
+            self.notify_all_at(EventKind::Expired, entry.id, &entry.tuple, at);
+        }
+    }
+
+    /// The earliest lease deadline among live entries — when the next
+    /// expiry will happen, useful for scheduling an expiry sweep.
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.entries
+            .values()
+            .filter_map(|entry| match entry.lease {
+                Lease::Until(deadline) => Some(deadline),
+                Lease::Forever => None,
+            })
+            .min()
+    }
+
+    /// Registers interest in entries matching `template` for the given
+    /// event kinds; returns the subscription id carried by matching
+    /// [`Notification`]s.
+    pub fn subscribe(
+        &mut self,
+        template: Template,
+        kinds: impl IntoIterator<Item = EventKind>,
+    ) -> SubscriptionId {
+        let id = SubscriptionId(self.next_subscription);
+        self.next_subscription += 1;
+        self.subscriptions.push(Subscription {
+            id,
+            template,
+            kinds: kinds.into_iter().collect(),
+        });
+        id
+    }
+
+    /// Removes a subscription. Unknown ids are ignored.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) {
+        self.subscriptions.retain(|s| s.id != id);
+    }
+
+    /// Drains the notifications produced since the last drain, in event
+    /// order.
+    pub fn drain_notifications(&mut self) -> Vec<Notification> {
+        std::mem::take(&mut self.pending)
+    }
+
+    pub(crate) fn txns(&self) -> &TxnRegistry {
+        &self.txns
+    }
+
+    pub(crate) fn txns_mut(&mut self) -> &mut TxnRegistry {
+        &mut self.txns
+    }
+
+    /// Takes the oldest live match on behalf of a transaction: like
+    /// [`take`](Space::take), but returns the full entry (for possible
+    /// reinstatement) and defers the `Taken` notification to commit.
+    pub(crate) fn take_entry_for_txn(
+        &mut self,
+        template: &Template,
+        now: SimTime,
+    ) -> Option<HeldEntry> {
+        self.expire(now);
+        let seq = self
+            .entries
+            .iter()
+            .find(|(_, entry)| template.matches(&entry.tuple))
+            .map(|(&seq, _)| seq)?;
+        let entry = self.entries.remove(&seq).expect("just found");
+        self.stats.takes += 1;
+        Some(HeldEntry {
+            seq,
+            tuple: entry.tuple,
+            lease: entry.lease,
+            written_at: entry.written_at,
+        })
+    }
+
+    /// Puts an aborted transaction's held entry back, original timestamp
+    /// order preserved. If its lease ran out while held, it expires
+    /// instead (with the usual notification stamped at the deadline).
+    pub(crate) fn reinstate_entry(&mut self, held: HeldEntry, now: SimTime) {
+        if held.lease.is_alive(now) {
+            let id = EntryId(held.seq);
+            self.entries.insert(
+                held.seq,
+                Entry {
+                    id,
+                    tuple: held.tuple,
+                    lease: held.lease,
+                    written_at: held.written_at,
+                },
+            );
+            // The provisional take never officially happened, so takes must
+            // not count it; undo the counter bump from the txn take.
+            self.stats.takes = self.stats.takes.saturating_sub(1);
+        } else {
+            self.stats.takes = self.stats.takes.saturating_sub(1);
+            self.stats.expirations += 1;
+            let at = match held.lease {
+                Lease::Until(deadline) => deadline,
+                Lease::Forever => now,
+            };
+            let id = EntryId(held.seq);
+            self.notify_all_at(EventKind::Expired, id, &held.tuple.clone(), at);
+        }
+    }
+
+    /// Fires a notification for an effect applied outside the normal
+    /// write/take/expire paths (transaction commits).
+    pub(crate) fn notify_external(
+        &mut self,
+        kind: EventKind,
+        entry: EntryId,
+        tuple: &Tuple,
+        at: SimTime,
+    ) {
+        self.notify_all_at(kind, entry, tuple, at);
+    }
+
+    fn notify_all(&mut self, kind: EventKind, entry: EntryId, tuple: &Tuple, now: SimTime) {
+        self.notify_all_at(kind, entry, tuple, now);
+    }
+
+    fn notify_all_at(&mut self, kind: EventKind, entry: EntryId, tuple: &Tuple, at: SimTime) {
+        for sub in &self.subscriptions {
+            if sub.kinds.contains(&kind) && sub.template.matches(tuple) {
+                self.pending.push(Notification {
+                    subscription: sub.id,
+                    kind,
+                    entry,
+                    tuple: tuple.clone(),
+                    at,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{template, tuple};
+    use crate::value::ValueType;
+    use tsbus_des::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn read_does_not_remove_take_does() {
+        let mut space = Space::new();
+        space.write(tuple!["x", 1], Lease::Forever, t(0));
+        let tpl = template!["x", ValueType::Int];
+        assert_eq!(space.read(&tpl, t(1)), Some(tuple!["x", 1]));
+        assert_eq!(space.len(t(1)), 1);
+        assert_eq!(space.take(&tpl, t(2)), Some(tuple!["x", 1]));
+        assert_eq!(space.len(t(2)), 0);
+        assert_eq!(space.take(&tpl, t(3)), None);
+    }
+
+    #[test]
+    fn oldest_match_wins() {
+        let mut space = Space::new();
+        space.write(tuple!["job", 1], Lease::Forever, t(0));
+        space.write(tuple!["job", 2], Lease::Forever, t(0));
+        space.write(tuple!["job", 3], Lease::Forever, t(1));
+        let tpl = template!["job", ValueType::Int];
+        assert_eq!(space.take(&tpl, t(2)), Some(tuple!["job", 1]));
+        assert_eq!(space.take(&tpl, t(2)), Some(tuple!["job", 2]));
+        assert_eq!(space.take(&tpl, t(2)), Some(tuple!["job", 3]));
+    }
+
+    #[test]
+    fn leases_expire_exactly_at_deadline() {
+        let mut space = Space::new();
+        space.write(
+            tuple!["v"],
+            Lease::for_duration(t(0), SimDuration::from_secs(160)),
+            t(0),
+        );
+        let tpl = template!["v"];
+        assert!(space.read(&tpl, t(159)).is_some());
+        assert!(space.read(&tpl, t(160)).is_none(), "expiry is exclusive");
+        assert_eq!(space.stats().expirations, 1);
+    }
+
+    #[test]
+    fn forever_leases_never_expire() {
+        let mut space = Space::new();
+        space.write(tuple!["v"], Lease::Forever, t(0));
+        assert!(space.read(&template!["v"], t(1_000_000)).is_some());
+        assert_eq!(space.stats().expirations, 0);
+    }
+
+    #[test]
+    fn take_all_drains_up_to_the_limit_in_order() {
+        let mut space = Space::new();
+        for i in 0..5 {
+            space.write(tuple!["b", i], Lease::Forever, t(0));
+        }
+        let tpl = template!["b", ValueType::Int];
+        let first = space.take_all(&tpl, t(1), 3);
+        assert_eq!(first, vec![tuple!["b", 0], tuple!["b", 1], tuple!["b", 2]]);
+        let rest = space.take_all(&tpl, t(1), 100);
+        assert_eq!(rest.len(), 2);
+        assert!(space.take_all(&tpl, t(1), 100).is_empty());
+        assert_eq!(space.stats().takes, 5);
+    }
+
+    #[test]
+    fn count_sees_only_live_matches() {
+        let mut space = Space::new();
+        space.write(tuple!["a", 1], Lease::Forever, t(0));
+        space.write(tuple!["a", 2], Lease::Until(t(5)), t(0));
+        space.write(tuple!["b", 1], Lease::Forever, t(0));
+        let tpl = template!["a", ValueType::Int];
+        assert_eq!(space.count(&tpl, t(1)), 2);
+        assert_eq!(space.count(&tpl, t(5)), 1);
+    }
+
+    #[test]
+    fn notifications_fire_for_matching_subscriptions_only() {
+        let mut space = Space::new();
+        let sub_a = space.subscribe(template!["a", ValueType::Int], [EventKind::Written]);
+        let _sub_b = space.subscribe(template!["b"], [EventKind::Written]);
+        space.write(tuple!["a", 1], Lease::Forever, t(0));
+        let events = space.drain_notifications();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].subscription, sub_a);
+        assert_eq!(events[0].kind, EventKind::Written);
+        assert_eq!(events[0].tuple, tuple!["a", 1]);
+        assert!(space.drain_notifications().is_empty(), "drain is consuming");
+    }
+
+    #[test]
+    fn taken_and_expired_notifications() {
+        let mut space = Space::new();
+        let sub = space.subscribe(
+            Template::any(1),
+            [EventKind::Taken, EventKind::Expired],
+        );
+        space.write(tuple![1], Lease::Until(t(10)), t(0));
+        space.write(tuple![2], Lease::Forever, t(0));
+        let _ = space.take(&template![2], t(1));
+        space.expire(t(11));
+        let events = space.drain_notifications();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Taken);
+        assert_eq!(events[0].subscription, sub);
+        assert_eq!(events[1].kind, EventKind::Expired);
+        assert_eq!(events[1].at, t(10), "expiry stamped at the deadline");
+    }
+
+    #[test]
+    fn unsubscribe_stops_notifications() {
+        let mut space = Space::new();
+        let sub = space.subscribe(Template::any(1), [EventKind::Written]);
+        space.unsubscribe(sub);
+        space.write(tuple![1], Lease::Forever, t(0));
+        assert!(space.drain_notifications().is_empty());
+    }
+
+    #[test]
+    fn next_deadline_tracks_earliest_lease() {
+        let mut space = Space::new();
+        assert_eq!(space.next_deadline(), None);
+        space.write(tuple![1], Lease::Until(t(20)), t(0));
+        space.write(tuple![2], Lease::Until(t(10)), t(0));
+        space.write(tuple![3], Lease::Forever, t(0));
+        assert_eq!(space.next_deadline(), Some(t(10)));
+        space.expire(t(10));
+        assert_eq!(space.next_deadline(), Some(t(20)));
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let mut space = Space::new();
+        space.write(tuple![1], Lease::Forever, t(0));
+        let _ = space.read(&template![1], t(0));
+        let _ = space.read(&template![2], t(0)); // miss
+        let _ = space.take(&template![1], t(0));
+        let s = space.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.takes, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn written_at_reports_timestamp_while_live() {
+        let mut space = Space::new();
+        let id = space.write(tuple![1], Lease::Forever, t(7));
+        assert_eq!(space.written_at(id), Some(t(7)));
+        let _ = space.take(&template![1], t(8));
+        assert_eq!(space.written_at(id), None);
+    }
+}

@@ -1,0 +1,50 @@
+//! # tsbus-xmlwire — the XML wire format of the tuplespace protocol
+//!
+//! The paper's board↔server interface serializes tuplespace entries and
+//! operations as XML over a byte stream. This crate provides, from scratch:
+//!
+//! * a small XML document model ([`XmlElement`], [`XmlNode`]) with a
+//!   compact writer;
+//! * a recursive-descent [`parse`]r for the subset used on the wire
+//!   (prolog, comments, attributes, the five predefined entities, character
+//!   references);
+//! * the protocol [`codec`]: [`Request`]/[`Response`] messages carrying
+//!   tuples and templates.
+//!
+//! ## Example
+//!
+//! ```
+//! use tsbus_tuplespace::{template, tuple, ValueType};
+//! use tsbus_xmlwire::{request_from_xml, request_to_xml, Request};
+//!
+//! let req = Request::Write {
+//!     tuple: tuple!["reading", 42],
+//!     lease_ns: Some(160_000_000_000), // the paper's 160 s lease
+//! };
+//! let xml = request_to_xml(&req);
+//! assert!(xml.starts_with(r#"<op type="write" lease-ns="160000000000">"#));
+//! assert_eq!(request_from_xml(&xml)?, req);
+//! # Ok::<(), tsbus_xmlwire::DecodeWireError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod codec;
+mod dom;
+mod parser;
+
+pub use codec::{
+    decode_event, decode_request, decode_response, decode_template, decode_tuple,
+    decode_value, encode_event, encode_request, encode_response, encode_template,
+    encode_tuple, encode_value, event_to_xml, request_from_xml, request_to_xml,
+    response_from_xml, response_to_xml, server_message_from_xml, DecodeWireError,
+    Request, Response, ServerMessage, WireEvent,
+};
+pub use binary::{
+    event_to_wire, request_from_wire, request_to_wire, response_to_wire,
+    server_message_from_wire, WireFormat, BINARY_MAGIC,
+};
+pub use dom::{escape, is_valid_name, XmlElement, XmlNode};
+pub use parser::{parse, ParseXmlError};

@@ -1,0 +1,60 @@
+//! The paper's headline experiment, end to end: estimate the impact of the
+//! tuplespace middleware on the TpWIRE bus under design.
+//!
+//! Run with `cargo run -p tsbus-core --example bus_estimation --release`.
+//!
+//! Builds the Fig. 7 topology (client on Slave1, CBR on Slave2, space
+//! server on Slave3, receiver on Slave4), runs the write+take exchange
+//! under increasing background load on both the 1-wire bus and the 2-wire
+//! parallel-data variant, and prints the Table 4 row structure — the
+//! decision data the paper used "to plan the complete development of the
+//! bus and the tuplespace".
+
+use tsbus_core::{run_case_study, CaseStudyConfig};
+use tsbus_tpwire::Wiring;
+
+fn main() {
+    println!("Fig. 7 case study — tuplespace middleware over TpWIRE (lease 160 s)\n");
+    let base = CaseStudyConfig::table4_reference();
+    let wirings = [
+        ("1-wire", Wiring::Single),
+        ("2-wire", Wiring::parallel_data(2).expect("valid")),
+    ];
+
+    println!(
+        "{:<8} {:<10} {:>12} {:>12} {:>14} {:>8}",
+        "bus", "CBR", "write RTT", "take RTT", "middleware", "lease"
+    );
+    for (name, wiring) in wirings {
+        for cbr in [0.0, 0.3, 1.0] {
+            let cfg = base
+                .with_bus(base.bus.with_wiring(wiring))
+                .with_cbr_rate(cbr);
+            let r = run_case_study(&cfg);
+            let fmt = |d: Option<tsbus_des::SimDuration>| {
+                d.map_or("-".to_owned(), |d| format!("{:.1}s", d.as_secs_f64()))
+            };
+            println!(
+                "{:<8} {:<10} {:>12} {:>12} {:>14} {:>8}",
+                name,
+                format!("{cbr} B/s"),
+                fmt(r.write_latency),
+                fmt(r.take_latency),
+                if r.out_of_time {
+                    "OUT OF TIME".to_owned()
+                } else {
+                    fmt(r.middleware_time)
+                },
+                if r.out_of_time { "missed" } else { "kept" },
+            );
+        }
+    }
+
+    println!(
+        "\nReading the estimate: the 1-wire bus keeps the 160 s lease only up to a\n\
+         few tenths of a byte/second of competing traffic; doubling the data lines\n\
+         (mode A) buys enough headroom for the full 1 B/s profile. This is the\n\
+         qualitative + quantitative answer the rapid-prototyping methodology exists\n\
+         to produce, before committing silicon or firmware."
+    );
+}

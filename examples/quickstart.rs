@@ -1,0 +1,105 @@
+//! Quickstart: the tuplespace in five minutes.
+//!
+//! Run with `cargo run -p tsbus-core --example quickstart`.
+//!
+//! Shows the three faces of the workspace:
+//! 1. the thread-safe live tuplespace ([`SpaceServer`]) — write/read/take,
+//!    leases, blocking ops and notifications;
+//! 2. the simulated space ([`Space`]) under explicit virtual time;
+//! 3. a complete client↔server exchange over the simulated TpWIRE bus.
+
+use std::time::Duration;
+
+use tsbus_core::{run_case_study, CaseStudyConfig, EndpointCosts};
+use tsbus_des::{SimDuration, SimTime};
+use tsbus_tpwire::BusParams;
+use tsbus_tuplespace::{template, tuple, EventKind, Lease, Space, SpaceServer, ValueType};
+
+fn main() {
+    live_space();
+    simulated_space();
+    over_the_bus();
+}
+
+/// Part 1 — the live, threaded space (the Java-prototype analog).
+fn live_space() {
+    println!("== live tuplespace ==");
+    let server = SpaceServer::new();
+
+    // Producer/consumer across threads: the consumer blocks until a
+    // matching tuple appears.
+    let consumer = {
+        let space = server.clone();
+        std::thread::spawn(move || {
+            space
+                .take_blocking(
+                    &template!["job", ValueType::Int],
+                    Some(Duration::from_secs(2)),
+                )
+                .expect("producer writes within the timeout")
+        })
+    };
+    server.write(tuple!["job", 42], None);
+    let job = consumer.join().expect("consumer thread");
+    println!("consumer took {job}");
+
+    // Leases: entries evaporate when their lifetime runs out.
+    server.write(tuple!["ephemeral"], Some(Duration::from_millis(20)));
+    std::thread::sleep(Duration::from_millis(40));
+    assert!(server.read_if_exists(&template!["ephemeral"]).is_none());
+    println!("leased entry expired on schedule");
+
+    // Notify: subscribe to writes matching a template.
+    let notifications = server.subscribe(
+        template!["alert", ValueType::Str],
+        [EventKind::Written],
+    );
+    server.write(tuple!["alert", "overtemp"], None);
+    let event = notifications
+        .recv_timeout(Duration::from_secs(1))
+        .expect("notified");
+    println!("notified of {}", event.tuple);
+}
+
+/// Part 2 — the same semantics under simulated time.
+fn simulated_space() {
+    println!("\n== simulated tuplespace (virtual time) ==");
+    let mut space = Space::new();
+    let t0 = SimTime::ZERO;
+    space.write(
+        tuple!["entry", 7],
+        Lease::for_duration(t0, SimDuration::from_secs(160)),
+        t0,
+    );
+    let at_159 = SimTime::from_secs(159);
+    let found = space.take(&template!["entry", ValueType::Int], at_159);
+    println!("take at t=159s (lease 160s): {found:?}");
+    assert!(found.is_some());
+}
+
+/// Part 3 — the full stack: XML protocol over the simulated TpWIRE bus.
+fn over_the_bus() {
+    println!("\n== client/server over the simulated TpWIRE bus ==");
+    let cfg = CaseStudyConfig {
+        bus: BusParams::theseus_default(), // 8 Mbit/s, 1-wire
+        entry_bytes: 128,
+        lease: SimDuration::from_secs(160),
+        cbr_rate: 0.0,
+        cbr_packet: 1,
+        take_delay: SimDuration::ZERO,
+        client_think: SimDuration::ZERO,
+        server_service: SimDuration::ZERO,
+        client_endpoint: EndpointCosts::free(),
+        server_endpoint: EndpointCosts::free(),
+        horizon: SimDuration::from_secs(10),
+        wire_format: tsbus_xmlwire::WireFormat::Xml,
+    };
+    let result = run_case_study(&cfg);
+    println!(
+        "write RTT {:.2} ms, take RTT {:.2} ms over the wire — entry {}",
+        result.write_latency.expect("finished").as_millis_f64(),
+        result.take_latency.expect("finished").as_millis_f64(),
+        if result.out_of_time { "LOST" } else { "returned" }
+    );
+    assert!(!result.out_of_time);
+}

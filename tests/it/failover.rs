@@ -1,0 +1,222 @@
+//! Figure 1 — the redundant-actuator algorithm, verified step by step on
+//! the simulated space under explicit virtual time (the threaded version
+//! lives in `examples/redundant_actuator.rs`).
+
+use tsbus_des::{SimDuration, SimTime};
+use tsbus_tuplespace::{template, tuple, Lease, Space, ValueType};
+
+const TICK: u64 = 1; // seconds
+
+/// One actuator's per-tick behaviour.
+struct Actuator {
+    operating: bool,
+    alive: bool,
+    ticks_operating: u32,
+}
+
+impl Actuator {
+    fn new() -> Self {
+        Actuator {
+            operating: false,
+            alive: true,
+            ticks_operating: 0,
+        }
+    }
+
+    fn tick(&mut self, space: &mut Space, now: SimTime) {
+        if !self.alive {
+            return;
+        }
+        if self.operating {
+            self.ticks_operating += 1;
+            // Step 3: heartbeat, leased to two ticks so a single missed
+            // tick is tolerated but a dead actuator's state evaporates.
+            space.write(
+                tuple!["actuator-state", "operating OK"],
+                Lease::for_duration(now, SimDuration::from_secs(2 * TICK)),
+                now,
+            );
+        } else {
+            // Step 4: consume the dual's heartbeat or take over.
+            let heartbeat =
+                space.take(&template!["actuator-state", ValueType::Str], now);
+            if heartbeat.is_none() {
+                self.operating = true;
+            }
+        }
+    }
+}
+
+#[test]
+fn exactly_one_actuator_wins_the_start_tuple() {
+    let mut space = Space::new();
+    let t0 = SimTime::ZERO;
+    // Step 1: the control agent arms the system.
+    space.write(tuple!["actuator-start"], Lease::Forever, t0);
+
+    // Step 2: both actuators race.
+    let mut a = Actuator::new();
+    let mut b = Actuator::new();
+    a.operating = space.take(&template!["actuator-start"], t0).is_some();
+    b.operating = space.take(&template!["actuator-start"], t0).is_some();
+    assert!(a.operating ^ b.operating, "exactly one winner");
+
+    // Step 1 (control side): the start tuple is gone, so the control loop
+    // may begin.
+    assert_eq!(space.count(&template!["actuator-start"], t0), 0);
+}
+
+#[test]
+fn backup_takes_over_within_one_tick_of_a_failure() {
+    let mut space = Space::new();
+    let t0 = SimTime::ZERO;
+    space.write(tuple!["actuator-start"], Lease::Forever, t0);
+
+    let mut primary = Actuator::new();
+    let mut backup = Actuator::new();
+    primary.operating = space.take(&template!["actuator-start"], t0).is_some();
+    backup.operating = space.take(&template!["actuator-start"], t0).is_some();
+    assert!(primary.operating && !backup.operating);
+
+    let mut takeover_tick = None;
+    for tick in 1..=20u64 {
+        let now = SimTime::from_secs(tick * TICK);
+        if tick == 8 {
+            primary.alive = false; // silent crash
+        }
+        // Primary acts first each tick (writes), backup second (reads).
+        primary.tick(&mut space, now);
+        backup.tick(&mut space, now);
+        if backup.operating && takeover_tick.is_none() {
+            takeover_tick = Some(tick);
+        }
+    }
+    let takeover = takeover_tick.expect("backup must take over");
+    // The crash happens at tick 8. The backup consumes each heartbeat the
+    // same tick it is written, so on tick 8 (the first with no fresh
+    // heartbeat) its take comes up empty and it promotes immediately.
+    assert_eq!(takeover, 8, "takeover must follow the crash within one tick");
+    assert!(backup.ticks_operating > 0, "backup ran the control program");
+}
+
+#[test]
+fn no_false_takeover_while_the_primary_is_healthy() {
+    let mut space = Space::new();
+    let t0 = SimTime::ZERO;
+    space.write(tuple!["actuator-start"], Lease::Forever, t0);
+
+    let mut primary = Actuator::new();
+    let mut backup = Actuator::new();
+    primary.operating = space.take(&template!["actuator-start"], t0).is_some();
+    backup.operating = space.take(&template!["actuator-start"], t0).is_some();
+
+    for tick in 1..=50u64 {
+        let now = SimTime::from_secs(tick * TICK);
+        primary.tick(&mut space, now);
+        backup.tick(&mut space, now);
+        assert!(
+            !backup.operating,
+            "healthy heartbeats must keep the backup passive (tick {tick})"
+        );
+    }
+    assert_eq!(primary.ticks_operating, 50);
+}
+
+/// N-way redundancy extends the paper's pairwise scheme with a designated
+/// dual: besides the start tuple, the control agent writes one
+/// "backup-slot" token. Cold standbys race (atomic `take`) for the slot;
+/// its holder is the *dual* that watches the heartbeat. On promotion the
+/// new operator re-arms the slot so a cold standby becomes the next dual.
+/// The space's take-atomicity keeps every transition single-winner.
+#[test]
+fn three_way_redundancy_promotes_exactly_one_backup() {
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    enum Role {
+        Operating,
+        Dual,
+        Cold,
+    }
+    struct Agent {
+        role: Role,
+        alive: bool,
+    }
+    impl Agent {
+        fn tick(&mut self, space: &mut Space, now: SimTime) {
+            if !self.alive {
+                return;
+            }
+            match self.role {
+                Role::Operating => {
+                    space.write(
+                        tuple!["actuator-state", "operating OK"],
+                        Lease::for_duration(now, SimDuration::from_secs(2 * TICK)),
+                        now,
+                    );
+                }
+                Role::Dual => {
+                    if space
+                        .take(&template!["actuator-state", ValueType::Str], now)
+                        .is_none()
+                    {
+                        self.role = Role::Operating;
+                        // Re-arm the dual slot for a cold standby.
+                        space.write(tuple!["backup-slot"], Lease::Forever, now);
+                    }
+                }
+                Role::Cold => {
+                    if space.take(&template!["backup-slot"], now).is_some() {
+                        self.role = Role::Dual;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut space = Space::new();
+    let t0 = SimTime::ZERO;
+    space.write(tuple!["actuator-start"], Lease::Forever, t0);
+    space.write(tuple!["backup-slot"], Lease::Forever, t0);
+
+    let mut agents: Vec<Agent> = (0..3)
+        .map(|_| Agent {
+            role: Role::Cold,
+            alive: true,
+        })
+        .collect();
+    for agent in &mut agents {
+        if space.take(&template!["actuator-start"], t0).is_some() {
+            agent.role = Role::Operating;
+        } else if space.take(&template!["backup-slot"], t0).is_some() {
+            agent.role = Role::Dual;
+        }
+    }
+    assert_eq!(
+        agents.iter().filter(|a| a.role == Role::Operating).count(),
+        1
+    );
+    assert_eq!(agents.iter().filter(|a| a.role == Role::Dual).count(), 1);
+
+    for tick in 1..=20u64 {
+        let now = SimTime::from_secs(tick * TICK);
+        if tick == 5 {
+            for agent in &mut agents {
+                if agent.role == Role::Operating {
+                    agent.alive = false;
+                }
+            }
+        }
+        for agent in &mut agents {
+            agent.tick(&mut space, now);
+        }
+    }
+    let live_operating = agents
+        .iter()
+        .filter(|a| a.alive && a.role == Role::Operating)
+        .count();
+    let live_dual = agents
+        .iter()
+        .filter(|a| a.alive && a.role == Role::Dual)
+        .count();
+    assert_eq!(live_operating, 1, "exactly one live operator after failover");
+    assert_eq!(live_dual, 1, "the cold standby moved up to dual");
+}

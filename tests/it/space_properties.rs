@@ -1,0 +1,237 @@
+//! Property tests on tuplespace invariants: conservation (every written
+//! tuple is taken at most once and never duplicated), ordering, lease
+//! monotonicity — checked over arbitrary operation sequences, and under
+//! real thread concurrency on the live server.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use tsbus_des::{SimDuration, SimTime};
+use tsbus_tuplespace::{template, tuple, Lease, Space, SpaceServer, Template, ValueType};
+
+/// One step of a generated workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write ("k", tag) with an optional lease (in seconds from now).
+    Write { tag: i64, lease_secs: Option<u8> },
+    Take,
+    Read,
+    AdvanceSecs(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<i64>(), proptest::option::of(1u8..30))
+            .prop_map(|(tag, lease_secs)| Op::Write { tag, lease_secs }),
+        Just(Op::Take),
+        Just(Op::Read),
+        (1u8..10).prop_map(Op::AdvanceSecs),
+    ]
+}
+
+proptest! {
+    /// Conservation: takes + live + expired == writes, for any op sequence.
+    #[test]
+    fn writes_are_conserved(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let mut space = Space::new();
+        let mut now = SimTime::ZERO;
+        let tpl = template!["k", ValueType::Int];
+        let mut writes = 0u64;
+        let mut takes = 0u64;
+        for op in ops {
+            match op {
+                Op::Write { tag, lease_secs } => {
+                    let lease = match lease_secs {
+                        None => Lease::Forever,
+                        Some(s) => Lease::for_duration(now, SimDuration::from_secs(u64::from(s))),
+                    };
+                    space.write(tuple!["k", tag], lease, now);
+                    writes += 1;
+                }
+                Op::Take => {
+                    if space.take(&tpl, now).is_some() {
+                        takes += 1;
+                    }
+                }
+                Op::Read => {
+                    let _ = space.read(&tpl, now);
+                }
+                Op::AdvanceSecs(s) => {
+                    now = now + SimDuration::from_secs(u64::from(s));
+                }
+            }
+        }
+        // Force all pending expirations to be counted.
+        space.expire(now);
+        let live = space.len(now) as u64;
+        let stats = space.stats();
+        prop_assert_eq!(stats.writes, writes);
+        prop_assert_eq!(stats.takes, takes);
+        prop_assert_eq!(
+            stats.takes + stats.expirations + live,
+            writes,
+            "every write is taken once, expired once, or still live"
+        );
+    }
+
+    /// FIFO ordering: taking drains exact-match writes oldest-first.
+    #[test]
+    fn takes_drain_in_write_order(tags in proptest::collection::vec(any::<i64>(), 1..30)) {
+        let mut space = Space::new();
+        let now = SimTime::ZERO;
+        for &tag in &tags {
+            space.write(tuple!["k", tag], Lease::Forever, now);
+        }
+        let tpl = template!["k", ValueType::Int];
+        let drained: Vec<i64> = std::iter::from_fn(|| {
+            space
+                .take(&tpl, now)
+                .and_then(|t| t.field(1).and_then(|v| v.as_int()))
+        })
+        .collect();
+        prop_assert_eq!(drained, tags);
+    }
+
+    /// Lease monotonicity: an entry visible at t is visible at every
+    /// earlier probe after its write, and once gone it stays gone.
+    #[test]
+    fn visibility_is_monotone(lease_secs in 1u64..50, probes in proptest::collection::vec(0u64..100, 1..20)) {
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        let mut space = Space::new();
+        space.write(
+            tuple!["v"],
+            Lease::for_duration(SimTime::ZERO, SimDuration::from_secs(lease_secs)),
+            SimTime::ZERO,
+        );
+        let mut last_seen = true;
+        for t in sorted {
+            let visible = space.read(&template!["v"], SimTime::from_secs(t)).is_some();
+            prop_assert_eq!(visible, t < lease_secs, "at t={}", t);
+            prop_assert!(!(visible && !last_seen), "no resurrection");
+            last_seen = visible;
+        }
+    }
+}
+
+/// Thread-level conservation on the live server: N producers × M
+/// consumers; every produced job is consumed exactly once.
+#[test]
+fn live_server_conserves_under_concurrency() {
+    let server = SpaceServer::new();
+    let producers = 4;
+    let consumers = 4;
+    let jobs_each = 50;
+    let total = producers * jobs_each;
+
+    let producer_handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let space = server.clone();
+            std::thread::spawn(move || {
+                for k in 0..jobs_each {
+                    space.write(tuple!["job", (p * jobs_each + k) as i64], None);
+                }
+            })
+        })
+        .collect();
+    let consumer_handles: Vec<_> = (0..consumers)
+        .map(|_| {
+            let space = server.clone();
+            std::thread::spawn(move || {
+                let tpl = template!["job", ValueType::Int];
+                let mut got = Vec::new();
+                loop {
+                    match space.take_blocking(&tpl, Some(Duration::from_millis(200))) {
+                        Ok(job) => {
+                            got.push(job.field(1).and_then(|v| v.as_int()).expect("int tag"));
+                        }
+                        Err(_) => return got, // queue drained
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in producer_handles {
+        h.join().expect("producer thread");
+    }
+    let mut seen: HashMap<i64, u32> = HashMap::new();
+    for h in consumer_handles {
+        for tag in h.join().expect("consumer thread") {
+            *seen.entry(tag).or_default() += 1;
+        }
+    }
+    assert_eq!(seen.len(), total, "every job consumed");
+    assert!(
+        seen.values().all(|&count| count == 1),
+        "no job consumed twice"
+    );
+    assert!(server.is_empty(), "nothing left behind");
+}
+
+/// Transactions compose with concurrency: racing transactional takes of
+/// one entry admit exactly one winner even across threads.
+#[test]
+fn transactional_take_is_single_winner_across_threads() {
+    for _round in 0..20 {
+        let server = SpaceServer::new();
+        server.write(tuple!["token"], None);
+        let winners: Vec<bool> = (0..4)
+            .map(|_| {
+                let space = server.clone();
+                std::thread::spawn(move || {
+                    let txn = space.transaction();
+                    let won = txn.take(&template!["token"]).is_some();
+                    txn.commit();
+                    won
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("taker thread"))
+            .collect();
+        assert_eq!(
+            winners.iter().filter(|&&w| w).count(),
+            1,
+            "exactly one transactional winner"
+        );
+    }
+}
+
+/// `Template::any` composes with leases at scale: a churning space keeps
+/// its count consistent with a parallel model.
+#[test]
+fn count_matches_model_under_churn() {
+    let mut space = Space::new();
+    let mut model: Vec<(i64, Option<u64>)> = Vec::new(); // (tag, deadline)
+    let mut now = 0u64;
+    for i in 0..500i64 {
+        now += 1;
+        let deadline = (i % 3 == 0).then_some(now + 10);
+        let lease = match deadline {
+            None => Lease::Forever,
+            Some(d) => Lease::Until(SimTime::from_secs(d)),
+        };
+        space.write(tuple!["c", i], lease, SimTime::from_secs(now));
+        model.push((i, deadline));
+        if i % 5 == 0 {
+            let _ = space.take(&template!["c", ValueType::Int], SimTime::from_secs(now));
+            // Model: remove the oldest live entry.
+            let live_idx = model
+                .iter()
+                .position(|&(_, d)| d.is_none_or(|d| now < d));
+            if let Some(idx) = live_idx {
+                model.remove(idx);
+            }
+        }
+        let expected = model
+            .iter()
+            .filter(|&&(_, d)| d.is_none_or(|d| now < d))
+            .count();
+        assert_eq!(
+            space.count(&Template::any(2), SimTime::from_secs(now)),
+            expected,
+            "at step {i}"
+        );
+    }
+}

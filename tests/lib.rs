@@ -1,0 +1,1 @@
+//! Integration test package (tests live in `it/`; see Cargo.toml).
