@@ -38,9 +38,12 @@ impl Component for Bouncer {
     }
 }
 
+/// A named constructor for one pending-event-set implementation.
+type QueueCtor = fn() -> Box<dyn EventQueue>;
+
 fn bench_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel");
-    let queues: [(&str, fn() -> Box<dyn EventQueue>); 2] = [
+    let queues: [(&str, QueueCtor); 2] = [
         ("binary_heap", || Box::new(BinaryHeapQueue::new())),
         ("calendar", || Box::new(CalendarQueue::new())),
     ];

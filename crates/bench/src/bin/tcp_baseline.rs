@@ -47,6 +47,7 @@ fn main() {
                 server_endpoint: ep,
                 horizon: SimDuration::from_secs(600),
                 wire_format: tsbus_xmlwire::WireFormat::Xml,
+                recovery: None,
             };
             let tpwire = run_case_study(&cfg);
             let tcp = run_case_study_tcp(&cfg, TcpParams::ethernet_10mbps());

@@ -19,6 +19,68 @@ use tsbus_xmlwire::{
 
 use crate::net::{NetDeliver, NetError, NetSend};
 
+/// How a client recovers from a failed operation: re-issue the same
+/// request after `retry_delay`, up to `max_attempts` total sends.
+///
+/// A failure is a transport error ([`NetError`] or a server
+/// [`Response::Error`]) or, for read/take requests, an empty
+/// [`Response::Entry`] — the middleware-level "Out of Time" of the paper's
+/// lease-expiry scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Total attempts allowed per request, including the first (so 1
+    /// means no recovery).
+    pub max_attempts: u32,
+    /// Idle wait before each re-issue (the think time is charged again on
+    /// top, like any send).
+    pub retry_delay: SimDuration,
+}
+
+impl RecoveryPolicy {
+    /// Creates a policy allowing `max_attempts` total sends spaced by
+    /// `retry_delay`.
+    #[must_use]
+    pub const fn new(max_attempts: u32, retry_delay: SimDuration) -> Self {
+        Self { max_attempts, retry_delay }
+    }
+}
+
+/// How an operation ultimately fared under a [`RecoveryPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The first attempt settled the operation (or no recovery was
+    /// configured); whatever it returned stands.
+    FirstTry,
+    /// A re-issued attempt succeeded where earlier ones failed.
+    Recovered {
+        /// Total sends, including the first.
+        attempts: u32,
+        /// Time from the first observed failure to the final success.
+        extra_time: SimDuration,
+    },
+    /// Every allowed attempt failed.
+    GaveUp {
+        /// Total sends, including the first.
+        attempts: u32,
+    },
+}
+
+/// Whether `response` counts as a failed attempt for `request` (and so is
+/// eligible for recovery rather than final).
+fn response_failed(request: &Request, response: &Response) -> bool {
+    match response {
+        Response::Error { .. } => true,
+        Response::Entry { tuple: None } => matches!(
+            request,
+            Request::Take { .. }
+                | Request::TakeIfExists { .. }
+                | Request::Read { .. }
+                | Request::ReadIfExists { .. }
+        ),
+        _ => false,
+    }
+}
+
 /// One step of a client script.
 #[derive(Debug, Clone)]
 pub enum ClientStep {
@@ -43,6 +105,10 @@ pub struct OpRecord {
     pub completed_at: Option<SimTime>,
     /// The decoded response (`None` while in flight).
     pub response: Option<Response>,
+    /// Sends of this request so far (1 = no retry yet).
+    pub attempts: u32,
+    /// When the first failed attempt came back, if any attempt failed.
+    pub first_failure_at: Option<SimTime>,
 }
 
 impl OpRecord {
@@ -60,11 +126,38 @@ impl OpRecord {
             Some(Response::Entry { tuple: Some(_) })
         )
     }
+
+    /// How the operation fared under recovery: [`RecoveryOutcome::FirstTry`]
+    /// if it was never re-issued, otherwise whether a retry eventually
+    /// succeeded and what the detour cost.
+    #[must_use]
+    pub fn recovery_outcome(&self) -> RecoveryOutcome {
+        if self.attempts <= 1 {
+            return RecoveryOutcome::FirstTry;
+        }
+        let succeeded = self
+            .response
+            .as_ref()
+            .is_some_and(|r| !response_failed(&self.request, r));
+        if succeeded {
+            let extra_time = match (self.completed_at, self.first_failure_at) {
+                (Some(done), Some(first)) => done.duration_since(first),
+                _ => SimDuration::ZERO,
+            };
+            RecoveryOutcome::Recovered { attempts: self.attempts, extra_time }
+        } else {
+            RecoveryOutcome::GaveUp { attempts: self.attempts }
+        }
+    }
 }
 
 /// Internal timer: a scripted wait elapsed.
 #[derive(Debug)]
 struct StepTimer;
+
+/// Internal timer: the recovery delay elapsed — re-issue the open request.
+#[derive(Debug)]
+struct RetryTimer;
 
 /// A client that executes a fixed script of tuplespace operations against
 /// one server.
@@ -77,6 +170,7 @@ pub struct ScriptedClient {
     think_time: SimDuration,
     script: Vec<ClientStep>,
     format: WireFormat,
+    recovery: Option<RecoveryPolicy>,
     next_step: usize,
     awaiting: bool,
     records: Vec<OpRecord>,
@@ -102,6 +196,7 @@ impl ScriptedClient {
             think_time,
             script,
             format: WireFormat::Xml,
+            recovery: None,
             next_step: 0,
             awaiting: false,
             records: Vec::new(),
@@ -116,6 +211,14 @@ impl ScriptedClient {
     #[must_use]
     pub fn with_format(mut self, format: WireFormat) -> Self {
         self.format = format;
+        self
+    }
+
+    /// Enables failure recovery (builder style): failed requests are
+    /// re-issued per `policy` instead of being recorded as final.
+    #[must_use]
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
         self
     }
 
@@ -178,6 +281,8 @@ impl ScriptedClient {
                         sent_at,
                         completed_at: None,
                         response: None,
+                        attempts: 1,
+                        first_failure_at: None,
                     });
                     let payload = Bytes::from(request_to_wire(&request, self.format));
                     let endpoint = self.endpoint;
@@ -190,6 +295,33 @@ impl ScriptedClient {
         if self.finished_at.is_none() {
             self.finished_at = Some(ctx.now());
         }
+    }
+
+    /// If the open request just failed and attempts remain, arm a retry
+    /// and keep the record open. Returns whether recovery was armed.
+    fn try_recover(&mut self, ctx: &mut Context<'_>, failed: bool) -> bool {
+        let Some(policy) = self.recovery else {
+            return false;
+        };
+        let now = ctx.now();
+        let record = self
+            .records
+            .last_mut()
+            .expect("awaiting implies an open record");
+        if !failed || record.attempts >= policy.max_attempts {
+            return false;
+        }
+        record.first_failure_at.get_or_insert(now);
+        record.attempts += 1;
+        ctx.trace(
+            "recovery",
+            format_args!(
+                "step {} failed, re-issuing (attempt {}/{})",
+                record.step, record.attempts, policy.max_attempts
+            ),
+        );
+        ctx.schedule_self_in(policy.retry_delay, RetryTimer);
+        true
     }
 }
 
@@ -206,6 +338,20 @@ impl Component for ScriptedClient {
             }
             Err(m) => m,
         };
+        let msg = match msg.downcast::<RetryTimer>() {
+            Ok(_) => {
+                let record = self
+                    .records
+                    .last()
+                    .expect("a retry timer implies an open record");
+                let payload = Bytes::from(request_to_wire(&record.request, self.format));
+                let endpoint = self.endpoint;
+                let to = self.server;
+                ctx.schedule_in(self.think_time, endpoint, NetSend { to, payload });
+                return;
+            }
+            Err(m) => m,
+        };
         let msg = match msg.downcast::<NetDeliver>() {
             Ok(deliver) => {
                 match server_message_from_wire(&deliver.payload) {
@@ -217,6 +363,17 @@ impl Component for ScriptedClient {
                     Ok(ServerMessage::Response(response)) => {
                         if !self.awaiting {
                             return; // stray (e.g. a late timeout response)
+                        }
+                        let failed = response_failed(
+                            &self
+                                .records
+                                .last()
+                                .expect("awaiting implies an open record")
+                                .request,
+                            &response,
+                        );
+                        if self.try_recover(ctx, failed) {
+                            return; // still awaiting the re-issued request
                         }
                         let record = self
                             .records
@@ -242,6 +399,9 @@ impl Component for ScriptedClient {
         if let Ok(error) = msg.downcast::<NetError>() {
             self.errors.push(error.reason.clone());
             if self.awaiting {
+                if self.try_recover(ctx, true) {
+                    return; // the request will be re-issued
+                }
                 // The in-flight request is lost; record it as failed and
                 // move on.
                 let record = self
@@ -380,8 +540,89 @@ mod tests {
             sent_at: SimTime::from_secs(1),
             completed_at: Some(SimTime::from_secs(4)),
             response: Some(Response::Count { count: 0 }),
+            attempts: 1,
+            first_failure_at: None,
         };
         assert_eq!(record.latency(), Some(SimDuration::from_secs(3)));
         assert!(!record.returned_entry());
+        assert_eq!(record.recovery_outcome(), RecoveryOutcome::FirstTry);
+    }
+
+    #[test]
+    fn recovery_reissues_an_empty_take_until_it_succeeds() {
+        let mut sim = Simulator::new();
+        let client_id = ComponentId::from_raw(1);
+        let stub = sim.add_component(
+            "stub",
+            StubServer {
+                client: Some(client_id),
+                responses: vec![
+                    Response::Entry { tuple: None },
+                    Response::Entry { tuple: None },
+                    Response::Entry {
+                        tuple: Some(tuple!["e", 1]),
+                    },
+                ],
+                seen: Vec::new(),
+            },
+        );
+        let script = vec![ClientStep::Request(Request::TakeIfExists {
+            template: template!["e", ValueType::Int],
+        })];
+        sim.add_component(
+            "client",
+            ScriptedClient::new(stub, NodeId::new(3).expect("valid"), SimDuration::ZERO, script)
+                .with_recovery(RecoveryPolicy::new(5, SimDuration::from_millis(10))),
+        );
+        sim.run(1000);
+        let client: &ScriptedClient = sim.component(client_id).expect("registered");
+        assert!(client.is_finished());
+        let record = &client.records()[0];
+        assert!(record.returned_entry(), "third attempt finds the entry");
+        assert_eq!(
+            record.recovery_outcome(),
+            RecoveryOutcome::Recovered {
+                attempts: 3,
+                // Two 10 ms retry waits between the failure at t=0 and the
+                // success (the stub answers instantly).
+                extra_time: SimDuration::from_millis(20),
+            }
+        );
+        let stub_ref: &StubServer = sim.component(stub).expect("registered");
+        assert_eq!(stub_ref.seen.len(), 3, "the same take was sent three times");
+    }
+
+    #[test]
+    fn recovery_gives_up_after_the_attempt_budget() {
+        let mut sim = Simulator::new();
+        let client_id = ComponentId::from_raw(1);
+        let stub = sim.add_component(
+            "stub",
+            StubServer {
+                client: Some(client_id),
+                responses: vec![
+                    Response::Entry { tuple: None },
+                    Response::Entry { tuple: None },
+                ],
+                seen: Vec::new(),
+            },
+        );
+        let script = vec![ClientStep::Request(Request::TakeIfExists {
+            template: template!["e", ValueType::Int],
+        })];
+        sim.add_component(
+            "client",
+            ScriptedClient::new(stub, NodeId::new(3).expect("valid"), SimDuration::ZERO, script)
+                .with_recovery(RecoveryPolicy::new(2, SimDuration::from_millis(10))),
+        );
+        sim.run(1000);
+        let client: &ScriptedClient = sim.component(client_id).expect("registered");
+        assert!(client.is_finished());
+        let record = &client.records()[0];
+        assert!(!record.returned_entry());
+        assert_eq!(
+            record.recovery_outcome(),
+            RecoveryOutcome::GaveUp { attempts: 2 }
+        );
     }
 }

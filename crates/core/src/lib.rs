@@ -40,7 +40,7 @@ mod server;
 mod tcp;
 
 pub use buscbr::{BusCbrSink, BusCbrSource};
-pub use client::{ClientStep, OpRecord, ScriptedClient};
+pub use client::{ClientStep, OpRecord, RecoveryOutcome, RecoveryPolicy, ScriptedClient};
 pub use endpoint::{EndpointCosts, TpwireEndpoint};
 pub use farm::{run_farm, FarmConfig, FarmResult};
 pub use net::{MessageAssembler, NetDeliver, NetError, NetSend};

@@ -2,12 +2,13 @@
 //! Fig. 7 tuplespace case study, over TpWIRE or the TCP baseline.
 
 use tsbus_des::{ComponentId, SimDuration, SimTime, Simulator};
+use tsbus_faults::{FaultDriver, FaultSchedule};
 use tsbus_tpwire::{analytic, BusParams, NodeId, TpWireBus};
 use tsbus_tuplespace::{Pattern, Template, Tuple, Value, ValueType};
 use tsbus_xmlwire::{Request, WireFormat};
 
 use crate::buscbr::{BusCbrSink, BusCbrSource};
-use crate::client::{ClientStep, ScriptedClient};
+use crate::client::{ClientStep, RecoveryOutcome, RecoveryPolicy, ScriptedClient};
 use crate::endpoint::{EndpointCosts, TpwireEndpoint};
 use crate::server::SpaceServerAgent;
 use crate::tcp::{build_tcp_star, TcpParams};
@@ -146,6 +147,11 @@ pub struct CaseStudyConfig {
     /// Wire encoding of entries and operations (the paper uses XML; the
     /// binary alternative quantifies what that choice costs).
     pub wire_format: WireFormat,
+    /// Client-side failure recovery: when set, failed requests (transport
+    /// errors, or a take that came back empty) are re-issued per the
+    /// policy, and the result reports a [`RecoveryOutcome`] instead of a
+    /// bare out-of-time.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl CaseStudyConfig {
@@ -177,6 +183,7 @@ impl CaseStudyConfig {
             server_endpoint: EndpointCosts::symmetric(SimDuration::from_secs(6)),
             horizon: SimDuration::from_secs(3_600),
             wire_format: WireFormat::Xml,
+            recovery: None,
         }
     }
 
@@ -198,6 +205,13 @@ impl CaseStudyConfig {
     #[must_use]
     pub fn with_wire_format(mut self, format: WireFormat) -> Self {
         self.wire_format = format;
+        self
+    }
+
+    /// Returns a copy with client-side failure recovery enabled.
+    #[must_use]
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
         self
     }
 }
@@ -226,6 +240,16 @@ pub struct CaseStudyResult {
     pub bus_transactions: u64,
     /// Lane-0 utilization over the run.
     pub bus_utilization: f64,
+    /// Bus transactions that were re-sent (timeouts / corrupted frames).
+    pub bus_retries: u64,
+    /// Bus transactions abandoned after exhausting their retry budget.
+    pub bus_hard_failures: u64,
+    /// Bus deliveries dropped for want of an attachment (always 0 here
+    /// unless a fault schedule severed a destination).
+    pub bus_dropped_deliveries: u64,
+    /// How the take fared under the configured [`RecoveryPolicy`]
+    /// ([`RecoveryOutcome::FirstTry`] when recovery is off).
+    pub take_recovery: RecoveryOutcome,
 }
 
 /// The entry tuple the client writes: `("entry", <entry_bytes of data>)`.
@@ -269,10 +293,22 @@ pub fn case_study_script(
 /// Runs the Fig. 7 case study over TpWIRE.
 #[must_use]
 pub fn run_case_study(cfg: &CaseStudyConfig) -> CaseStudyResult {
+    run_case_study_with_faults(cfg, &FaultSchedule::new())
+}
+
+/// Runs the Fig. 7 case study over TpWIRE with a timed fault schedule
+/// aimed at the bus (crashes, resets, chain breaks — see
+/// [`tsbus_faults::FaultKind`]). An empty schedule reproduces
+/// [`run_case_study`] exactly.
+#[must_use]
+pub fn run_case_study_with_faults(
+    cfg: &CaseStudyConfig,
+    faults: &FaultSchedule,
+) -> CaseStudyResult {
     let mut sim = Simulator::with_seed(7);
     // Id layout (registration order below must match):
     //   0 client app, 1 server app, 2 client endpoint, 3 server endpoint,
-    //   4 CBR source, 5 CBR sink, 6 bus.
+    //   4 CBR source, 5 CBR sink, 6 bus (7 fault driver, when scheduled).
     let client_app = ComponentId::from_raw(0);
     let server_app = ComponentId::from_raw(1);
     let ep_client = ComponentId::from_raw(2);
@@ -282,11 +318,12 @@ pub fn run_case_study(cfg: &CaseStudyConfig) -> CaseStudyResult {
     let bus_id = ComponentId::from_raw(6);
 
     let script = case_study_script(cfg.entry_bytes, cfg.lease, cfg.take_delay);
-    let c = sim.add_component(
-        "client",
-        ScriptedClient::new(ep_client, node(3), cfg.client_think, script)
-            .with_format(cfg.wire_format),
-    );
+    let mut client = ScriptedClient::new(ep_client, node(3), cfg.client_think, script)
+        .with_format(cfg.wire_format);
+    if let Some(policy) = cfg.recovery {
+        client = client.with_recovery(policy);
+    }
+    let c = sim.add_component("client", client);
     debug_assert_eq!(c, client_app);
     sim.add_component(
         "server",
@@ -312,6 +349,9 @@ pub fn run_case_study(cfg: &CaseStudyConfig) -> CaseStudyResult {
     bus.attach(node(4), cbr_sink);
     let b = sim.add_component("bus", bus);
     debug_assert_eq!(b, bus_id);
+    if !faults.is_empty() {
+        sim.add_component("faults", FaultDriver::new(bus_id, faults.clone()));
+    }
 
     let horizon = SimTime::ZERO + cfg.horizon;
     // Run in slices so we can stop as soon as the client finishes.
@@ -343,8 +383,13 @@ pub fn run_case_study(cfg: &CaseStudyConfig) -> CaseStudyResult {
             .get(1)
             .map(super::client::OpRecord::returned_entry)
             .unwrap_or(false);
+    let take_recovery = records
+        .get(1)
+        .map(super::client::OpRecord::recovery_outcome)
+        .unwrap_or(RecoveryOutcome::FirstTry);
     let sink: &BusCbrSink = sim.component(cbr_sink).expect("registered");
     let bus_ref: &TpWireBus = sim.component(bus_id).expect("registered");
+    let stats = bus_ref.stats();
     CaseStudyResult {
         finished,
         total_time,
@@ -353,8 +398,12 @@ pub fn run_case_study(cfg: &CaseStudyConfig) -> CaseStudyResult {
         take_latency,
         out_of_time,
         cbr_delivered_bytes: sink.bytes(),
-        bus_transactions: bus_ref.stats().transactions,
+        bus_transactions: stats.transactions,
         bus_utilization: bus_ref.lane_utilization(0, now),
+        bus_retries: stats.retries,
+        bus_hard_failures: stats.failures,
+        bus_dropped_deliveries: stats.dropped_deliveries,
+        take_recovery,
     }
 }
 
@@ -368,11 +417,12 @@ pub fn run_case_study_tcp(cfg: &CaseStudyConfig, tcp: TcpParams) -> CaseStudyRes
     let ep_client = ComponentId::from_raw(2);
     // build_tcp_star registers endpoints first: [2, 3], then links, switch.
     let script = case_study_script(cfg.entry_bytes, cfg.lease, cfg.take_delay);
-    let c = sim.add_component(
-        "client",
-        ScriptedClient::new(ep_client, node(3), cfg.client_think, script)
-            .with_format(cfg.wire_format),
-    );
+    let mut client = ScriptedClient::new(ep_client, node(3), cfg.client_think, script)
+        .with_format(cfg.wire_format);
+    if let Some(policy) = cfg.recovery {
+        client = client.with_recovery(policy);
+    }
+    let c = sim.add_component("client", client);
     debug_assert_eq!(c, client_app);
     let ep_server_expected = ComponentId::from_raw(3);
     sim.add_component(
@@ -417,6 +467,13 @@ pub fn run_case_study_tcp(cfg: &CaseStudyConfig, tcp: TcpParams) -> CaseStudyRes
         cbr_delivered_bytes: 0,
         bus_transactions: 0,
         bus_utilization: 0.0,
+        bus_retries: 0,
+        bus_hard_failures: 0,
+        bus_dropped_deliveries: 0,
+        take_recovery: records
+            .get(1)
+            .map(super::client::OpRecord::recovery_outcome)
+            .unwrap_or(RecoveryOutcome::FirstTry),
     }
 }
 
@@ -482,6 +539,7 @@ mod tests {
             server_endpoint: EndpointCosts::free(),
             horizon: SimDuration::from_secs(60),
             wire_format: WireFormat::Xml,
+            recovery: None,
         };
         let result = run_case_study(&cfg);
         assert!(result.finished);
@@ -504,6 +562,7 @@ mod tests {
             server_endpoint: EndpointCosts::free(),
             horizon: SimDuration::from_secs(2_000),
             wire_format: WireFormat::Xml,
+            recovery: None,
         };
         let idle = run_case_study(&base);
         let loaded = run_case_study(&base.with_cbr_rate(2.0));
@@ -531,6 +590,7 @@ mod tests {
             server_endpoint: EndpointCosts::free(),
             horizon: SimDuration::from_secs(2_000),
             wire_format: WireFormat::Xml,
+            recovery: None,
         };
         let one = run_case_study(&base);
         let two = run_case_study(&base.with_bus(
@@ -563,10 +623,121 @@ mod tests {
             server_endpoint: EndpointCosts::free(),
             horizon: SimDuration::from_secs(2_000),
             wire_format: WireFormat::Xml,
+            recovery: None,
         };
         let result = run_case_study(&cfg);
         assert!(result.finished, "the exchange itself completes");
         assert!(result.out_of_time, "but the entry is gone");
+    }
+
+    #[test]
+    fn lease_expiry_with_recovery_gives_up_but_reports_attempts() {
+        // Same as above, but the client retries the empty take. The entry
+        // is gone for good, so recovery must exhaust its budget and the
+        // result still reads out-of-time — now with the attempt count.
+        let cfg = CaseStudyConfig {
+            bus: BusParams::theseus_default().with_bit_rate(2_000.0),
+            entry_bytes: 512,
+            lease: SimDuration::from_secs(2),
+            cbr_rate: 0.0,
+            cbr_packet: 1,
+            take_delay: SimDuration::ZERO,
+            client_think: SimDuration::ZERO,
+            server_service: SimDuration::ZERO,
+            client_endpoint: EndpointCosts::free(),
+            server_endpoint: EndpointCosts::free(),
+            horizon: SimDuration::from_secs(2_000),
+            wire_format: WireFormat::Xml,
+            recovery: Some(RecoveryPolicy::new(2, SimDuration::from_secs(1))),
+        };
+        let result = run_case_study(&cfg);
+        assert!(result.finished);
+        assert!(result.out_of_time, "the entry is gone; retries cannot help");
+        assert_eq!(
+            result.take_recovery,
+            RecoveryOutcome::GaveUp { attempts: 2 }
+        );
+    }
+
+    #[test]
+    fn scheduled_server_crash_is_recovered_by_the_client() {
+        use tsbus_faults::FaultKind;
+        // The server's slave crashes before the take is sent and revives
+        // a few seconds later. Without recovery the take dies with a
+        // transport error; with it, the re-issued take lands after the
+        // revive (which walks the slave through its hardware reset) and
+        // returns the still-leased entry.
+        let cfg = CaseStudyConfig {
+            bus: BusParams::theseus_default(), // full-speed 8 Mbit/s
+            entry_bytes: 128,
+            lease: SimDuration::from_secs(160),
+            cbr_rate: 0.0,
+            cbr_packet: 1,
+            take_delay: SimDuration::from_secs(5),
+            client_think: SimDuration::ZERO,
+            server_service: SimDuration::ZERO,
+            client_endpoint: EndpointCosts::free(),
+            server_endpoint: EndpointCosts::free(),
+            horizon: SimDuration::from_secs(60),
+            wire_format: WireFormat::Xml,
+            recovery: Some(RecoveryPolicy::new(4, SimDuration::from_secs(5))),
+        };
+        let faults = FaultSchedule::new()
+            .at(SimTime::from_secs(4), FaultKind::SlaveCrash(3))
+            .at(SimTime::from_secs(8), FaultKind::SlaveRevive(3));
+        let result = run_case_study_with_faults(&cfg, &faults);
+        assert!(result.finished, "the retried take completes");
+        assert!(!result.out_of_time, "the 160 s lease survives the outage");
+        match result.take_recovery {
+            RecoveryOutcome::Recovered { attempts, extra_time } => {
+                assert!(attempts >= 2, "at least one re-issue, got {attempts}");
+                assert!(
+                    extra_time >= SimDuration::from_secs(4),
+                    "the outage cost real time, got {extra_time}"
+                );
+            }
+            other => panic!("expected a recovered take, got {other:?}"),
+        }
+        assert!(result.bus_retries > 0, "the crashed slave forced bus retries");
+        assert!(
+            result.bus_hard_failures > 0,
+            "the first take exhausted its bus retry budget"
+        );
+
+        // Without recovery the same outage is a bare failure.
+        let bare = run_case_study_with_faults(
+            &CaseStudyConfig { recovery: None, ..cfg },
+            &faults,
+        );
+        assert!(bare.out_of_time, "no recovery: the take is lost");
+        assert_eq!(bare.take_recovery, RecoveryOutcome::FirstTry);
+    }
+
+    #[test]
+    fn frame_errors_surface_in_the_result_counters() {
+        let cfg = CaseStudyConfig {
+            bus: BusParams::theseus_default().with_frame_error_rate(0.01),
+            entry_bytes: 128,
+            lease: SimDuration::from_secs(160),
+            cbr_rate: 0.0,
+            cbr_packet: 1,
+            take_delay: SimDuration::ZERO,
+            client_think: SimDuration::ZERO,
+            server_service: SimDuration::ZERO,
+            client_endpoint: EndpointCosts::free(),
+            server_endpoint: EndpointCosts::free(),
+            horizon: SimDuration::from_secs(60),
+            wire_format: WireFormat::Xml,
+            recovery: Some(RecoveryPolicy::new(3, SimDuration::from_secs(1))),
+        };
+        let result = run_case_study(&cfg);
+        assert!(result.finished);
+        assert!(result.bus_retries > 0, "a 1% frame error rate forces retries");
+        // An empty fault schedule must reproduce the plain runner exactly.
+        let replay = run_case_study_with_faults(&cfg, &FaultSchedule::new());
+        assert_eq!(result.bus_retries, replay.bus_retries);
+        assert_eq!(result.bus_transactions, replay.bus_transactions);
+        assert_eq!(result.total_time, replay.total_time);
     }
 
     #[test]
@@ -584,6 +755,7 @@ mod tests {
             server_endpoint: EndpointCosts::free(),
             horizon: SimDuration::from_secs(10),
             wire_format: WireFormat::Xml,
+            recovery: None,
         };
         let result = run_case_study_tcp(&cfg, TcpParams::ethernet_10mbps());
         assert!(result.finished);

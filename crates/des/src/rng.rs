@@ -1,14 +1,14 @@
 //! Deterministic random-number generation for simulations.
 //!
-//! [`SimRng`] wraps a seeded [`rand::rngs::StdRng`] and adds the handful of
+//! [`SimRng`] is a self-contained xoshiro256** generator (seeded through
+//! SplitMix64, the reference seeding procedure) with the handful of
 //! distributions the traffic models need (uniform, exponential, normal via
 //! Box–Muller). Named sub-streams ([`SimRng::stream`]) let independent model
 //! pieces draw from decorrelated sequences that are still fully determined by
 //! the master seed, so adding a draw in one component never perturbs another
-//! component's sequence.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! component's sequence. Being dependency-free keeps the draw sequence under
+//! this crate's control: it can never shift underneath saved experiment seeds
+//! because an upstream RNG crate changed its algorithm.
 
 /// A seeded, deterministic random-number generator with the distribution
 /// helpers simulation models need.
@@ -25,7 +25,7 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
 }
 
@@ -33,10 +33,18 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seeded(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        // Expand the seed through SplitMix64 so near-identical seeds still
+        // produce uncorrelated xoshiro states (the reference construction).
+        let mut splitmix = seed;
+        let mut next = || {
+            splitmix = splitmix.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = splitmix;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let state = [next(), next(), next(), next()];
+        SimRng { state, seed }
     }
 
     /// The seed this generator (or its parent, for sub-streams) was created
@@ -54,14 +62,26 @@ impl SimRng {
         SimRng::seeded(self.seed ^ fnv1a(name.as_bytes()))
     }
 
-    /// The next raw 64-bit draw.
+    /// The next raw 64-bit draw (xoshiro256**).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.state[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// A uniform draw in `[0, 1)`.
     pub fn uniform_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high-quality bits → the standard [0, 1) double construction.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// A uniform draw in `[low, high)`.
@@ -81,7 +101,15 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below requires a positive bound");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift bounded draw with rejection, unbiased.
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let low = m as u64;
+            if low >= bound.wrapping_neg() % bound || bound.is_power_of_two() {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// An exponentially distributed draw with the given mean (inverse-CDF
@@ -134,24 +162,6 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 /// FNV-1a over bytes — a stable, dependency-free string hash for deriving
 /// sub-stream seeds (must never change across versions or saved experiment
 /// seeds would silently shift).
@@ -186,6 +196,14 @@ mod tests {
         let mut a = root.stream("alpha");
         let mut b = root.stream("beta");
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn nearby_seeds_are_uncorrelated() {
+        let mut a = SimRng::seeded(0);
+        let mut b = SimRng::seeded(1);
+        let matches = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0, "adjacent seeds should share no draws");
     }
 
     #[test]
@@ -232,6 +250,16 @@ mod tests {
         for _ in 0..1000 {
             assert!(rng.below(7) < 7);
         }
+    }
+
+    #[test]
+    fn below_covers_small_bounds() {
+        let mut rng = SimRng::seeded(11);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable: {seen:?}");
     }
 
     #[test]

@@ -31,7 +31,6 @@ use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 ///
 /// [`Simulator::now`]: crate::Simulator::now
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in integer nanoseconds.
@@ -46,7 +45,6 @@ pub struct SimTime(u64);
 /// assert_eq!(frame.as_micros_f64(), 2.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimDuration(u64);
 
 const NANOS_PER_MICRO: u64 = 1_000;

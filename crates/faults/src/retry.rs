@@ -1,0 +1,209 @@
+//! Master retry policy: how many times to resend, and how long to wait.
+//!
+//! The TpWIRE spec only says the master resends "a predetermined number of
+//! times"; the seed implementation hard-coded an immediate-resend counter.
+//! This module turns that into data: per-class retry budgets with backoff
+//! measured in bit periods, so a sweep can ask whether waiting out a burst
+//! beats hammering into it.
+
+/// Delay schedule between retry attempts, in bus bit periods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backoff {
+    /// Resend immediately (the seed behaviour).
+    None,
+    /// Wait a fixed number of bit periods before every resend.
+    Fixed {
+        /// Delay before each retry.
+        bits: u64,
+    },
+    /// Wait `base_bits << (attempt - 1)`, capped at `cap_bits`.
+    Exponential {
+        /// Delay before the first retry.
+        base_bits: u64,
+        /// Upper bound on any single delay.
+        cap_bits: u64,
+    },
+}
+
+impl Backoff {
+    /// Delay (in bit periods) before retry number `attempt` (1-based:
+    /// `attempt == 1` is the first resend).
+    #[must_use]
+    pub fn delay_bits(&self, attempt: u32) -> u64 {
+        match *self {
+            Backoff::None => 0,
+            Backoff::Fixed { bits } => bits,
+            Backoff::Exponential { base_bits, cap_bits } => {
+                let shift = attempt.saturating_sub(1).min(63);
+                base_bits.saturating_shl(shift).min(cap_bits)
+            }
+        }
+    }
+}
+
+/// Saturating left shift helper (u64 lacks one in std).
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> Self {
+        if self == 0 {
+            return 0;
+        }
+        if shift >= self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << shift
+        }
+    }
+}
+
+/// One class's retry budget and backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryParams {
+    /// Maximum number of *resends* after the initial attempt.
+    pub max_retries: u8,
+    /// Delay schedule between attempts.
+    pub backoff: Backoff,
+}
+
+impl RetryParams {
+    /// Immediate resends, `max_retries` times — the seed behaviour.
+    #[must_use]
+    pub const fn immediate(max_retries: u8) -> Self {
+        Self { max_retries, backoff: Backoff::None }
+    }
+}
+
+impl Default for RetryParams {
+    fn default() -> Self {
+        Self::immediate(3)
+    }
+}
+
+/// Frame classification for per-class retry overrides.
+///
+/// Stream reads are idempotent on the bus (the alternating-bit toggle makes
+/// re-reads safe) while writes consume FIFO space on the slave, so the two
+/// directions may warrant different budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameClass {
+    /// Node selection, pointer setup, discovery, and other control frames.
+    Control,
+    /// Data reads from the stream FIFO (alternating-bit protected).
+    StreamRead,
+    /// Data writes into the stream FIFO.
+    StreamWrite,
+}
+
+/// The master's complete retry policy: a default plus optional per-class
+/// overrides for the two stream directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Applied to any class without an override.
+    pub default: RetryParams,
+    /// Override for [`FrameClass::StreamRead`].
+    pub stream_read: Option<RetryParams>,
+    /// Override for [`FrameClass::StreamWrite`].
+    pub stream_write: Option<RetryParams>,
+}
+
+impl RetryPolicy {
+    /// Uniform immediate-resend policy (the seed behaviour, historically
+    /// `BusParams::max_retries`).
+    #[must_use]
+    pub const fn immediate(max_retries: u8) -> Self {
+        Self {
+            default: RetryParams::immediate(max_retries),
+            stream_read: None,
+            stream_write: None,
+        }
+    }
+
+    /// Uniform policy with the given parameters for every class.
+    #[must_use]
+    pub const fn uniform(params: RetryParams) -> Self {
+        Self { default: params, stream_read: None, stream_write: None }
+    }
+
+    /// Returns a copy with a [`FrameClass::StreamRead`] override.
+    #[must_use]
+    pub const fn with_stream_read(mut self, params: RetryParams) -> Self {
+        self.stream_read = Some(params);
+        self
+    }
+
+    /// Returns a copy with a [`FrameClass::StreamWrite`] override.
+    #[must_use]
+    pub const fn with_stream_write(mut self, params: RetryParams) -> Self {
+        self.stream_write = Some(params);
+        self
+    }
+
+    /// The effective parameters for one frame class.
+    #[must_use]
+    pub fn for_class(&self, class: FrameClass) -> RetryParams {
+        match class {
+            FrameClass::Control => self.default,
+            FrameClass::StreamRead => self.stream_read.unwrap_or(self.default),
+            FrameClass::StreamWrite => self.stream_write.unwrap_or(self.default),
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Matches the seed's hard-coded behaviour: three immediate resends.
+    fn default() -> Self {
+        Self::immediate(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedules() {
+        assert_eq!(Backoff::None.delay_bits(1), 0);
+        assert_eq!(Backoff::None.delay_bits(7), 0);
+        let fixed = Backoff::Fixed { bits: 64 };
+        assert_eq!(fixed.delay_bits(1), 64);
+        assert_eq!(fixed.delay_bits(5), 64);
+        let exp = Backoff::Exponential { base_bits: 32, cap_bits: 2048 };
+        assert_eq!(exp.delay_bits(1), 32);
+        assert_eq!(exp.delay_bits(2), 64);
+        assert_eq!(exp.delay_bits(3), 128);
+        assert_eq!(exp.delay_bits(10), 2048, "caps at cap_bits");
+        assert_eq!(exp.delay_bits(100), 2048, "huge attempts saturate");
+    }
+
+    #[test]
+    fn zero_base_never_delays() {
+        let exp = Backoff::Exponential { base_bits: 0, cap_bits: 1024 };
+        assert_eq!(exp.delay_bits(1), 0);
+        assert_eq!(exp.delay_bits(64), 0);
+    }
+
+    #[test]
+    fn class_overrides_resolve() {
+        let policy = RetryPolicy::immediate(3)
+            .with_stream_read(RetryParams {
+                max_retries: 8,
+                backoff: Backoff::Exponential { base_bits: 16, cap_bits: 512 },
+            });
+        assert_eq!(policy.for_class(FrameClass::Control), RetryParams::immediate(3));
+        assert_eq!(policy.for_class(FrameClass::StreamWrite), RetryParams::immediate(3));
+        assert_eq!(policy.for_class(FrameClass::StreamRead).max_retries, 8);
+    }
+
+    #[test]
+    fn default_matches_seed_behaviour() {
+        let policy = RetryPolicy::default();
+        for class in [FrameClass::Control, FrameClass::StreamRead, FrameClass::StreamWrite] {
+            let p = policy.for_class(class);
+            assert_eq!(p.max_retries, 3);
+            assert_eq!(p.backoff, Backoff::None);
+        }
+    }
+}

@@ -7,6 +7,7 @@ use tsbus_des::stats::{Counter, Utilization};
 use tsbus_des::{
     Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime,
 };
+use tsbus_faults::LinkFaults;
 
 use crate::packet::{Deliver, Packet, Transmit};
 
@@ -58,6 +59,9 @@ struct Direction {
     utilization: Utilization,
     forwarded: Counter,
     dropped: Counter,
+    lost: Counter,
+    duplicated: Counter,
+    reordered: Counter,
 }
 
 impl Direction {
@@ -68,6 +72,9 @@ impl Direction {
             utilization: Utilization::new(SimTime::ZERO),
             forwarded: Counter::new(),
             dropped: Counter::new(),
+            lost: Counter::new(),
+            duplicated: Counter::new(),
+            reordered: Counter::new(),
         }
     }
 }
@@ -87,6 +94,12 @@ pub struct LinkStats {
     pub forwarded: u64,
     /// Packets discarded by drop-tail.
     pub dropped: u64,
+    /// Packets lost to injected wire faults (after transmission).
+    pub lost: u64,
+    /// Extra deliveries created by injected duplication.
+    pub duplicated: u64,
+    /// Packets held back by injected reordering.
+    pub reordered: u64,
     /// Fraction of time the transmitter was busy, in `[0, 1]`.
     pub utilization: f64,
 }
@@ -107,6 +120,7 @@ pub struct Link {
     endpoint_a: ComponentId,
     endpoint_b: ComponentId,
     directions: [Direction; 2],
+    faults: [LinkFaults; 2],
 }
 
 impl Link {
@@ -118,13 +132,44 @@ impl Link {
             endpoint_a,
             endpoint_b,
             directions: [Direction::new(), Direction::new()],
+            faults: [LinkFaults::NONE; 2],
         }
+    }
+
+    /// Applies the same fault matrix to both directions (builder style).
+    /// All effects draw from the link component's seeded RNG stream, so the
+    /// same master seed replays the identical fault trace.
+    #[must_use]
+    pub fn with_faults(mut self, faults: LinkFaults) -> Self {
+        self.faults = [faults; 2];
+        self
+    }
+
+    /// Applies a fault matrix to one direction only (0 = a→b, 1 = b→a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir > 1`.
+    #[must_use]
+    pub fn with_direction_faults(mut self, dir: usize, faults: LinkFaults) -> Self {
+        self.faults[dir] = faults;
+        self
     }
 
     /// The link's transmission parameters.
     #[must_use]
     pub fn spec(&self) -> &LinkSpec {
         &self.spec
+    }
+
+    /// The fault matrix of one direction (0 = a→b, 1 = b→a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir > 1`.
+    #[must_use]
+    pub fn faults(&self, dir: usize) -> &LinkFaults {
+        &self.faults[dir]
     }
 
     /// Statistics for the a→b (`0`) or b→a (`1`) direction at instant `now`.
@@ -138,6 +183,9 @@ impl Link {
         LinkStats {
             forwarded: d.forwarded.count(),
             dropped: d.dropped.count(),
+            lost: d.lost.count(),
+            duplicated: d.duplicated.count(),
+            reordered: d.reordered.count(),
             utilization: d.utilization.fraction_busy(now),
         }
     }
@@ -165,6 +213,39 @@ impl Link {
         self.directions[dir].busy = true;
         self.directions[dir].utilization.set_busy(ctx.now());
         ctx.schedule_self_in(tx_time, TxDone { dir, packet });
+    }
+
+    /// Schedules delivery of a fully transmitted packet, applying this
+    /// direction's fault matrix: loss kills it, jitter and reorder-hold
+    /// stretch its propagation, duplication schedules a second copy.
+    fn deliver(&mut self, ctx: &mut Context<'_>, dir: usize, packet: Packet) {
+        let receiver = self.receiver_of(dir);
+        let faults = self.faults[dir];
+        if faults.is_none() {
+            ctx.schedule_in(self.spec.delay, receiver, Deliver { packet });
+            return;
+        }
+        if faults.loss() > 0.0 && ctx.rng().chance(faults.loss()) {
+            self.directions[dir].lost.increment();
+            ctx.trace("fault-loss", format_args!("seq={}", packet.seq));
+            return;
+        }
+        let mut delay = self.spec.delay;
+        if faults.jitter > SimDuration::ZERO {
+            let extra = ctx.rng().below(faults.jitter.as_nanos() + 1);
+            delay += SimDuration::from_nanos(extra);
+        }
+        if faults.reorder() > 0.0 && ctx.rng().chance(faults.reorder()) {
+            self.directions[dir].reordered.increment();
+            ctx.trace("fault-reorder", format_args!("seq={}", packet.seq));
+            delay += faults.reorder_hold;
+        }
+        if faults.duplicate() > 0.0 && ctx.rng().chance(faults.duplicate()) {
+            self.directions[dir].duplicated.increment();
+            ctx.trace("fault-dup", format_args!("seq={}", packet.seq));
+            ctx.schedule_in(delay, receiver, Deliver { packet: packet.clone() });
+        }
+        ctx.schedule_in(delay, receiver, Deliver { packet });
     }
 }
 
@@ -197,8 +278,7 @@ impl Component for Link {
             .expect("links receive only Transmit and TxDone");
         let TxDone { dir, packet } = *done;
         self.directions[dir].forwarded.increment();
-        let receiver = self.receiver_of(dir);
-        ctx.schedule_in(self.spec.delay, receiver, Deliver { packet });
+        self.deliver(ctx, dir, packet);
         match self.directions[dir].queue.pop_front() {
             Some(next) => self.start_transmission(ctx, dir, next),
             None => {
@@ -366,6 +446,97 @@ mod tests {
         let link_ref: &Link = sim.component(link).expect("registered");
         let stats = link_ref.stats(0, sim.now());
         assert!((stats.utilization - 0.5).abs() < 1e-9);
+    }
+
+    fn faulty_link(
+        sim: &mut Simulator,
+        faults: LinkFaults,
+        count: u64,
+    ) -> (ComponentId, ComponentId) {
+        let a = sim.add_component("a", Endpoint::default());
+        let b = sim.add_component("b", Endpoint::default());
+        let spec = LinkSpec::new(8_000_000.0, SimDuration::from_millis(1), 1024);
+        let link = sim.add_component("link", Link::new(spec, a, b).with_faults(faults));
+        sim.with_context(|ctx| {
+            for seq in 0..count {
+                ctx.send(
+                    link,
+                    Transmit {
+                        from: a,
+                        packet: packet(a, b, 100, seq),
+                    },
+                );
+            }
+        });
+        (link, b)
+    }
+
+    #[test]
+    fn total_loss_delivers_nothing() {
+        let mut sim = Simulator::with_seed(7);
+        let (link, b) = faulty_link(&mut sim, LinkFaults::new().with_loss(1.0), 5);
+        sim.run_until(SimTime::from_secs(1));
+        let ep: &Endpoint = sim.component(b).expect("registered");
+        assert!(ep.deliveries.is_empty(), "loss=1.0 must drop everything");
+        let link_ref: &Link = sim.component(link).expect("registered");
+        let stats = link_ref.stats(0, sim.now());
+        assert_eq!(stats.forwarded, 5, "loss happens after transmission");
+        assert_eq!(stats.lost, 5);
+        assert_eq!(stats.dropped, 0, "wire loss is not queue drop");
+    }
+
+    #[test]
+    fn certain_duplication_doubles_deliveries() {
+        let mut sim = Simulator::with_seed(7);
+        let (link, b) = faulty_link(&mut sim, LinkFaults::new().with_duplication(1.0), 4);
+        sim.run_until(SimTime::from_secs(1));
+        let ep: &Endpoint = sim.component(b).expect("registered");
+        assert_eq!(ep.deliveries.len(), 8, "every packet arrives twice");
+        let link_ref: &Link = sim.component(link).expect("registered");
+        assert_eq!(link_ref.stats(0, sim.now()).duplicated, 4);
+    }
+
+    #[test]
+    fn reordering_lets_later_packets_overtake() {
+        let faults = LinkFaults::new().with_reordering(0.5, SimDuration::from_millis(50));
+        let mut sim = Simulator::with_seed(11);
+        let (link, b) = faulty_link(&mut sim, faults, 20);
+        sim.run_until(SimTime::from_secs(1));
+        let ep: &Endpoint = sim.component(b).expect("registered");
+        assert_eq!(ep.deliveries.len(), 20, "reordering delays, never drops");
+        let inversions = ep
+            .deliveries
+            .windows(2)
+            .filter(|w| w[1].1 < w[0].1)
+            .count();
+        assert!(inversions > 0, "held packets must be overtaken");
+        let link_ref: &Link = sim.component(link).expect("registered");
+        let reordered = link_ref.stats(0, sim.now()).reordered;
+        assert!(reordered > 0 && reordered < 20, "p=0.5 holds some, not all");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seed_deterministic() {
+        let jitter = SimDuration::from_micros(50);
+        let run = |seed| {
+            let mut sim = Simulator::with_seed(seed);
+            let (_, b) = faulty_link(&mut sim, LinkFaults::new().with_jitter(jitter), 10);
+            sim.run_until(SimTime::from_secs(1));
+            let ep: &Endpoint = sim.component(b).expect("registered");
+            ep.deliveries.clone()
+        };
+        let first = run(3);
+        assert_eq!(first, run(3), "same seed, same fault trace");
+        assert_ne!(first, run(4), "different seed, different jitter draws");
+        // Every delivery lands within [propagation, propagation + jitter]
+        // of its serialization end (100 B at 8 Mb/s = 100 µs each).
+        for (i, &(at, seq)) in first.iter().enumerate() {
+            assert_eq!(seq, i as u64, "jitter below serialization gap keeps order");
+            let tx_end = SimDuration::from_micros(100 * (seq + 1));
+            let earliest = SimTime::ZERO + tx_end + SimDuration::from_millis(1);
+            assert!(at >= earliest, "delivery {seq} too early: {at}");
+            assert!(at <= earliest + jitter, "delivery {seq} too late: {at}");
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! for many concurrent flows (and still forwards nothing — it is a
 //! terminal sink).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use tsbus_des::stats::Summary;
 use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimTime};
@@ -27,6 +27,14 @@ pub struct FlowStats {
     pub last_arrival: Option<SimTime>,
     /// Highest sequence number seen.
     pub max_seq: u64,
+    /// Arrivals whose sequence number had already been delivered
+    /// (duplicated by a faulty link).
+    pub duplicates: u64,
+    /// First-time arrivals that came in below an already-seen sequence
+    /// number (overtaken by later packets on a reordering link).
+    pub out_of_order: u64,
+    /// Every sequence number delivered at least once.
+    seen: HashSet<u64>,
 }
 
 impl FlowStats {
@@ -43,10 +51,11 @@ impl FlowStats {
     }
 
     /// Packets missing below the highest sequence seen (lost or still in
-    /// flight), assuming the source numbers from 0.
+    /// flight), assuming the source numbers from 0. Duplicate deliveries
+    /// do not mask losses.
     #[must_use]
     pub fn missing(&self) -> u64 {
-        (self.max_seq + 1).saturating_sub(self.packets)
+        (self.max_seq + 1).saturating_sub(self.packets.saturating_sub(self.duplicates))
     }
 }
 
@@ -111,6 +120,11 @@ impl Component for FlowMonitor {
             .record(now.saturating_duration_since(packet.sent_at).as_secs_f64());
         flow.first_arrival.get_or_insert(now);
         flow.last_arrival = Some(now);
+        if !flow.seen.insert(packet.seq) {
+            flow.duplicates += 1;
+        } else if packet.seq < flow.max_seq {
+            flow.out_of_order += 1;
+        }
         flow.max_seq = flow.max_seq.max(packet.seq);
     }
 }
@@ -146,6 +160,34 @@ mod tests {
         assert_eq!(m.total_packets(), a.packets + b.packets);
         assert_eq!(m.total_bytes(), a.bytes + b.bytes);
         assert_eq!(a.missing(), 0, "lossless link drops nothing");
+    }
+
+    #[test]
+    fn duplicates_and_reorders_are_counted() {
+        let mut sim = Simulator::new();
+        let monitor = sim.add_component("monitor", FlowMonitor::new());
+        let src = ComponentId::from_raw(99);
+        sim.with_context(|ctx| {
+            for seq in [0u64, 1, 1, 3, 2] {
+                let mut p = crate::packet::Packet::new(
+                    src,
+                    monitor,
+                    10,
+                    bytes::Bytes::new(),
+                    tsbus_des::SimTime::ZERO,
+                );
+                p.seq = seq;
+                ctx.send(monitor, Deliver { packet: p });
+            }
+        });
+        sim.run(100);
+        let m: &FlowMonitor = sim.component(monitor).expect("registered");
+        let flow = m.flow(src).expect("flow seen");
+        assert_eq!(flow.packets, 5);
+        assert_eq!(flow.duplicates, 1, "seq 1 arrived twice");
+        assert_eq!(flow.out_of_order, 1, "seq 2 arrived after seq 3");
+        assert_eq!(flow.max_seq, 3);
+        assert_eq!(flow.missing(), 0, "all of 0..=3 eventually arrived");
     }
 
     #[test]

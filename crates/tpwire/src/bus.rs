@@ -42,6 +42,7 @@ use std::collections::{HashMap, VecDeque};
 use bytes::Bytes;
 use tsbus_des::stats::BusyTime;
 use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimTime};
+use tsbus_faults::{FaultCommand, FaultKind, FrameClass, GilbertElliott};
 
 use crate::frame::{Command, RxFrame, RxType, TxFrame};
 use crate::node::{AddressSpace, NodeId};
@@ -154,12 +155,25 @@ pub struct StreamFailed {
 }
 
 /// Aggregate bus statistics.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is derived so two same-seed runs can be compared byte for byte
+/// (the determinism contract of the fault-injection layer).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BusStats {
     /// Completed transactions (including polls; excluding retries).
     pub transactions: u64,
-    /// Re-sent transactions (timeout or corrupted frame).
+    /// Re-sent transactions (timeout or corrupted frame), all classes.
     pub retries: u64,
+    /// Retries of control frames (selection, pointers, commands, polls).
+    pub control_retries: u64,
+    /// Retries of stream-FIFO reads (including DMA read bursts).
+    pub stream_read_retries: u64,
+    /// Retries of stream-FIFO writes (including DMA write bursts).
+    pub stream_write_retries: u64,
+    /// Retries that waited out a backoff delay before resending.
+    pub backoff_events: u64,
+    /// Total bit periods spent waiting in retry backoff.
+    pub backoff_bits: u64,
     /// Transactions abandoned after exhausting retries.
     pub failures: u64,
     /// Keep-alive/discovery polls issued.
@@ -172,6 +186,8 @@ pub struct BusStats {
     pub messages_failed: u64,
     /// Deliveries dropped because the destination had no attachment.
     pub dropped_deliveries: u64,
+    /// Fault commands applied (crash/revive/reset/break/heal).
+    pub faults_injected: u64,
 }
 
 /// Where a relay job's bytes come from.
@@ -314,6 +330,22 @@ enum Outcome {
 #[derive(Debug)]
 struct PollTimer;
 
+/// Self-message: a backoff delay elapsed, resend this frame.
+#[derive(Debug)]
+struct RetryFrame {
+    lane: usize,
+    frame: TxFrame,
+    attempts: u8,
+}
+
+/// Self-message: a backoff delay elapsed, resend this DMA burst.
+#[derive(Debug)]
+struct RetryBurst {
+    lane: usize,
+    kind: InFlightKind,
+    attempts: u8,
+}
+
 /// The TpWIRE bus as a simulation component.
 ///
 /// Build it with a chain of node ids (position in the vector = daisy-chain
@@ -347,6 +379,13 @@ pub struct TpWireBus {
     next_poll_due: SimTime,
     poll_timer_armed: bool,
     stats: BusStats,
+    /// Gilbert-Elliott burst error channel, when configured.
+    burst: Option<GilbertElliott>,
+    /// Fault state: crashed (unresponsive) slaves, by chain position.
+    crashed: Vec<bool>,
+    /// Fault state: when set, only positions `< break_after` are reachable
+    /// (the daisy chain is severed after that many devices).
+    break_after: Option<usize>,
 }
 
 impl TpWireBus {
@@ -383,6 +422,7 @@ impl TpWireBus {
         let owners = vec![None; devices.len()];
         let read_toggles =
             vec![vec![true; devices.len()]; usize::from(params.wiring.lanes())];
+        let crashed = vec![false; devices.len()];
         TpWireBus {
             params,
             chain: devices,
@@ -399,6 +439,9 @@ impl TpWireBus {
             next_poll_due: SimTime::ZERO,
             poll_timer_armed: false,
             stats: BusStats::default(),
+            burst: params.burst_error.map(GilbertElliott::new),
+            crashed,
+            break_after: None,
         }
     }
 
@@ -482,6 +525,107 @@ impl TpWireBus {
     }
 
     // ------------------------------------------------------------------
+    // Fault state
+    // ------------------------------------------------------------------
+
+    /// Whether the slave at `pos` is alive and on the master's side of any
+    /// chain break.
+    fn reachable(&self, pos: usize) -> bool {
+        !self.crashed[pos] && self.break_after.is_none_or(|after| pos < after)
+    }
+
+    /// Draws whether a single frame transmitted now is corrupted: the
+    /// uniform per-frame rate OR'd with the burst channel's current state.
+    fn frame_corrupted(&mut self, ctx: &mut Context<'_>) -> bool {
+        let p = self.params;
+        let uniform = p.frame_error_rate > 0.0 && ctx.rng().chance(p.frame_error_rate);
+        let bursty = match self.burst.as_mut() {
+            Some(channel) => channel.corrupts(ctx.now(), p.frame_time(), ctx.rng()),
+            None => false,
+        };
+        uniform | bursty
+    }
+
+    /// The combined per-frame error probability right now (uniform rate
+    /// plus the burst channel's current state), for aggregating over the
+    /// back-to-back frames of a DMA burst.
+    fn per_frame_error_rate(&mut self, ctx: &mut Context<'_>) -> f64 {
+        let p = self.params;
+        let burst_rate = match self.burst.as_mut() {
+            Some(channel) => channel.rate_at(ctx.now(), p.frame_time(), ctx.rng()),
+            None => 0.0,
+        };
+        1.0 - (1.0 - p.frame_error_rate) * (1.0 - burst_rate)
+    }
+
+    /// Books one retry in the aggregate and per-class counters.
+    fn note_retry(&mut self, class: FrameClass) {
+        self.stats.retries += 1;
+        match class {
+            FrameClass::Control => self.stats.control_retries += 1,
+            FrameClass::StreamRead => self.stats.stream_read_retries += 1,
+            FrameClass::StreamWrite => self.stats.stream_write_retries += 1,
+        }
+    }
+
+    /// The retry class of an ordinary frame.
+    fn class_of_frame(frame: &TxFrame) -> FrameClass {
+        match frame.cmd {
+            Command::ReadData => FrameClass::StreamRead,
+            Command::WriteData => FrameClass::StreamWrite,
+            _ => FrameClass::Control,
+        }
+    }
+
+    /// The retry class of a DMA burst.
+    fn class_of_burst(kind: &InFlightKind) -> FrameClass {
+        match kind {
+            InFlightKind::DmaRead { .. } => FrameClass::StreamRead,
+            InFlightKind::DmaWrite { .. } => FrameClass::StreamWrite,
+            InFlightKind::Frame(_) => unreachable!("bursts are DMA kinds only"),
+        }
+    }
+
+    /// Applies one injected fault. Takes effect from the next transaction:
+    /// an already in-flight completion keeps its pre-computed outcome,
+    /// modeling command latency in a real fault-injection rig.
+    fn apply_fault(&mut self, ctx: &mut Context<'_>, kind: FaultKind) {
+        self.stats.faults_injected += 1;
+        let position_of = |positions: &HashMap<u8, usize>, node: u8| -> usize {
+            *positions
+                .get(&node)
+                .unwrap_or_else(|| panic!("fault targets node {node}, which is not on this chain"))
+        };
+        match kind {
+            FaultKind::SlaveCrash(node) => {
+                let pos = position_of(&self.positions, node);
+                self.crashed[pos] = true;
+                ctx.trace("fault", format_args!("slave {node} (pos {pos}) crashed"));
+            }
+            FaultKind::SlaveRevive(node) => {
+                let pos = position_of(&self.positions, node);
+                self.crashed[pos] = false;
+                ctx.trace("fault", format_args!("slave {node} (pos {pos}) revived"));
+            }
+            FaultKind::SlaveReset(node) => {
+                let pos = position_of(&self.positions, node);
+                let now = ctx.now();
+                let params = self.params;
+                self.chain[pos].force_reset(now, &params);
+                ctx.trace("fault", format_args!("slave {node} (pos {pos}) hard reset"));
+            }
+            FaultKind::ChainBreak { after } => {
+                self.break_after = Some(after.min(self.chain.len()));
+                ctx.trace("fault", format_args!("chain severed after {after} devices"));
+            }
+            FaultKind::ChainHeal => {
+                self.break_after = None;
+                ctx.trace("fault", "chain healed");
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Transaction engine
     // ------------------------------------------------------------------
 
@@ -504,7 +648,7 @@ impl TpWireBus {
             lane.busy_since = Some(now);
         }
 
-        let tx_corrupt = p.frame_error_rate > 0.0 && ctx.rng().chance(p.frame_error_rate);
+        let tx_corrupt = self.frame_corrupted(ctx);
         if tx_corrupt {
             ctx.schedule_self_in(
                 timeout_cost,
@@ -528,7 +672,15 @@ impl TpWireBus {
             || (frame.cmd == Command::SelectNode
                 && frame.data & 0x7F == NodeId::BROADCAST.raw());
         let mut reply: Option<(usize, RxFrame)> = None;
+        let crashed = &self.crashed;
+        let break_after = self.break_after;
         for (pos, slave) in self.chain.iter_mut().enumerate() {
+            // Crashed slaves neither execute nor reply (their chain
+            // repeater stays passive); nothing past a chain break sees the
+            // frame at all.
+            if crashed[pos] || break_after.is_some_and(|after| pos >= after) {
+                continue;
+            }
             let arrival = now + frame_time + hop * (pos as u64 + 1);
             if let Some(rx) = slave.on_tx(&frame, lane_idx, arrival, &p) {
                 debug_assert!(
@@ -558,10 +710,13 @@ impl TpWireBus {
         match reply {
             Some((pos, mut rx)) => {
                 // INT bit: OR of pending interrupts along the return path
-                // (positions 0..=pos, including the replier).
-                rx.int = self.chain[..=pos].iter().any(SlaveDevice::pending_interrupt);
-                let rx_corrupt =
-                    p.frame_error_rate > 0.0 && ctx.rng().chance(p.frame_error_rate);
+                // (positions 0..=pos, including the replier); a crashed
+                // slave's INT driver is dead.
+                rx.int = self.chain[..=pos]
+                    .iter()
+                    .enumerate()
+                    .any(|(i, s)| !self.crashed[i] && s.pending_interrupt());
+                let rx_corrupt = self.frame_corrupted(ctx);
                 let cost = p.transaction_time(pos as u32 + 1);
                 let outcome = if rx_corrupt {
                     Outcome::BadRx
@@ -615,9 +770,26 @@ impl TpWireBus {
         let hops = pos as u32 + 1;
         let cost = p.dma_burst_time(k as u32, hops);
 
+        // A crashed or severed target never acknowledges the arming select:
+        // the whole burst degenerates into a timeout.
+        if !self.reachable(pos) {
+            self.lanes[lane_idx].in_flight = Some(InFlight { kind, attempts });
+            let timeout_cost = cost + p.response_timeout();
+            ctx.schedule_self_in(
+                timeout_cost,
+                TxnComplete {
+                    lane: lane_idx,
+                    outcome: Outcome::NoReply,
+                },
+            );
+            return;
+        }
+
         // One corruption draw over the arming + data frames (≈ k + 7
-        // frame slots), one for the block acknowledge.
-        let per_frame = p.frame_error_rate;
+        // frame slots), one for the block acknowledge. The burst channel's
+        // state at the start of the burst sets the per-frame rate for the
+        // whole block (bursts are short next to channel sojourns).
+        let per_frame = self.per_frame_error_rate(ctx);
         let body_frames = k as f64 + 7.0;
         let body_corrupt = per_frame > 0.0
             && ctx.rng().chance(1.0 - (1.0 - per_frame).powf(body_frames));
@@ -639,14 +811,19 @@ impl TpWireBus {
             // Write verification / read block re-request costs one extra
             // ordinary transaction.
             total += p.transaction_time(hops);
-            self.stats.retries += 1;
+            self.note_retry(Self::class_of_burst(&kind));
         }
         let arrival = now + total;
-        // Every other slave on this port sees the burst pass through:
-        // watchdogs fed, selections cleared (the arming select addressed
-        // the target).
+        // Every other reachable slave on this port sees the burst pass
+        // through: watchdogs fed, selections cleared (the arming select
+        // addressed the target).
+        let crashed = &self.crashed;
+        let break_after = self.break_after;
         for (other, slave) in self.chain.iter_mut().enumerate() {
-            if other != pos {
+            if other != pos
+                && !crashed[other]
+                && break_after.is_none_or(|after| other < after)
+            {
                 slave.observe_burst(lane_idx, arrival, &p);
             }
         }
@@ -699,9 +876,22 @@ impl TpWireBus {
                         self.advance_burst(ctx, lane_idx, &kind, Some(block));
                     }
                     Outcome::NoReply => {
-                        if in_flight.attempts < self.params.max_retries {
-                            self.stats.retries += 1;
-                            self.issue_burst(ctx, lane_idx, kind, in_flight.attempts + 1);
+                        let class = Self::class_of_burst(&kind);
+                        let retry = self.params.retry.for_class(class);
+                        if in_flight.attempts < retry.max_retries {
+                            self.note_retry(class);
+                            let attempts = in_flight.attempts + 1;
+                            let delay_bits = retry.backoff.delay_bits(u32::from(attempts));
+                            if delay_bits == 0 {
+                                self.issue_burst(ctx, lane_idx, kind, attempts);
+                            } else {
+                                self.stats.backoff_events += 1;
+                                self.stats.backoff_bits += delay_bits;
+                                ctx.schedule_self_in(
+                                    self.params.bits64_to_time(delay_bits),
+                                    RetryBurst { lane: lane_idx, kind, attempts },
+                                );
+                            }
                         } else {
                             self.stats.failures += 1;
                             self.lanes[lane_idx].selected = None;
@@ -741,14 +931,28 @@ impl TpWireBus {
                 // below — the alternating-bit FIFO port makes retried
                 // stream reads idempotent.
                 self.stats.transactions += 1;
-                self.stats.retries += 1; // the lost RX still cost the wire time
+                // The lost RX still cost the wire time.
+                self.note_retry(Self::class_of_frame(&frame));
                 let synthetic = RxFrame::new(false, RxType::Status, 0);
                 self.advance_activity(ctx, lane_idx, frame, Some(synthetic));
             }
             Outcome::NoReply | Outcome::BadRx => {
-                if in_flight.attempts < self.params.max_retries {
-                    self.stats.retries += 1;
-                    self.issue(ctx, lane_idx, frame, in_flight.attempts + 1);
+                let class = Self::class_of_frame(&frame);
+                let retry = self.params.retry.for_class(class);
+                if in_flight.attempts < retry.max_retries {
+                    self.note_retry(class);
+                    let attempts = in_flight.attempts + 1;
+                    let delay_bits = retry.backoff.delay_bits(u32::from(attempts));
+                    if delay_bits == 0 {
+                        self.issue(ctx, lane_idx, frame, attempts);
+                    } else {
+                        self.stats.backoff_events += 1;
+                        self.stats.backoff_bits += delay_bits;
+                        ctx.schedule_self_in(
+                            self.params.bits64_to_time(delay_bits),
+                            RetryFrame { lane: lane_idx, frame, attempts },
+                        );
+                    }
                 } else {
                     self.stats.failures += 1;
                     // Whatever the master believed about this lane's
@@ -1479,6 +1683,29 @@ impl Component for TpWireBus {
             Ok(_) => {
                 self.poll_timer_armed = false;
                 self.kick_idle_lanes(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RetryFrame>() {
+            Ok(retry) => {
+                let RetryFrame { lane, frame, attempts } = *retry;
+                self.issue(ctx, lane, frame, attempts);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RetryBurst>() {
+            Ok(retry) => {
+                let RetryBurst { lane, kind, attempts } = *retry;
+                self.issue_burst(ctx, lane, kind, attempts);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<FaultCommand>() {
+            Ok(cmd) => {
+                self.apply_fault(ctx, cmd.0);
                 return;
             }
             Err(m) => m,

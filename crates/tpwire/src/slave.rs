@@ -217,6 +217,21 @@ impl SlaveDevice {
         p.last_valid_tx = until;
     }
 
+    /// Forces an immediate hardware reset of every line interface, as if
+    /// the watchdog fired on each: selection, pointers and the alternating-
+    /// bit read latches revert to power-on state, and every interface holds
+    /// its reset active for the spec's pulse length starting at `now`.
+    /// Used by fault injection; counts once per interface in
+    /// [`reset_count`](Self::reset_count).
+    pub fn force_reset(&mut self, now: SimTime, params: &BusParams) {
+        for port in 0..self.ports.len() {
+            self.reset(port, now, params);
+            let p = &mut self.ports[port];
+            p.stream_toggle = None;
+            p.stream_latch = 0;
+        }
+    }
+
     /// Checks the reset timeout against `now`, possibly entering or leaving
     /// the reset state. Returns `true` if this interface is currently
     /// holding reset (and therefore ignores the incoming frame).

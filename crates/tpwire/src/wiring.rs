@@ -17,6 +17,7 @@
 use core::fmt;
 
 use tsbus_des::SimDuration;
+use tsbus_faults::{BurstParams, RetryPolicy};
 
 use crate::frame::FRAME_BITS;
 
@@ -171,12 +172,18 @@ pub struct BusParams {
     /// How long the master waits for an RX before declaring a timeout, in
     /// bit periods (measured from the end of the TX frame).
     pub response_timeout_bits: u32,
-    /// How many times the master re-sends a TX frame before signaling an
-    /// error ("a predetermined number of times" in the specification).
-    pub max_retries: u8,
+    /// Master retry policy: how many times each frame class is re-sent
+    /// before signaling an error ("a predetermined number of times" in the
+    /// specification), and how long the master backs off between resends.
+    pub retry: RetryPolicy,
     /// Probability that any one frame (TX or RX) is corrupted in flight;
-    /// 0.0 for an ideal channel.
+    /// 0.0 for an ideal channel. Independent per frame — layered on top of
+    /// [`burst_error`](BusParams::burst_error) when both are set.
     pub frame_error_rate: f64,
+    /// Optional Gilbert-Elliott burst error channel. When set, every frame
+    /// additionally rolls against the channel's current state, so errors
+    /// cluster instead of arriving uniformly.
+    pub burst_error: Option<BurstParams>,
     /// Master policy: gap between idle keep-alive/discovery polls, in bit
     /// periods. Must stay well below [`RESET_TIMEOUT_BITS`] or idle slaves
     /// start resetting.
@@ -207,8 +214,9 @@ impl BusParams {
             turnaround_bits: 2,
             gap_bits: 2,
             response_timeout_bits: 64,
-            max_retries: 3,
+            retry: RetryPolicy::immediate(3),
             frame_error_rate: 0.0,
+            burst_error: None,
             idle_poll_bits: 512,
             relay_chunk: 8,
             dma_block: 0,
@@ -261,11 +269,37 @@ impl BusParams {
     ///
     /// # Panics
     ///
-    /// Panics if `rate` is outside `[0, 1]`.
+    /// Panics if `rate` is NaN or outside `[0, 1]`.
     #[must_use]
     pub fn with_frame_error_rate(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "error rate must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "error rate must be in [0, 1] and not NaN, got {rate}"
+        );
         self.frame_error_rate = rate;
+        self
+    }
+
+    /// Returns a copy with a Gilbert-Elliott burst error channel layered on
+    /// the line ([`BurstParams`] validates its own probabilities).
+    #[must_use]
+    pub fn with_burst_error(mut self, params: BurstParams) -> Self {
+        self.burst_error = Some(params);
+        self
+    }
+
+    /// Returns a copy with a different master retry policy.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Returns a copy with a uniform immediate-resend budget for every
+    /// frame class (the historical `max_retries` knob).
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: u8) -> Self {
+        self.retry = RetryPolicy::immediate(max_retries);
         self
     }
 
@@ -279,6 +313,13 @@ impl BusParams {
     #[must_use]
     pub fn bits_to_time(&self, bits: u32) -> SimDuration {
         SimDuration::from_secs_f64(f64::from(bits) / self.bit_rate_hz)
+    }
+
+    /// Converts a wide bit-period count (e.g. an exponential-backoff delay)
+    /// to simulated time.
+    #[must_use]
+    pub fn bits64_to_time(&self, bits: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bits as f64 / self.bit_rate_hz)
     }
 
     /// Duration of one frame on a lane under the current wiring.
@@ -464,6 +505,39 @@ mod tests {
     #[should_panic(expected = "error rate must be in")]
     fn error_rate_validated() {
         let _ = BusParams::theseus_default().with_frame_error_rate(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "error rate must be in")]
+    fn error_rate_rejects_nan() {
+        let _ = BusParams::theseus_default().with_frame_error_rate(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "error rate must be in")]
+    fn error_rate_rejects_negative() {
+        let _ = BusParams::theseus_default().with_frame_error_rate(-0.5);
+    }
+
+    #[test]
+    fn fault_knobs_default_off_and_compose() {
+        use tsbus_faults::{Backoff, FrameClass, RetryParams};
+
+        let p = BusParams::theseus_default();
+        assert_eq!(p.burst_error, None);
+        assert_eq!(p.retry, RetryPolicy::immediate(3));
+
+        let burst = BurstParams::with_mean_lengths(100.0, 10.0, 0.0, 0.5);
+        let retry = RetryPolicy::uniform(RetryParams {
+            max_retries: 5,
+            backoff: Backoff::Exponential { base_bits: 32, cap_bits: 1024 },
+        });
+        let p = p.with_burst_error(burst).with_retry_policy(retry);
+        assert_eq!(p.burst_error, Some(burst));
+        assert_eq!(p.retry.for_class(FrameClass::StreamRead).max_retries, 5);
+
+        let p = p.with_max_retries(7);
+        assert_eq!(p.retry, RetryPolicy::immediate(7));
     }
 
     #[test]

@@ -727,3 +727,78 @@ fn regression_mode_b_single_flow_does_not_livelock() {
     let rec: &Recorder = sim.component(recs[1]).expect("registered");
     assert_eq!(rec.messages.len(), 5, "all five messages must drain");
 }
+
+mod combined_faults {
+    //! Property: under a bursty channel *and* a surprise hard reset of the
+    //! destination slave, whatever the sink receives is an uncorrupted
+    //! prefix of the payload — retries may mask the faults entirely, or the
+    //! job may be abandoned, but bytes are never reordered, duplicated, or
+    //! invented. When the bus reports no failed messages, the prefix is the
+    //! whole payload.
+
+    use super::{build, node, Recorder};
+    use bytes::Bytes;
+    use proptest::prelude::*;
+    use tsbus_des::{SimDuration, SimTime};
+    use tsbus_faults::{
+        Backoff, BurstParams, FaultCommand, FaultKind, RetryParams, RetryPolicy,
+    };
+    use tsbus_tpwire::{BusParams, SendStream, StreamEndpoint, TpWireBus};
+
+    proptest! {
+        #[test]
+        fn delivery_is_an_uncorrupted_prefix_under_bursts_and_a_reset(
+            len in 16usize..400,
+            reset_at_us in 10u64..3000,
+            mean_bad_x10 in 40u64..100,
+        ) {
+            let params = BusParams::theseus_default()
+                .with_burst_error(BurstParams::with_mean_lengths(200.0, mean_bad_x10 as f64 / 10.0, 0.0, 1.0))
+                .with_retry_policy(RetryPolicy::uniform(RetryParams {
+                    max_retries: 6,
+                    backoff: Backoff::Exponential { base_bits: 32, cap_bits: 128 },
+                }));
+            let (mut sim, bus, recs, _) = build(params, 2);
+            let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            sim.with_context(|ctx| {
+                ctx.send(
+                    bus,
+                    SendStream {
+                        from: node(1),
+                        to: StreamEndpoint::Slave(node(2)),
+                        payload: Bytes::from(payload.clone()),
+                    },
+                );
+                // A hard reset of the destination somewhere mid-transfer.
+                ctx.schedule_in(
+                    SimDuration::from_micros(reset_at_us),
+                    bus,
+                    FaultCommand(FaultKind::SlaveReset(2)),
+                );
+            });
+            sim.run_until(SimTime::from_millis(200));
+            let rec: &Recorder = sim.component(recs[1]).expect("registered");
+            prop_assert!(
+                rec.delivered.len() <= payload.len(),
+                "sink got {} bytes for a {}-byte payload (duplication)",
+                rec.delivered.len(),
+                payload.len()
+            );
+            prop_assert_eq!(
+                &rec.delivered[..],
+                &payload[..rec.delivered.len()],
+                "delivered bytes must be a prefix of the payload"
+            );
+            let bus_ref: &TpWireBus = sim.component(bus).expect("registered");
+            let stats = bus_ref.stats();
+            prop_assert_eq!(stats.faults_injected, 1, "the reset command fired");
+            if stats.messages_failed == 0 {
+                prop_assert_eq!(
+                    rec.delivered.len(),
+                    payload.len(),
+                    "no failure reported, so the whole payload must arrive"
+                );
+            }
+        }
+    }
+}

@@ -93,6 +93,7 @@ fn over_the_bus() {
         server_endpoint: EndpointCosts::free(),
         horizon: SimDuration::from_secs(10),
         wire_format: tsbus_xmlwire::WireFormat::Xml,
+        recovery: None,
     };
     let result = run_case_study(&cfg);
     println!(

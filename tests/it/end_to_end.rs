@@ -20,6 +20,7 @@ fn fast_cfg() -> CaseStudyConfig {
         server_endpoint: EndpointCosts::free(),
         horizon: SimDuration::from_secs(30),
         wire_format: tsbus_xmlwire::WireFormat::Xml,
+        recovery: None,
     }
 }
 

@@ -1,0 +1,189 @@
+//! Minimal, dependency-free stand-in for `criterion`.
+//!
+//! Implements just enough of the criterion API for this workspace's
+//! `harness = false` benchmarks to compile and produce useful numbers
+//! offline: groups, `bench_function` with `&str` or [`BenchmarkId`],
+//! `sample_size`, [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a plain median-of-samples wall
+//! clock measurement printed to stdout — no statistics engine, plots,
+//! or baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter display value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Conversion into a benchmark id; lets `bench_function` accept both
+/// `&str` and [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the closure given to `bench_function`; runs and times the
+/// benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    /// Median time per iteration of the routine, filled in by [`Bencher::iter`].
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing a median-of-samples per-iteration cost.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up, and an estimate of a single iteration's cost so slow
+        // routines get fewer inner iterations.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let estimate = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let inner = (Duration::from_millis(5).as_nanos() / estimate.as_nanos()).clamp(1, 10_000)
+            as usize;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..inner {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / inner as u32);
+        }
+        samples.sort_unstable();
+        self.result = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its median per-iteration time.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher { samples: self.sample_size, result: None };
+        f(&mut bencher);
+        let time = bencher.result.unwrap_or_default();
+        println!(
+            "{group}/{id:<40} {time:>12?}/iter ({samples} samples)",
+            group = self.name,
+            samples = self.sample_size,
+        );
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup { name, criterion: self, sample_size: 10 }
+    }
+
+    /// Runs one stand-alone benchmark (group of one).
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        self.benchmark_group(id.clone()).bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a function running each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_counts() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function(BenchmarkId::new("f", 1), |b| {
+            b.iter(|| black_box(2u64 + 2));
+        });
+        group.finish();
+        assert_eq!(c.benchmarks_run, 1);
+    }
+}

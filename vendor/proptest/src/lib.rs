@@ -1,0 +1,740 @@
+//! Minimal, dependency-free stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of proptest it uses: the [`Strategy`] trait with `prop_map` /
+//! `prop_filter`, [`any`] for primitives, range and tuple strategies,
+//! `Just`, `prop_oneof!`, `proptest::collection::vec`,
+//! `proptest::option::of`, `proptest::sample::Index`, regex-like string
+//! strategies for the three pattern shapes the tests use, and the
+//! `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, deliberate for this subset:
+//! * no shrinking — failures print the raw generated inputs instead;
+//! * a fixed per-test deterministic seed (derived from the test's module
+//!   path and name), so failures replay exactly on re-run;
+//! * `PROPTEST_CASES` still overrides the case count (default 64).
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Number of generated cases per property (override with `PROPTEST_CASES`).
+#[must_use]
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// Deterministic generator state (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test's fully qualified name, so every test draws an
+    /// independent, reproducible sequence.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: hash ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Multiply-shift bounded draw; bias is negligible for test sizes.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// True with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+}
+
+/// A source of generated values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values through `map`.
+    fn prop_map<O, F>(self, map: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        O: fmt::Debug + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        BoxedStrategy::new(move |rng| map(self.new_value(rng)))
+    }
+
+    /// Keeps only values passing `keep`, re-drawing otherwise (bounded).
+    fn prop_filter<F>(self, whence: &'static str, keep: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        BoxedStrategy::new(move |rng| {
+            for _ in 0..1000 {
+                let candidate = self.new_value(rng);
+                if keep(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!("prop_filter({whence:?}) rejected 1000 consecutive draws");
+        })
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy::new(move |rng| self.new_value(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    sample: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self { sample: Rc::clone(&self.sample) }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a sampling function.
+    pub fn new(sample: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        Self { sample: Rc::new(sample) }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// Uniform choice among type-erased alternatives (used by `prop_oneof!`).
+#[must_use]
+pub fn union<T: fmt::Debug + 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+    BoxedStrategy::new(move |rng| {
+        let pick = rng.below(options.len() as u64) as usize;
+        options[pick].new_value(rng)
+    })
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary + 'static>() -> BoxedStrategy<T> {
+    BoxedStrategy::new(|rng| T::arbitrary(rng))
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),+) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Mix edge values in, as real proptest's binary search
+                // around special values tends to surface them.
+                match rng.below(16) {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        })+
+    };
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.below(8) {
+            // Raw bit patterns: covers NaN, infinities, subnormals.
+            0 | 1 => f64::from_bits(rng.next_u64()),
+            2 => 0.0,
+            3 => -0.0,
+            _ => (rng.uniform() - 0.5) * 2e6,
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.below(8) {
+            0 | 1 => f32::from_bits(rng.next_u64() as u32),
+            2 => 0.0,
+            _ => ((rng.uniform() - 0.5) * 2e6) as f32,
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    (self.start as u64).wrapping_add(rng.below(span)) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range.
+                        return rng.next_u64() as $t;
+                    }
+                    (start as u64).wrapping_add(rng.below(span)) as $t
+                }
+            }
+        )+
+    };
+}
+
+range_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategies {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128 + 1) as u64;
+                    (start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )+
+    };
+}
+
+signed_range_strategies!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))+) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategies! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Regex-like string strategies for the small pattern language the tests
+/// use: a single element (`[class]`, `\PC`, or a literal) followed by an
+/// optional `{m,n}` repetition, repeated over the pattern.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+
+    enum Element {
+        /// Inclusive char ranges (from a `[...]` class).
+        Ranges(Vec<(char, char)>),
+        /// `\PC`: any non-control char (printable, incl. non-ASCII).
+        NonControl,
+        Literal(char),
+    }
+
+    impl Element {
+        fn sample(&self, rng: &mut TestRng) -> char {
+            match self {
+                Element::Literal(c) => *c,
+                Element::Ranges(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32 + 1))
+                        .sum();
+                    let mut pick = rng.below(total);
+                    for (lo, hi) in ranges {
+                        let size = u64::from(*hi as u32 - *lo as u32 + 1);
+                        if pick < size {
+                            return char::from_u32(*lo as u32 + pick as u32)
+                                .expect("range endpoints are chars");
+                        }
+                        pick -= size;
+                    }
+                    unreachable!("pick bounded by total")
+                }
+                Element::NonControl => {
+                    // Mostly printable ASCII (covers XML-significant chars),
+                    // sometimes wider unicode to exercise UTF-8 paths.
+                    if rng.below(4) == 0 {
+                        const WIDE: &[char] = &[
+                            'é', 'ß', 'λ', 'Ω', '中', '文', '€', '™', '☃', '𝄞', '🦀',
+                            '\u{00A0}', '\u{2028}',
+                        ];
+                        WIDE[rng.below(WIDE.len() as u64) as usize]
+                    } else {
+                        char::from_u32(0x20 + rng.below(0x5F) as u32).expect("printable ascii")
+                    }
+                }
+            }
+        }
+    }
+
+    pub(super) fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let element = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .expect("unterminated char class")
+                        + i;
+                    let mut ranges = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            ranges.push((chars[j], chars[j + 2]));
+                            j += 3;
+                        } else {
+                            ranges.push((chars[j], chars[j]));
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    Element::Ranges(ranges)
+                }
+                '\\' => {
+                    assert!(
+                        chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                        "unsupported escape in pattern {pattern:?}"
+                    );
+                    i += 3;
+                    Element::NonControl
+                }
+                c => {
+                    i += 1;
+                    Element::Literal(c)
+                }
+            };
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated repetition")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = body
+                    .split_once(',')
+                    .expect("repetition must be {m,n}");
+                i = close + 1;
+                (
+                    lo.parse::<u64>().expect("repetition bound"),
+                    hi.parse::<u64>().expect("repetition bound"),
+                )
+            } else {
+                (1, 1)
+            };
+            let count = min + rng.below(max - min + 1);
+            for _ in 0..count {
+                out.push(element.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use std::fmt;
+
+    /// Bounds for a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max_exclusive - self.min) as u64) as usize
+        }
+    }
+
+    /// `Vec`s of values from `element`, with length drawn from `size`.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: fmt::Debug + 'static,
+    {
+        let size = size.into();
+        BoxedStrategy::new(move |rng| {
+            let len = size.sample(rng);
+            (0..len).map(|_| element.new_value(rng)).collect()
+        })
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use std::fmt;
+
+    /// `None` about a quarter of the time, otherwise `Some` of `inner`.
+    pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: fmt::Debug + 'static,
+    {
+        BoxedStrategy::new(move |rng: &mut TestRng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(inner.new_value(rng))
+            }
+        })
+    }
+}
+
+/// Index-into-a-collection strategies.
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// A position drawn independently of any particular collection length;
+    /// project it with [`Index::index`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Maps this draw onto `[0, len)`.
+        ///
+        /// # Panics
+        /// Panics if `len == 0`.
+        #[must_use]
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index(0)");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Self(rng.next_u64() as usize)
+        }
+    }
+}
+
+/// Everything a property-test module conventionally imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn` runs [`cases()`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases();
+                let mut rng = $crate::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut accepted = 0usize;
+                let mut attempts = 0usize;
+                while accepted < cases && attempts < cases * 16 {
+                    attempts += 1;
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)+
+                    let rendered_inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                            panic!(
+                                "property {} failed after {} cases: {}\n  inputs: {}",
+                                stringify!($name),
+                                accepted,
+                                message,
+                                rendered_inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside `proptest!`, reporting the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}",
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {left:?}\n right: {right:?}",
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `left != right`\n  both: {left:?}",
+            )));
+        }
+    }};
+}
+
+/// Skips the current generated case inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies (all yielding the same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::union(::std::vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn determinism_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let mut c = TestRng::for_test("y");
+        let seq_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let seq_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let seq_c: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = (10u16..20).new_value(&mut rng);
+            assert!((10..20).contains(&v));
+            let s = (-5i64..=5).new_value(&mut rng);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::for_test("strings");
+        for _ in 0..200 {
+            let s = "[a-z]{0,8}".new_value(&mut rng);
+            assert!(s.len() <= 8 && s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let p = "[ -~]{0,16}".new_value(&mut rng);
+            assert!(p.chars().count() <= 16 && p.chars().all(|c| (' '..='~').contains(&c)));
+            let u = "\\PC{0,24}".new_value(&mut rng);
+            assert!(u.chars().count() <= 24 && u.chars().all(|c| !c.is_control()), "{u:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_and_collections_compose() {
+        let mut rng = TestRng::for_test("compose");
+        let strat = collection::vec(
+            prop_oneof![Just(1u8), 5u8..10, any::<u8>()],
+            0..5,
+        );
+        for _ in 0..100 {
+            assert!(strat.new_value(&mut rng).len() < 5);
+        }
+    }
+
+    proptest! {
+        /// The proptest! macro itself: args, assume, assert all work.
+        #[test]
+        fn macro_smoke(x in 0u32..100, flip in any::<bool>()) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(x % 2 + (x / 2) * 2, x);
+            prop_assert!(u32::from(flip) <= 1);
+        }
+    }
+}
