@@ -7,14 +7,16 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use bytes::Bytes;
 use tsbus_des::{
-    BinaryHeapQueue, CalendarQueue, Component, Context, EventQueue, Message, SimDuration,
-    SimTime, Simulator,
+    BinaryHeapQueue, CalendarQueue, Component, Context, EventQueue, Message, SimDuration, SimTime,
+    Simulator,
 };
-use tsbus_tpwire::{crc, BusParams, Command, NodeId, SendStream, StreamEndpoint, TpWireBus, TxFrame};
+use tsbus_tpwire::{
+    crc, BusParams, Command, NodeId, SendStream, StreamEndpoint, TpWireBus, TxFrame,
+};
 use tsbus_tuplespace::{template, tuple, Lease, Space, Template, ValueType};
 use tsbus_xmlwire::{
-    encode_request, request_from_wire, request_from_xml, request_to_wire, request_to_xml,
-    Request, WireFormat,
+    encode_request, request_from_wire, request_from_xml, request_to_wire, request_to_xml, Request,
+    WireFormat,
 };
 
 /// A component that bounces an event back to itself `n` times.
@@ -76,7 +78,9 @@ fn bench_tpwire_codec(c: &mut Criterion) {
             let mut acc = 0u16;
             for data in 0u16..=255 {
                 let frame = TxFrame::new(Command::WriteData, data as u8);
-                acc ^= TxFrame::decode(black_box(frame.encode())).expect("valid").data as u16;
+                acc ^= TxFrame::decode(black_box(frame.encode()))
+                    .expect("valid")
+                    .data as u16;
             }
             acc
         });
@@ -147,7 +151,9 @@ fn bench_bus_transfer(c: &mut Criterion) {
             let mut sim = Simulator::with_seed(1);
             let bus_id = tsbus_des::ComponentId::from_raw(0);
             let bus = TpWireBus::new(
-                BusParams::theseus_default().with_dma_block(32).with_relay_chunk(64),
+                BusParams::theseus_default()
+                    .with_dma_block(32)
+                    .with_relay_chunk(64),
                 vec![
                     NodeId::new(1).expect("valid"),
                     NodeId::new(2).expect("valid"),

@@ -39,7 +39,10 @@ fn main() {
     let cfg = CaseStudyConfig::table4_reference().with_cbr_rate(0.3);
     let mut rows = Vec::new();
     for block in [0u16, 4, 8, 16, 32] {
-        let bus = cfg.bus.with_dma_block(block).with_relay_chunk(32.max(block));
+        let bus = cfg
+            .bus
+            .with_dma_block(block)
+            .with_relay_chunk(32.max(block));
         let result = run_case_study(&cfg.with_bus(bus));
         rows.push(vec![
             if block == 0 {

@@ -54,7 +54,10 @@ fn main() {
     println!("(b) Table 4 reference cell (1-wire, 0.3 B/s CBR), end to end:");
     let base = CaseStudyConfig::table4_reference().with_cbr_rate(0.3);
     let mut rows = Vec::new();
-    for (label, format) in [("XML (paper)", WireFormat::Xml), ("binary", WireFormat::Binary)] {
+    for (label, format) in [
+        ("XML (paper)", WireFormat::Xml),
+        ("binary", WireFormat::Binary),
+    ] {
         let result = run_case_study(&base.with_wire_format(format));
         rows.push(vec![
             label.to_owned(),
@@ -64,10 +67,7 @@ fn main() {
             },
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["encoding", "middleware time"], &rows)
-    );
+    println!("{}", render_table(&["encoding", "middleware time"], &rows));
     println!(
         "The hex-in-XML representation inflates byte payloads ~2.4x (2 hex chars per\n\
          byte plus markup), which lands directly on the slow bus. The binary codec\n\

@@ -1,0 +1,255 @@
+//! `campaign` — regenerate the whole sweep-figure set in one invocation.
+//!
+//! ```text
+//! cargo run -p tsbus-bench --release --bin campaign -- \
+//!     [--threads N] [--seeds N] [--seed S] [--cache-dir DIR]
+//! ```
+//!
+//! Runs every sweep-style figure as a `tsbus-lab` campaign over one
+//! shared thread pool:
+//!
+//! 1. the §5 CBR × wiring scan (`fig_cbr_sweep`),
+//! 2. the §3.2 wire-count case study (`fig_scaling`),
+//! 3. the burst-density fault sweep — **seed-replicated**: `--seeds N`
+//!    runs N independent Gilbert-Elliott realizations per point (seed
+//!    streams derived from the campaign master seed) and reports
+//!    mean ± 95% CI completion time across them.
+//!
+//! With `--cache-dir` every point's measurement lands in a config-hash
+//! JSONL store: a re-run skips everything unchanged, and the full
+//! long-format results are also exported through the ASCII/CSV/JSONL
+//! emitters under `<cache-dir>/exports/`.
+
+use std::time::Instant;
+use tsbus_bench::workload::{burst_channel, patient_policy, run_stream_workload};
+use tsbus_bench::{fmt_secs, render_table};
+use tsbus_core::{run_case_study, CaseStudyConfig};
+use tsbus_lab::{
+    run_campaign, AsciiEmitter, Campaign, CampaignReport, CsvEmitter, Emitter, ExecOpts, Grid,
+    GridPoint, JsonlEmitter, LabArgs, Metrics,
+};
+use tsbus_tpwire::Wiring;
+
+const DEFAULT_MASTER_SEED: u64 = 20030415; // the paper's conference date
+
+fn wiring_of(name: &str) -> Wiring {
+    match name {
+        "1-wire" => Wiring::Single,
+        "2-wire" => Wiring::parallel_data(2).expect("valid"),
+        other => unreachable!("unknown wiring '{other}'"),
+    }
+}
+
+fn export<P>(report: &CampaignReport<P>, opts: &ExecOpts) {
+    let Some(dir) = &opts.cache_dir else { return };
+    let exports = dir.join("exports");
+    if let Err(e) = std::fs::create_dir_all(&exports) {
+        eprintln!("warning: cannot create {}: {e}", exports.display());
+        return;
+    }
+    let outputs = [
+        (AsciiEmitter.extension(), AsciiEmitter.format(report)),
+        (CsvEmitter.extension(), CsvEmitter.format(report)),
+        (JsonlEmitter.extension(), JsonlEmitter.format(report)),
+    ];
+    for (ext, text) in outputs {
+        let path = exports.join(format!("{}.{ext}", report.name));
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        }
+    }
+}
+
+fn footer<P>(report: &CampaignReport<P>) {
+    println!(
+        "[{}] {} points, {} simulated / {} cached, {:.2} s\n",
+        report.name,
+        report.points.len(),
+        report.simulated,
+        report.cached,
+        report.elapsed.as_secs_f64()
+    );
+}
+
+fn main() {
+    let args = LabArgs::from_env();
+    let opts = args.exec_opts();
+    let master_seed = args.seed.unwrap_or(DEFAULT_MASTER_SEED);
+    let started = Instant::now();
+    println!(
+        "Campaign run: threads={}, seeds={}, master seed={}, cache={}\n",
+        if opts.threads == 0 {
+            "auto".to_owned()
+        } else {
+            opts.threads.to_string()
+        },
+        args.seeds,
+        master_seed,
+        opts.cache_dir
+            .as_ref()
+            .map_or_else(|| "off".to_owned(), |d| d.display().to_string()),
+    );
+
+    // ---- 1. §5 CBR × wiring scan (deterministic; single replication) ----
+    let base = CaseStudyConfig::table4_reference();
+    let cbr_rates = [0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0, 1.5, 2.0];
+    let wirings = ["1-wire", "2-wire"];
+    let campaign = Campaign::new(
+        "fig_cbr_sweep",
+        Grid::new()
+            .axis("cbr", cbr_rates)
+            .axis("wiring", wirings)
+            .points(),
+    );
+    let report = run_campaign(&campaign, &opts, GridPoint::key, |point, _ctx| {
+        let bus = base.bus.with_wiring(wiring_of(point.str("wiring")));
+        let result = run_case_study(&base.with_bus(bus).with_cbr_rate(point.f64("cbr")));
+        let mut m = Metrics::new().bool("out_of_time", result.out_of_time);
+        if let Some(t) = result.middleware_time {
+            m = m.f64("middleware_time", t.as_secs_f64());
+        }
+        m
+    })
+    .expect("result store I/O");
+    println!("(1) CBR load sweep — middleware time vs background traffic (lease = 160 s)");
+    let mut rows = Vec::new();
+    let mut points = report.points.iter();
+    for cbr in cbr_rates {
+        let mut row = vec![format!("{cbr}")];
+        for _ in wirings {
+            let m = points.next().expect("full grid").single();
+            row.push(if m.get_bool("out_of_time") {
+                "OoT".to_owned()
+            } else {
+                fmt_secs(m.get_f64("middleware_time"))
+            });
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(&["CBR (B/s)", "1-wire", "2-wire"], &rows)
+    );
+    export(&report, &opts);
+    footer(&report);
+
+    // ---- 2. §3.2 wire-count case study (deterministic) ----
+    let cfg = CaseStudyConfig::table4_reference().with_cbr_rate(0.3);
+    let campaign = Campaign::new(
+        "fig_scaling_case_study",
+        Grid::new().axis("wires", 1u8..=4).points(),
+    );
+    let report = run_campaign(&campaign, &opts, GridPoint::key, |point, _ctx| {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let lines = point.i64("wires") as u8;
+        let wiring = if lines == 1 {
+            Wiring::Single
+        } else {
+            Wiring::parallel_data(lines).expect("lines >= 2")
+        };
+        let result = run_case_study(&cfg.with_bus(cfg.bus.with_wiring(wiring)));
+        Metrics::new().f64(
+            "middleware_time",
+            result
+                .middleware_time
+                .expect("case study finishes at every wire count")
+                .as_secs_f64(),
+        )
+    })
+    .expect("result store I/O");
+    println!("(2) n-wire scaling — case-study middleware time (CBR 0.3 B/s)");
+    let rows: Vec<Vec<String>> = report
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.point.i64("wires").to_string(),
+                fmt_secs(p.single().get_f64("middleware_time")),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["wires (mode A)", "middleware time"], &rows)
+    );
+    export(&report, &opts);
+    footer(&report);
+
+    // ---- 3. burst-density fault sweep, seed-replicated ----
+    let campaign = Campaign::new(
+        "fig_fault_sweep_replicated",
+        Grid::new()
+            .axis("gap", [800.0, 400.0, 200.0, 100.0])
+            .points(),
+    )
+    .with_seed(master_seed)
+    .with_replications(args.seeds);
+    let report = run_campaign(&campaign, &opts, GridPoint::key, |point, ctx| {
+        let o = run_stream_workload(
+            Some(burst_channel(point.f64("gap"))),
+            patient_policy(),
+            30,
+            64,
+            ctx.seed,
+        );
+        Metrics::new()
+            .u64("delivered", o.delivered)
+            .u64("retries", o.retries)
+            .f64("elapsed_ms", o.elapsed * 1e3)
+    })
+    .expect("result store I/O");
+    println!(
+        "(3) burst-density fault sweep — {} Gilbert-Elliott realizations per point",
+        args.seeds
+    );
+    let rows: Vec<Vec<String>> = report
+        .points
+        .iter()
+        .map(|p| {
+            let time = &p.summary["elapsed_ms"];
+            let retries = &p.summary["retries"];
+            vec![
+                format!("{:.0} frames", p.point.f64("gap")),
+                format!("{:.2} ± {:.2} ms", time.mean, time.ci95),
+                format!("{:.2} ms", time.stddev),
+                format!("{:.1}", retries.mean),
+                time.n.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "gap between bursts",
+                "completion (mean ± 95% CI)",
+                "stddev",
+                "mean retries",
+                "n",
+            ],
+            &rows
+        )
+    );
+    // Denser bursts must cost more time on average (the fig_fault_sweep
+    // monotonicity claim, now across seed replications).
+    let means: Vec<f64> = report
+        .points
+        .iter()
+        .map(|p| p.summary["elapsed_ms"].mean)
+        .collect();
+    for pair in means.windows(2) {
+        assert!(
+            pair[1] >= pair[0],
+            "mean completion time must degrade with burst density ({:.3} then {:.3})",
+            pair[0],
+            pair[1],
+        );
+    }
+    export(&report, &opts);
+    footer(&report);
+
+    println!(
+        "Figure set regenerated in {:.2} s wall-clock.",
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -46,8 +46,7 @@ fn measure(n: u8) -> (f64, f64, u64) {
         .expect("message delivered")
         .duration_since(inject)
         .as_secs_f64();
-    let predicted = analytic::message_relay_time(&params, 0, usize::from(n) - 1, 64)
-        .as_secs_f64();
+    let predicted = analytic::message_relay_time(&params, 0, usize::from(n) - 1, 64).as_secs_f64();
     let bus_ref: &TpWireBus = sim.component(bus_id).expect("registered");
     let resets: u64 = (1..=n)
         .map(|i| bus_ref.slave(node(i)).expect("on chain").reset_count())

@@ -9,10 +9,13 @@
 //!    burst that killed the original — while an exponential backoff lets
 //!    simulated time pass until the channel has likely recovered.
 //!
-//! The sweep runs a fixed stream workload (messages node 1 → node 2) under
-//! a burst channel of growing severity, then pits the seed's
-//! immediate-resend policy against fixed and exponential backoff on a harsh
-//! channel where every in-burst frame is lost.
+//! The sweep runs a fixed stream workload (messages node 1 → node 2,
+//! `tsbus_bench::workload`) under a burst channel of growing severity,
+//! then pits the seed's immediate-resend policy against fixed and
+//! exponential backoff on a harsh channel where every in-burst frame is
+//! lost. Both sweeps run as `tsbus-lab` campaigns on the reference seed
+//! (23), so the tables are reproducible; `--threads` / `--cache-dir`
+//! apply as usual.
 //!
 //! Severity is swept as burst *density* (shorter good sojourns between
 //! bursts) at 100% in-burst loss, not as the in-burst loss rate. Partial
@@ -21,140 +24,76 @@
 //! can cost more wall time than a 100%-loss one the master skips over with
 //! a few long waits.
 
-use bytes::Bytes;
 use tsbus_bench::render_table;
-use tsbus_core::BusCbrSink;
-use tsbus_des::{ComponentId, SimDuration, Simulator};
-use tsbus_faults::{Backoff, BurstParams, RetryParams, RetryPolicy};
-use tsbus_tpwire::{BusParams, NodeId, SendStream, StreamEndpoint, TpWireBus};
+use tsbus_bench::workload::{
+    burst_channel, patient_policy, run_stream_workload, Outcome, REFERENCE_SEED,
+};
+use tsbus_faults::{Backoff, RetryParams, RetryPolicy};
+use tsbus_lab::{run_campaign, Campaign, LabArgs, Metrics, PointResult};
 
-fn node(id: u8) -> NodeId {
-    NodeId::new(id).expect("valid")
-}
+const MESSAGES: u64 = 30;
+const LEN: usize = 64;
 
-struct Outcome {
-    delivered: u64,
-    retries: u64,
-    failures: u64,
-    backoff_events: u64,
-    intact: bool,
-    /// Time of the last successful delivery (NaN when nothing arrived).
-    elapsed: f64,
-}
-
-fn run(
-    burst: Option<BurstParams>,
-    policy: RetryPolicy,
-    messages: u64,
-    len: usize,
-) -> Outcome {
-    let mut sim = Simulator::with_seed(23);
-    let sink = sim.add_component("sink", BusCbrSink::new());
-    let mut params = BusParams::theseus_default().with_retry_policy(policy);
-    if let Some(b) = burst {
-        params = params.with_burst_error(b);
-    }
-    let mut bus = TpWireBus::new(params, vec![node(1), node(2)]);
-    bus.attach(node(2), sink);
-    let bus_id: ComponentId = sim.add_component("bus", bus);
-    sim.with_context(|ctx| {
-        for _ in 0..messages {
-            ctx.send(
-                bus_id,
-                SendStream {
-                    from: node(1),
-                    to: StreamEndpoint::Slave(node(2)),
-                    payload: Bytes::from(vec![0xC3u8; len]),
-                },
-            );
-        }
-    });
-    // Slice the run; stop once every message either arrived or was
-    // abandoned, so stats reflect the transfers and not idle polling.
-    for _ in 0..30_000 {
-        sim.run_for(SimDuration::from_millis(1));
-        let done: &BusCbrSink = sim.component(sink).expect("registered");
-        let b: &TpWireBus = sim.component(bus_id).expect("registered");
-        if done.messages() + b.stats().messages_failed >= messages {
-            break;
-        }
-    }
-    let sink_ref: &BusCbrSink = sim.component(sink).expect("registered");
-    let bus_ref: &TpWireBus = sim.component(bus_id).expect("registered");
-    let stats = bus_ref.stats();
-    Outcome {
-        delivered: sink_ref.messages(),
-        retries: stats.retries,
-        failures: stats.failures,
-        backoff_events: stats.backoff_events,
-        intact: sink_ref.bytes() == sink_ref.messages() * len as u64,
-        elapsed: sink_ref
-            .last_arrival()
-            .map(|t| t.as_secs_f64())
-            .unwrap_or(f64::NAN),
-    }
-}
-
-/// The burst channel: bursts of mean 8 frames in which every frame is
-/// lost, separated by clean stretches of `mean_good` frames. Smaller
-/// `mean_good` = denser bursts = a worse channel.
-///
-/// Mean burst length is deliberately short relative to the watchdog: during
-/// a burst the slaves see no *valid* frames, so their 2048-bit watchdogs
-/// keep counting. An 8-frame (~160-bit) mean burst is something a backoff
-/// schedule can wait out inside the watchdog window; 30-frame bursts are
-/// not (see the module docs of `tsbus_faults::burst`).
-fn channel(mean_good: f64) -> BurstParams {
-    BurstParams::with_mean_lengths(mean_good, 8.0, 0.0, 1.0)
-}
-
-/// A patient policy: plenty of attempts with exponentially growing waits —
-/// but the whole schedule is budgeted against the watchdog.
-///
-/// The constraint is *cumulative*, not per-wait: corrupted frames do not
-/// refresh the slaves' `RESET_TIMEOUT` watchdogs, so every backoff wait and
-/// every corrupted attempt inside one burst adds to a single silent span.
-/// Once that span passes 2048 bit periods the slaves reset themselves, the
-/// master's node selection goes stale, and the remaining retries fail
-/// deterministically — patience beyond the watchdog is self-defeating.
-/// (An earlier draft with `cap_bits: 1024` summed to ~9k bits of silence
-/// and produced 502 watchdog resets per slave in one 30-message run.)
-/// This schedule sums to 32 + 64 + 10×128 = 1376 bits, safely inside the
-/// window, while still outliving the 160-bit mean bursts many times over.
-fn patient() -> RetryPolicy {
-    RetryPolicy::uniform(RetryParams {
-        max_retries: 12,
-        backoff: Backoff::Exponential { base_bits: 32, cap_bits: 128 },
-    })
+fn to_metrics(o: &Outcome) -> Metrics {
+    Metrics::new()
+        .u64("delivered", o.delivered)
+        .u64("retries", o.retries)
+        .u64("failures", o.failures)
+        .u64("backoff_events", o.backoff_events)
+        .bool("intact", o.intact)
+        .f64("elapsed", o.elapsed)
 }
 
 fn main() {
-    let messages = 30;
-    let len = 64;
+    let args = LabArgs::from_env();
+    let opts = args.exec_opts();
 
     println!("Fault sweep 1 — burst density under a patient (exponential) policy\n");
+    // Points are plain `Option<f64>` mean-good gaps — campaigns are not
+    // tied to grids; any point type with a canonical key works.
+    let severities: Vec<Option<f64>> =
+        vec![None, Some(800.0), Some(400.0), Some(200.0), Some(100.0)];
+    let campaign = Campaign::new("fig_fault_sweep_density", severities);
+    let report = run_campaign(
+        &campaign,
+        &opts,
+        |p| p.map_or_else(|| "gap=clean".to_owned(), |g| format!("gap={g:?}")),
+        |p, _ctx| {
+            let o = run_stream_workload(
+                p.map(burst_channel),
+                patient_policy(),
+                MESSAGES,
+                LEN,
+                REFERENCE_SEED,
+            );
+            to_metrics(&o)
+        },
+    )
+    .expect("result store I/O");
+
     let mut rows = Vec::new();
     let mut times = Vec::new();
-    for mean_good in [None, Some(800.0), Some(400.0), Some(200.0), Some(100.0)] {
-        let burst = mean_good.map(channel);
-        let o = run(burst, patient(), messages, len);
+    for PointResult { point, reps, .. } in &report.points {
+        let m = &reps[0];
+        let delivered = m.get_i64("delivered");
         assert_eq!(
-            o.delivered, messages,
-            "the patient policy must deliver everything at mean good run {mean_good:?}"
+            delivered as u64, MESSAGES,
+            "the patient policy must deliver everything at mean good run {point:?}"
         );
-        assert!(o.intact, "delivered streams must be byte-exact");
-        times.push(o.elapsed);
+        assert!(m.get_bool("intact"), "delivered streams must be byte-exact");
+        let elapsed = m.get_f64("elapsed");
+        times.push(elapsed);
         rows.push(vec![
-            mean_good.map_or_else(|| "clean".to_owned(), |g| format!("{g:.0} frames")),
+            point.map_or_else(|| "clean".to_owned(), |g| format!("{g:.0} frames")),
             format!(
                 "{:.2}%",
-                mean_good.map_or(0.0, |g| channel(g).mean_error_rate()) * 100.0
+                point.map_or(0.0, |g| burst_channel(g).mean_error_rate()) * 100.0
             ),
-            o.retries.to_string(),
-            o.backoff_events.to_string(),
-            o.failures.to_string(),
-            format!("{}/{}", o.delivered, messages),
-            format!("{:.2} ms", o.elapsed * 1e3),
+            m.get_i64("retries").to_string(),
+            m.get_i64("backoff_events").to_string(),
+            m.get_i64("failures").to_string(),
+            format!("{delivered}/{MESSAGES}"),
+            format!("{:.2} ms", elapsed * 1e3),
         ]);
     }
     println!(
@@ -187,8 +126,7 @@ fn main() {
     );
 
     println!("Fault sweep 2 — retry policy on a harsh channel (100% in-burst loss)\n");
-    let harsh = Some(channel(100.0));
-    let policies: [(&str, RetryPolicy); 3] = [
+    let policies: Vec<(&str, RetryPolicy)> = vec![
         ("immediate x3 (seed)", RetryPolicy::immediate(3)),
         (
             "fixed 64 bits x3",
@@ -201,25 +139,52 @@ fn main() {
             "exponential 256..1024 x3",
             RetryPolicy::uniform(RetryParams {
                 max_retries: 3,
-                backoff: Backoff::Exponential { base_bits: 256, cap_bits: 1024 },
+                backoff: Backoff::Exponential {
+                    base_bits: 256,
+                    cap_bits: 1024,
+                },
             }),
         ),
     ];
+    let campaign = Campaign::new("fig_fault_sweep_policy", policies);
+    let report = run_campaign(
+        &campaign,
+        &opts,
+        |(name, _)| format!("policy={name}"),
+        |(_, policy), _ctx| {
+            let o = run_stream_workload(
+                Some(burst_channel(100.0)),
+                *policy,
+                MESSAGES,
+                LEN,
+                REFERENCE_SEED,
+            );
+            to_metrics(&o)
+        },
+    )
+    .expect("result store I/O");
+
     let mut rows = Vec::new();
     let mut delivered = Vec::new();
-    for (name, policy) in policies {
-        let o = run(harsh, policy, messages, len);
-        delivered.push(o.delivered);
+    for PointResult {
+        point: (name, _),
+        reps,
+        ..
+    } in &report.points
+    {
+        let m = &reps[0];
+        delivered.push(m.get_i64("delivered"));
+        let elapsed = m.get_f64("elapsed");
         rows.push(vec![
-            name.to_owned(),
-            o.retries.to_string(),
-            o.backoff_events.to_string(),
-            o.failures.to_string(),
-            format!("{}/{}", o.delivered, messages),
-            if o.elapsed.is_nan() {
+            (*name).to_owned(),
+            m.get_i64("retries").to_string(),
+            m.get_i64("backoff_events").to_string(),
+            m.get_i64("failures").to_string(),
+            format!("{}/{}", m.get_i64("delivered"), MESSAGES),
+            if elapsed.is_nan() {
                 "-".to_owned()
             } else {
-                format!("{:.2} ms", o.elapsed * 1e3)
+                format!("{:.2} ms", elapsed * 1e3)
             },
         ]);
     }

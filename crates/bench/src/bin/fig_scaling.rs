@@ -5,38 +5,69 @@
 //! independent 1-wire buses (mode B), and asks the prototyping methodology
 //! to quantify the gain. This sweep produces that figure: relay goodput
 //! and case-study middleware time versus wire count for both modes.
+//!
+//! Both parts run as `tsbus-lab` campaigns over the wire-count axis
+//! (accepting `--threads` / `--cache-dir`); part (a) evaluates the
+//! closed-form model at each point, part (b) a full DES case study.
 
 use tsbus_bench::{fmt_secs, render_table};
 use tsbus_core::{run_case_study, CaseStudyConfig};
+use tsbus_lab::{run_campaign, Campaign, Grid, GridPoint, LabArgs, Metrics};
 use tsbus_tpwire::{analytic, BusParams, Wiring};
 
+fn mode_a_wiring(lines: u8) -> Wiring {
+    if lines == 1 {
+        Wiring::Single
+    } else {
+        Wiring::parallel_data(lines).expect("lines >= 2")
+    }
+}
+
 fn main() {
+    let args = LabArgs::from_env();
     println!("Figure (§3.2) — n-wire scalability of TpWIRE\n");
 
     // Analytic single-flow goodput (Slave1 -> Slave3, 256-byte messages).
     println!("(a) Single-flow relay goodput, closed-form, 8 Mbit/s lines:");
     let base = BusParams::theseus_default();
-    let mut rows = Vec::new();
-    for lines in 1u8..=8 {
-        let mode_a = if lines == 1 {
-            Wiring::Single
-        } else {
-            Wiring::parallel_data(lines).expect("lines >= 2")
-        };
-        let goodput_a = analytic::relay_goodput(&base.with_wiring(mode_a), 0, 2, 256);
-        // Mode B parallelizes flows, not one flow; a single flow sees the
-        // 1-wire rate. Report aggregate capacity = lanes x single-bus
-        // goodput instead.
-        let single = analytic::relay_goodput(&base, 0, 2, 256);
-        let aggregate_b = single * f64::from(lines);
-        rows.push(vec![
-            lines.to_string(),
-            format!("{:.0} B/s", goodput_a),
-            format!("{:.2}x", goodput_a / single),
-            format!("{:.0} B/s", aggregate_b),
-            format!("{:.2}x", f64::from(lines)),
-        ]);
-    }
+    let single = analytic::relay_goodput(&base, 0, 2, 256);
+    let goodput = Campaign::new(
+        "fig_scaling_goodput",
+        Grid::new().axis("wires", 1u8..=8).points(),
+    );
+    let report = run_campaign(
+        &goodput,
+        &args.exec_opts(),
+        GridPoint::key,
+        |point, _ctx| {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let lines = point.i64("wires") as u8;
+            let goodput_a =
+                analytic::relay_goodput(&base.with_wiring(mode_a_wiring(lines)), 0, 2, 256);
+            // Mode B parallelizes flows, not one flow; a single flow sees the
+            // 1-wire rate. Report aggregate capacity = lanes x single-bus
+            // goodput instead.
+            Metrics::new()
+                .f64("mode_a_goodput", goodput_a)
+                .f64("mode_b_aggregate", single * point.f64("wires"))
+        },
+    )
+    .expect("result store I/O");
+    let rows: Vec<Vec<String>> = report
+        .points
+        .iter()
+        .map(|point| {
+            let m = point.single();
+            let goodput_a = m.get_f64("mode_a_goodput");
+            vec![
+                point.point.i64("wires").to_string(),
+                format!("{:.0} B/s", goodput_a),
+                format!("{:.2}x", goodput_a / single),
+                format!("{:.0} B/s", m.get_f64("mode_b_aggregate")),
+                format!("{:.2}x", point.point.f64("wires")),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         render_table(
@@ -58,26 +89,52 @@ fn main() {
     // End-to-end case-study time under mode A (the Table 4 workload).
     println!("(b) Case-study middleware time (Table 4 workload, CBR 0.3 B/s), measured:");
     let cfg = CaseStudyConfig::table4_reference().with_cbr_rate(0.3);
-    let mut rows = Vec::new();
-    for lines in 1u8..=4 {
-        let wiring = if lines == 1 {
-            Wiring::Single
-        } else {
-            Wiring::parallel_data(lines).expect("lines >= 2")
-        };
-        let result = run_case_study(&cfg.with_bus(cfg.bus.with_wiring(wiring)));
-        let time = result
-            .middleware_time
-            .expect("case study finishes at every wire count");
-        rows.push(vec![
-            lines.to_string(),
-            fmt_secs(time.as_secs_f64()),
-            format!("{}", if result.out_of_time { "yes" } else { "no" }),
-        ]);
-    }
+    let case_study = Campaign::new(
+        "fig_scaling_case_study",
+        Grid::new().axis("wires", 1u8..=4).points(),
+    );
+    let report = run_campaign(
+        &case_study,
+        &args.exec_opts(),
+        GridPoint::key,
+        |point, _ctx| {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let lines = point.i64("wires") as u8;
+            let result = run_case_study(&cfg.with_bus(cfg.bus.with_wiring(mode_a_wiring(lines))));
+            let time = result
+                .middleware_time
+                .expect("case study finishes at every wire count");
+            Metrics::new()
+                .f64("middleware_time", time.as_secs_f64())
+                .bool("out_of_time", result.out_of_time)
+        },
+    )
+    .expect("result store I/O");
+    let rows: Vec<Vec<String>> = report
+        .points
+        .iter()
+        .map(|point| {
+            let m = point.single();
+            vec![
+                point.point.i64("wires").to_string(),
+                fmt_secs(m.get_f64("middleware_time")),
+                format!(
+                    "{}",
+                    if m.get_bool("out_of_time") {
+                        "yes"
+                    } else {
+                        "no"
+                    }
+                ),
+            ]
+        })
+        .collect();
     println!(
         "{}",
-        render_table(&["wires (mode A)", "middleware time", "out of time?"], &rows)
+        render_table(
+            &["wires (mode A)", "middleware time", "out of time?"],
+            &rows
+        )
     );
     println!(
         "End-to-end gains flatten even faster than raw goodput: the fixed endpoint\n\

@@ -88,7 +88,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["layer removed", "time without it", "attributed cost", "paper analog"],
+            &[
+                "layer removed",
+                "time without it",
+                "attributed cost",
+                "paper analog"
+            ],
             &rows
         )
     );

@@ -56,7 +56,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["CBR", "1-wire (ours)", "1-wire (paper)", "2-wire (ours)", "2-wire (paper)"],
+            &[
+                "CBR",
+                "1-wire (ours)",
+                "1-wire (paper)",
+                "2-wire (ours)",
+                "2-wire (paper)"
+            ],
             &rows
         )
     );

@@ -7,9 +7,7 @@
 //! and contrasts the latency and overhead structure.
 
 use tsbus_bench::{fmt_secs, render_table};
-use tsbus_core::{
-    run_case_study, run_case_study_tcp, CaseStudyConfig, EndpointCosts, TcpParams,
-};
+use tsbus_core::{run_case_study, run_case_study_tcp, CaseStudyConfig, EndpointCosts, TcpParams};
 use tsbus_des::SimDuration;
 use tsbus_tpwire::BusParams;
 
@@ -71,7 +69,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["configuration", "payload", "TpWIRE (8 Mb/s)", "TCP (10 Mb/s Eth)", "TpWIRE/TCP"],
+            &[
+                "configuration",
+                "payload",
+                "TpWIRE (8 Mb/s)",
+                "TCP (10 Mb/s Eth)",
+                "TpWIRE/TCP"
+            ],
             &rows
         )
     );

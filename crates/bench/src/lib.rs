@@ -9,112 +9,28 @@
 //! | `table4` | Table 4 — middleware impact vs CBR load, 1-wire vs 2-wire |
 //! | `fig_scaling` | §3.2 — the *n*-wire scalability claim, both modes |
 //! | `fig_cbr_sweep` | §5 — the out-of-time traffic threshold |
+//! | `fig_fault_sweep` | burst-error severity × master retry policy |
 //! | `tcp_baseline` | §4.3 — TpWIRE vs TCP/Ethernet for the same exchange |
 //! | `stack_breakdown` | Figs. 3–5 — where the end-to-end time goes |
 //! | `ablation_chunk` | relay service-slot size (design choice) |
 //! | `ablation_polling` | master poll cadence (design choice) |
 //! | `ablation_errors` | frame-error rate vs retries and goodput |
+//! | `campaign` | the whole figure set, via the `tsbus-lab` engine |
+//!
+//! The sweep-style figures (`fig_cbr_sweep`, `fig_fault_sweep`,
+//! `fig_scaling`, `campaign`) run on the [`tsbus_lab`] campaign engine:
+//! a thread-pool work queue with seed-stream replication and an optional
+//! config-hash result cache (`--threads`, `--seeds`, `--cache-dir`).
 //!
 //! Criterion micro-benchmarks (`cargo bench -p tsbus-bench`) cover the
 //! simulation-kernel and codec hot paths.
 //!
-//! This library holds the tiny table-formatting helpers those binaries
-//! share.
+//! The table-formatting helpers the binaries share live in the lab's
+//! emitter module and are re-exported here.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::fmt::Write as _;
+pub mod workload;
 
-/// Renders an ASCII table: a header row plus data rows, columns padded to
-/// the widest cell.
-///
-/// # Examples
-///
-/// ```
-/// let table = tsbus_bench::render_table(
-///     &["x", "y"],
-///     &[vec!["1".into(), "2".into()]],
-/// );
-/// assert!(table.contains("| 1 | 2 |"));
-/// ```
-#[must_use]
-pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
-    let ncols = header.len();
-    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
-    for row in rows {
-        assert_eq!(row.len(), ncols, "ragged table row");
-        for (w, cell) in widths.iter_mut().zip(row) {
-            *w = (*w).max(cell.len());
-        }
-    }
-    let mut out = String::new();
-    let write_row = |out: &mut String, cells: &[String]| {
-        let mut line = String::from("|");
-        for (w, cell) in widths.iter().zip(cells) {
-            let _ = write!(line, " {cell:<w$} |");
-        }
-        out.push_str(&line);
-        out.push('\n');
-    };
-    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
-    write_row(&mut out, &header_cells);
-    let mut rule = String::from("|");
-    for w in &widths {
-        let _ = write!(rule, "{:-<1$}|", "", w + 2);
-    }
-    out.push_str(&rule);
-    out.push('\n');
-    for row in rows {
-        write_row(&mut out, row);
-    }
-    out
-}
-
-/// Formats seconds with a sensible precision for report tables.
-#[must_use]
-pub fn fmt_secs(secs: f64) -> String {
-    if secs >= 100.0 {
-        format!("{secs:.0}s")
-    } else if secs >= 1.0 {
-        format!("{secs:.1}s")
-    } else if secs >= 1e-3 {
-        format!("{:.2}ms", secs * 1e3)
-    } else {
-        format!("{:.1}µs", secs * 1e6)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn table_pads_columns() {
-        let t = render_table(
-            &["name", "v"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer".into(), "22".into()],
-            ],
-        );
-        let lines: Vec<&str> = t.lines().collect();
-        assert_eq!(lines.len(), 4);
-        assert!(lines[0].contains("| name   | v  |"));
-        assert!(lines[2].contains("| a      | 1  |"));
-    }
-
-    #[test]
-    #[should_panic(expected = "ragged")]
-    fn ragged_rows_rejected() {
-        let _ = render_table(&["a", "b"], &[vec!["only-one".into()]]);
-    }
-
-    #[test]
-    fn seconds_formatting_scales() {
-        assert_eq!(fmt_secs(140.2), "140s");
-        assert_eq!(fmt_secs(5.25), "5.2s");
-        assert_eq!(fmt_secs(0.0042), "4.20ms");
-        assert_eq!(fmt_secs(0.0000042), "4.2µs");
-    }
-}
+pub use tsbus_lab::{fmt_secs, render_table};

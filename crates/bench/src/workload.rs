@@ -1,0 +1,129 @@
+//! The burst-error stream workload shared by `fig_fault_sweep` and the
+//! `campaign` binary: a fixed batch of messages node 1 → node 2 over a
+//! Gilbert-Elliott channel, under a configurable master retry policy.
+
+use bytes::Bytes;
+use tsbus_core::BusCbrSink;
+use tsbus_des::{ComponentId, SimDuration, Simulator};
+use tsbus_faults::{Backoff, BurstParams, RetryParams, RetryPolicy};
+use tsbus_tpwire::{BusParams, NodeId, SendStream, StreamEndpoint, TpWireBus};
+
+/// The simulator seed the historical `fig_fault_sweep` tables use.
+pub const REFERENCE_SEED: u64 = 23;
+
+fn node(id: u8) -> NodeId {
+    NodeId::new(id).expect("valid")
+}
+
+/// What one stream-workload run measured.
+#[derive(Debug, Clone, Copy)]
+pub struct Outcome {
+    /// Messages that arrived intact.
+    pub delivered: u64,
+    /// Frame retransmissions.
+    pub retries: u64,
+    /// Transfers abandoned after exhausting the retry budget.
+    pub failures: u64,
+    /// Backoff waits the retry policy inserted.
+    pub backoff_events: u64,
+    /// Whether every delivered stream was byte-exact.
+    pub intact: bool,
+    /// Time of the last successful delivery (NaN when nothing arrived).
+    pub elapsed: f64,
+}
+
+/// Runs `messages` stream messages of `len` bytes through a bus with the
+/// given burst channel and retry policy, on a simulator seeded with
+/// `seed` (the burst channel draws its state transitions from it).
+#[must_use]
+pub fn run_stream_workload(
+    burst: Option<BurstParams>,
+    policy: RetryPolicy,
+    messages: u64,
+    len: usize,
+    seed: u64,
+) -> Outcome {
+    let mut sim = Simulator::with_seed(seed);
+    let sink = sim.add_component("sink", BusCbrSink::new());
+    let mut params = BusParams::theseus_default().with_retry_policy(policy);
+    if let Some(b) = burst {
+        params = params.with_burst_error(b);
+    }
+    let mut bus = TpWireBus::new(params, vec![node(1), node(2)]);
+    bus.attach(node(2), sink);
+    let bus_id: ComponentId = sim.add_component("bus", bus);
+    sim.with_context(|ctx| {
+        for _ in 0..messages {
+            ctx.send(
+                bus_id,
+                SendStream {
+                    from: node(1),
+                    to: StreamEndpoint::Slave(node(2)),
+                    payload: Bytes::from(vec![0xC3u8; len]),
+                },
+            );
+        }
+    });
+    // Slice the run; stop once every message either arrived or was
+    // abandoned, so stats reflect the transfers and not idle polling.
+    for _ in 0..30_000 {
+        sim.run_for(SimDuration::from_millis(1));
+        let done: &BusCbrSink = sim.component(sink).expect("registered");
+        let b: &TpWireBus = sim.component(bus_id).expect("registered");
+        if done.messages() + b.stats().messages_failed >= messages {
+            break;
+        }
+    }
+    let sink_ref: &BusCbrSink = sim.component(sink).expect("registered");
+    let bus_ref: &TpWireBus = sim.component(bus_id).expect("registered");
+    let stats = bus_ref.stats();
+    Outcome {
+        delivered: sink_ref.messages(),
+        retries: stats.retries,
+        failures: stats.failures,
+        backoff_events: stats.backoff_events,
+        intact: sink_ref.bytes() == sink_ref.messages() * len as u64,
+        elapsed: sink_ref
+            .last_arrival()
+            .map(|t| t.as_secs_f64())
+            .unwrap_or(f64::NAN),
+    }
+}
+
+/// The burst channel: bursts of mean 8 frames in which every frame is
+/// lost, separated by clean stretches of `mean_good` frames. Smaller
+/// `mean_good` = denser bursts = a worse channel.
+///
+/// Mean burst length is deliberately short relative to the watchdog: during
+/// a burst the slaves see no *valid* frames, so their 2048-bit watchdogs
+/// keep counting. An 8-frame (~160-bit) mean burst is something a backoff
+/// schedule can wait out inside the watchdog window; 30-frame bursts are
+/// not (see the module docs of `tsbus_faults::burst`).
+#[must_use]
+pub fn burst_channel(mean_good: f64) -> BurstParams {
+    BurstParams::with_mean_lengths(mean_good, 8.0, 0.0, 1.0)
+}
+
+/// A patient policy: plenty of attempts with exponentially growing waits —
+/// but the whole schedule is budgeted against the watchdog.
+///
+/// The constraint is *cumulative*, not per-wait: corrupted frames do not
+/// refresh the slaves' `RESET_TIMEOUT` watchdogs, so every backoff wait and
+/// every corrupted attempt inside one burst adds to a single silent span.
+/// Once that span passes 2048 bit periods the slaves reset themselves, the
+/// master's node selection goes stale, and the remaining retries fail
+/// deterministically — patience beyond the watchdog is self-defeating.
+/// (An earlier draft with `cap_bits: 1024` summed to ~9k bits of silence
+/// and produced 502 watchdog resets per slave in one 30-message run.)
+/// This schedule sums to 32 + 64 + 10×128 = 1376 bits, safely inside the
+/// window, while still outliving the 160-bit mean bursts many times over.
+#[must_use]
+pub fn patient_policy() -> RetryPolicy {
+    RetryPolicy::uniform(RetryParams {
+        max_retries: 12,
+        backoff: Backoff::Exponential {
+            base_bits: 32,
+            cap_bits: 128,
+        },
+    })
+}

@@ -3,9 +3,7 @@
 //! packets to a receiver on another slave).
 
 use bytes::Bytes;
-use tsbus_des::{
-    Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime,
-};
+use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime};
 use tsbus_tpwire::{NodeId, SendStream, StreamDelivered, StreamEndpoint};
 
 /// Internal timer: emit the next packet.

@@ -8,9 +8,7 @@
 //! space; later on, a take operation is executed") is one such script.
 
 use bytes::Bytes;
-use tsbus_des::{
-    Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime,
-};
+use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime};
 use tsbus_tpwire::NodeId;
 use tsbus_xmlwire::{
     request_to_wire, server_message_from_wire, Request, Response, ServerMessage, WireEvent,
@@ -41,7 +39,10 @@ impl RecoveryPolicy {
     /// `retry_delay`.
     #[must_use]
     pub const fn new(max_attempts: u32, retry_delay: SimDuration) -> Self {
-        Self { max_attempts, retry_delay }
+        Self {
+            max_attempts,
+            retry_delay,
+        }
     }
 }
 
@@ -115,16 +116,14 @@ impl OpRecord {
     /// Round-trip latency, if completed.
     #[must_use]
     pub fn latency(&self) -> Option<SimDuration> {
-        self.completed_at.map(|done| done.duration_since(self.sent_at))
+        self.completed_at
+            .map(|done| done.duration_since(self.sent_at))
     }
 
     /// For read/take ops: whether a tuple came back.
     #[must_use]
     pub fn returned_entry(&self) -> bool {
-        matches!(
-            self.response,
-            Some(Response::Entry { tuple: Some(_) })
-        )
+        matches!(self.response, Some(Response::Entry { tuple: Some(_) }))
     }
 
     /// How the operation fared under recovery: [`RecoveryOutcome::FirstTry`]
@@ -144,9 +143,14 @@ impl OpRecord {
                 (Some(done), Some(first)) => done.duration_since(first),
                 _ => SimDuration::ZERO,
             };
-            RecoveryOutcome::Recovered { attempts: self.attempts, extra_time }
+            RecoveryOutcome::Recovered {
+                attempts: self.attempts,
+                extra_time,
+            }
         } else {
-            RecoveryOutcome::GaveUp { attempts: self.attempts }
+            RecoveryOutcome::GaveUp {
+                attempts: self.attempts,
+            }
         }
     }
 }
@@ -422,8 +426,8 @@ impl Component for ScriptedClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tsbus_tuplespace::{template, tuple, ValueType};
     use tsbus_des::Simulator;
+    use tsbus_tuplespace::{template, tuple, ValueType};
     use tsbus_xmlwire::response_to_xml;
 
     /// A zero-latency endpoint+server stub: echoes canned responses.
@@ -483,7 +487,12 @@ mod tests {
         ];
         sim.add_component(
             "client",
-            ScriptedClient::new(stub, NodeId::new(3).expect("valid"), SimDuration::ZERO, script),
+            ScriptedClient::new(
+                stub,
+                NodeId::new(3).expect("valid"),
+                SimDuration::ZERO,
+                script,
+            ),
         );
         sim.run(1000);
         let client: &ScriptedClient = sim.component(client_id).expect("registered");
@@ -571,8 +580,13 @@ mod tests {
         })];
         sim.add_component(
             "client",
-            ScriptedClient::new(stub, NodeId::new(3).expect("valid"), SimDuration::ZERO, script)
-                .with_recovery(RecoveryPolicy::new(5, SimDuration::from_millis(10))),
+            ScriptedClient::new(
+                stub,
+                NodeId::new(3).expect("valid"),
+                SimDuration::ZERO,
+                script,
+            )
+            .with_recovery(RecoveryPolicy::new(5, SimDuration::from_millis(10))),
         );
         sim.run(1000);
         let client: &ScriptedClient = sim.component(client_id).expect("registered");
@@ -612,8 +626,13 @@ mod tests {
         })];
         sim.add_component(
             "client",
-            ScriptedClient::new(stub, NodeId::new(3).expect("valid"), SimDuration::ZERO, script)
-                .with_recovery(RecoveryPolicy::new(2, SimDuration::from_millis(10))),
+            ScriptedClient::new(
+                stub,
+                NodeId::new(3).expect("valid"),
+                SimDuration::ZERO,
+                script,
+            )
+            .with_recovery(RecoveryPolicy::new(2, SimDuration::from_millis(10))),
         );
         sim.run(1000);
         let client: &ScriptedClient = sim.component(client_id).expect("registered");

@@ -11,9 +11,7 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimDuration};
-use tsbus_tpwire::{
-    NodeId, SendStream, StreamDelivered, StreamEndpoint, StreamFailed,
-};
+use tsbus_tpwire::{NodeId, SendStream, StreamDelivered, StreamEndpoint, StreamFailed};
 
 use crate::net::{MessageAssembler, NetDeliver, NetError, NetSend};
 
@@ -114,10 +112,7 @@ impl Component for TpwireEndpoint {
             Ok(send) => {
                 let NetSend { to, payload } = *send;
                 self.sent_messages += 1;
-                ctx.schedule_self_in(
-                    self.costs.send_overhead,
-                    OutboundReady { to, payload },
-                );
+                ctx.schedule_self_in(self.costs.send_overhead, OutboundReady { to, payload });
                 return;
             }
             Err(m) => m,
@@ -266,8 +261,7 @@ mod tests {
             let bus_id = ComponentId::from_raw(4);
             sim.add_component("ep_a", TpwireEndpoint::new(node(1), app_a, bus_id, costs));
             sim.add_component("ep_b", TpwireEndpoint::new(node(2), app_b, bus_id, costs));
-            let mut bus =
-                TpWireBus::new(BusParams::theseus_default(), vec![node(1), node(2)]);
+            let mut bus = TpWireBus::new(BusParams::theseus_default(), vec![node(1), node(2)]);
             bus.attach(node(1), ep_a);
             bus.attach(node(2), ep_b);
             sim.add_component("bus", bus);

@@ -298,7 +298,9 @@ mod tests {
         cfg.consumers = 4;
         cfg.jobs_per_producer = 10;
         let single = run_farm(&cfg);
-        cfg.bus = cfg.bus.with_wiring(Wiring::parallel_buses(2).expect("valid"));
+        cfg.bus = cfg
+            .bus
+            .with_wiring(Wiring::parallel_buses(2).expect("valid"));
         let dual = run_farm(&cfg);
         assert_eq!(dual.jobs_consumed, dual.jobs_offered);
         assert!(

@@ -46,7 +46,7 @@ pub use farm::{run_farm, FarmConfig, FarmResult};
 pub use net::{MessageAssembler, NetDeliver, NetError, NetSend};
 pub use scenario::{
     case_study_entry, case_study_script, case_study_template, run_case_study,
-    run_case_study_tcp, run_validation, CaseStudyConfig, CaseStudyResult,
+    run_case_study_seeded, run_case_study_tcp, run_validation, CaseStudyConfig, CaseStudyResult,
     ValidationConfig, ValidationResult,
 };
 pub use server::{ServerStats, SpaceServerAgent};

@@ -74,8 +74,8 @@ pub fn run_validation(cfg: &ValidationConfig) -> ValidationResult {
 
     // Horizon: 10× the prediction, bounded below for tiny runs.
     let per_message = analytic::message_relay_bits(&cfg.bus, 0, 1, cfg.payload as usize);
-    let predicted_bits =
-        cfg.n_messages * per_message + cfg.n_messages.saturating_sub(1) * analytic::txn_bits(&cfg.bus, 1);
+    let predicted_bits = cfg.n_messages * per_message
+        + cfg.n_messages.saturating_sub(1) * analytic::txn_bits(&cfg.bus, 1);
     let predicted = cfg.bus.bit_period().saturating_mul(predicted_bits);
     let horizon = SimTime::ZERO + predicted.saturating_mul(10) + SimDuration::from_secs(1);
     // Run in slices and stop at full delivery, so the reported transaction
@@ -296,6 +296,16 @@ pub fn run_case_study(cfg: &CaseStudyConfig) -> CaseStudyResult {
     run_case_study_with_faults(cfg, &FaultSchedule::new())
 }
 
+/// Runs the Fig. 7 case study with an explicit simulator seed — the
+/// entry point for seed-replicated campaigns (`tsbus-lab`). Seed 7
+/// reproduces [`run_case_study`] exactly; configurations without
+/// stochastic elements (no burst channel, no link faults) are
+/// seed-invariant by construction.
+#[must_use]
+pub fn run_case_study_seeded(cfg: &CaseStudyConfig, seed: u64) -> CaseStudyResult {
+    run_case_study_with_faults_seeded(cfg, &FaultSchedule::new(), seed)
+}
+
 /// Runs the Fig. 7 case study over TpWIRE with a timed fault schedule
 /// aimed at the bus (crashes, resets, chain breaks — see
 /// [`tsbus_faults::FaultKind`]). An empty schedule reproduces
@@ -305,7 +315,17 @@ pub fn run_case_study_with_faults(
     cfg: &CaseStudyConfig,
     faults: &FaultSchedule,
 ) -> CaseStudyResult {
-    let mut sim = Simulator::with_seed(7);
+    run_case_study_with_faults_seeded(cfg, faults, 7)
+}
+
+/// [`run_case_study_with_faults`] with an explicit simulator seed.
+#[must_use]
+pub fn run_case_study_with_faults_seeded(
+    cfg: &CaseStudyConfig,
+    faults: &FaultSchedule,
+    seed: u64,
+) -> CaseStudyResult {
+    let mut sim = Simulator::with_seed(seed);
     // Id layout (registration order below must match):
     //   0 client app, 1 server app, 2 client endpoint, 3 server endpoint,
     //   4 CBR source, 5 CBR sink, 6 bus (7 fault driver, when scheduled).
@@ -567,7 +587,10 @@ mod tests {
         let idle = run_case_study(&base);
         let loaded = run_case_study(&base.with_cbr_rate(2.0));
         let t_idle = idle.total_time.expect("idle run finishes").as_secs_f64();
-        let t_loaded = loaded.total_time.expect("loaded run finishes").as_secs_f64();
+        let t_loaded = loaded
+            .total_time
+            .expect("loaded run finishes")
+            .as_secs_f64();
         assert!(
             t_loaded > t_idle * 1.05,
             "CBR must slow the exchange: {t_idle} vs {t_loaded}"
@@ -593,16 +616,15 @@ mod tests {
             recovery: None,
         };
         let one = run_case_study(&base);
-        let two = run_case_study(&base.with_bus(
-            base.bus
-                .with_wiring(Wiring::parallel_data(2).expect("valid")),
-        ));
+        let two = run_case_study(
+            &base.with_bus(
+                base.bus
+                    .with_wiring(Wiring::parallel_data(2).expect("valid")),
+            ),
+        );
         let t1 = one.total_time.expect("1-wire finishes").as_secs_f64();
         let t2 = two.total_time.expect("2-wire finishes").as_secs_f64();
-        assert!(
-            t2 < t1,
-            "2-wire must be faster: 1-wire {t1}, 2-wire {t2}"
-        );
+        assert!(t2 < t1, "2-wire must be faster: 1-wire {t1}, 2-wire {t2}");
         assert!(t1 / t2 < 2.0, "but not more than double ({})", t1 / t2);
     }
 
@@ -689,7 +711,10 @@ mod tests {
         assert!(result.finished, "the retried take completes");
         assert!(!result.out_of_time, "the 160 s lease survives the outage");
         match result.take_recovery {
-            RecoveryOutcome::Recovered { attempts, extra_time } => {
+            RecoveryOutcome::Recovered {
+                attempts,
+                extra_time,
+            } => {
                 assert!(attempts >= 2, "at least one re-issue, got {attempts}");
                 assert!(
                     extra_time >= SimDuration::from_secs(4),
@@ -698,7 +723,10 @@ mod tests {
             }
             other => panic!("expected a recovered take, got {other:?}"),
         }
-        assert!(result.bus_retries > 0, "the crashed slave forced bus retries");
+        assert!(
+            result.bus_retries > 0,
+            "the crashed slave forced bus retries"
+        );
         assert!(
             result.bus_hard_failures > 0,
             "the first take exhausted its bus retry budget"
@@ -706,7 +734,10 @@ mod tests {
 
         // Without recovery the same outage is a bare failure.
         let bare = run_case_study_with_faults(
-            &CaseStudyConfig { recovery: None, ..cfg },
+            &CaseStudyConfig {
+                recovery: None,
+                ..cfg
+            },
             &faults,
         );
         assert!(bare.out_of_time, "no recovery: the take is lost");
@@ -732,7 +763,10 @@ mod tests {
         };
         let result = run_case_study(&cfg);
         assert!(result.finished);
-        assert!(result.bus_retries > 0, "a 1% frame error rate forces retries");
+        assert!(
+            result.bus_retries > 0,
+            "a 1% frame error rate forces retries"
+        );
         // An empty fault schedule must reproduce the plain runner exactly.
         let replay = run_case_study_with_faults(&cfg, &FaultSchedule::new());
         assert_eq!(result.bus_retries, replay.bus_retries);

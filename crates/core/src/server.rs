@@ -17,8 +17,7 @@ use tsbus_des::{
 use tsbus_tpwire::NodeId;
 use tsbus_tuplespace::{Lease, Space, SubscriptionId, Template};
 use tsbus_xmlwire::{
-    event_to_wire, request_from_wire, response_to_wire, Request, Response, WireEvent,
-    WireFormat,
+    event_to_wire, request_from_wire, response_to_wire, Request, Response, WireEvent, WireFormat,
 };
 
 use crate::net::{NetDeliver, NetSend};
@@ -149,13 +148,7 @@ impl SpaceServerAgent {
 
     /// Applies a serviced request against the space, replying in the
     /// client's own wire encoding.
-    fn apply(
-        &mut self,
-        ctx: &mut Context<'_>,
-        from: NodeId,
-        format: WireFormat,
-        request: Request,
-    ) {
+    fn apply(&mut self, ctx: &mut Context<'_>, from: NodeId, format: WireFormat, request: Request) {
         let now = ctx.now();
         match request {
             Request::Write { tuple, lease_ns } => {
@@ -167,22 +160,24 @@ impl SpaceServerAgent {
                 self.reply(ctx, from, format, &Response::WriteAck);
                 self.wake_waiters(ctx);
             }
-            Request::Read { template, timeout_ns } => {
-                match self.space.read(&template, now) {
-                    Some(tuple) => {
-                        self.reply(ctx, from, format, &Response::Entry { tuple: Some(tuple) });
-                    }
-                    None => self.park(ctx, from, format, template, false, timeout_ns),
+            Request::Read {
+                template,
+                timeout_ns,
+            } => match self.space.read(&template, now) {
+                Some(tuple) => {
+                    self.reply(ctx, from, format, &Response::Entry { tuple: Some(tuple) });
                 }
-            }
-            Request::Take { template, timeout_ns } => {
-                match self.space.take(&template, now) {
-                    Some(tuple) => {
-                        self.reply(ctx, from, format, &Response::Entry { tuple: Some(tuple) });
-                    }
-                    None => self.park(ctx, from, format, template, true, timeout_ns),
+                None => self.park(ctx, from, format, template, false, timeout_ns),
+            },
+            Request::Take {
+                template,
+                timeout_ns,
+            } => match self.space.take(&template, now) {
+                Some(tuple) => {
+                    self.reply(ctx, from, format, &Response::Entry { tuple: Some(tuple) });
                 }
-            }
+                None => self.park(ctx, from, format, template, true, timeout_ns),
+            },
             Request::ReadIfExists { template } => {
                 let tuple = self.space.read(&template, now);
                 self.reply(ctx, from, format, &Response::Entry { tuple });
@@ -200,7 +195,12 @@ impl SpaceServerAgent {
                 let wire_id = self.next_wire_sub;
                 self.next_wire_sub += 1;
                 self.subscribers.insert(sub, (from, wire_id, format));
-                self.reply(ctx, from, format, &Response::SubscriptionAck { id: wire_id });
+                self.reply(
+                    ctx,
+                    from,
+                    format,
+                    &Response::SubscriptionAck { id: wire_id },
+                );
             }
             Request::Unsubscribe { id } => {
                 let found = self
@@ -231,8 +231,7 @@ impl SpaceServerAgent {
     /// `<event>` documents.
     fn pump_notifications(&mut self, ctx: &mut Context<'_>) {
         for notification in self.space.drain_notifications() {
-            let Some(&(to, wire_id, format)) =
-                self.subscribers.get(&notification.subscription)
+            let Some(&(to, wire_id, format)) = self.subscribers.get(&notification.subscription)
             else {
                 continue; // a local (non-wire) subscription, if any
             };
@@ -332,9 +331,16 @@ impl Component for SpaceServerAgent {
                 match request_from_wire(&payload) {
                     Ok((request, format)) => {
                         self.stats.requests += 1;
-                        let cost = self.service_time
-                            + self.per_byte.saturating_mul(payload.len() as u64);
-                        ctx.schedule_self_in(cost, Serviced { from, format, request });
+                        let cost =
+                            self.service_time + self.per_byte.saturating_mul(payload.len() as u64);
+                        ctx.schedule_self_in(
+                            cost,
+                            Serviced {
+                                from,
+                                format,
+                                request,
+                            },
+                        );
                     }
                     Err(e) => {
                         self.stats.decode_errors += 1;
@@ -350,7 +356,11 @@ impl Component for SpaceServerAgent {
         };
         let msg = match msg.downcast::<Serviced>() {
             Ok(serviced) => {
-                let Serviced { from, format, request } = *serviced;
+                let Serviced {
+                    from,
+                    format,
+                    request,
+                } = *serviced;
                 self.apply(ctx, from, format, request);
                 return;
             }
@@ -386,8 +396,8 @@ impl Component for SpaceServerAgent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tsbus_tuplespace::{template, tuple, ValueType};
     use tsbus_des::{SimTime, Simulator};
+    use tsbus_tuplespace::{template, tuple, ValueType};
     use tsbus_xmlwire::request_to_xml;
 
     /// Captures NetSend replies the server pushes toward its endpoint.

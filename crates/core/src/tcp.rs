@@ -21,9 +21,7 @@
 use std::collections::HashMap;
 
 use bytes::{BufMut, Bytes, BytesMut};
-use tsbus_des::{
-    Component, ComponentId, Context, Message, MessageExt, SimDuration, Simulator,
-};
+use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimDuration, Simulator};
 use tsbus_netsim::{Deliver, Link, LinkSpec, Packet, Transmit};
 use tsbus_tpwire::NodeId;
 
@@ -328,10 +326,10 @@ pub fn build_tcp_star(
     let n = stations.len();
     // Id layout: endpoints [base, base+n), links [base+n, base+2n),
     // switch at base+2n.
-    let endpoint_ids: Vec<ComponentId> =
-        (0..n).map(|i| ComponentId::from_raw(base + i)).collect();
-    let link_ids: Vec<ComponentId> =
-        (0..n).map(|i| ComponentId::from_raw(base + n + i)).collect();
+    let endpoint_ids: Vec<ComponentId> = (0..n).map(|i| ComponentId::from_raw(base + i)).collect();
+    let link_ids: Vec<ComponentId> = (0..n)
+        .map(|i| ComponentId::from_raw(base + n + i))
+        .collect();
     let switch_id = ComponentId::from_raw(base + 2 * n);
 
     for (i, &(node, app, costs)) in stations.iter().enumerate() {
@@ -380,9 +378,7 @@ mod tests {
         NodeId::new(id).expect("valid")
     }
 
-    fn star(
-        n: u8,
-    ) -> (Simulator, Vec<ComponentId>, Vec<ComponentId>) {
+    fn star(n: u8) -> (Simulator, Vec<ComponentId>, Vec<ComponentId>) {
         let mut sim = Simulator::new();
         let apps: Vec<ComponentId> = (1..=n)
             .map(|i| sim.add_component(format!("app{i}"), App::default()))

@@ -168,11 +168,7 @@ impl<'a> Context<'a> {
 
     /// Schedules `msg` back to this component after `delay` — the idiom for
     /// timers.
-    pub fn schedule_self_in(
-        &mut self,
-        delay: SimDuration,
-        msg: impl Message,
-    ) -> EventId {
+    pub fn schedule_self_in(&mut self, delay: SimDuration, msg: impl Message) -> EventId {
         let target = self.self_id;
         self.schedule_in(delay, target, msg)
     }
@@ -209,4 +205,3 @@ impl fmt::Debug for Context<'_> {
 pub(crate) fn make_context(core: &mut SimCore, self_id: ComponentId) -> Context<'_> {
     Context { core, self_id }
 }
-

@@ -33,7 +33,8 @@ impl SimCore {
         let seq = self.next_seq;
         self.next_seq += 1;
         let id = EventId(seq);
-        self.trace.record(self.now, target, "sched", format_args!("{id} @ {time}"));
+        self.trace
+            .record(self.now, target, "sched", format_args!("{id} @ {time}"));
         self.queue.push(ScheduledEvent {
             time,
             seq,
@@ -209,10 +210,7 @@ impl Simulator {
 
     /// Mutably borrows a registered component as its concrete type.
     #[must_use]
-    pub fn component_mut<T: Component>(
-        &mut self,
-        id: ComponentId,
-    ) -> Option<&mut T> {
+    pub fn component_mut<T: Component>(&mut self, id: ComponentId) -> Option<&mut T> {
         let boxed = self.components.get_mut(id.index())?.as_deref_mut()?;
         (boxed as &mut dyn core::any::Any).downcast_mut::<T>()
     }
@@ -288,14 +286,11 @@ impl Simulator {
                 .trace
                 .record(event.time, target, "fire", format_args!("{}", event.id));
             let Some(slot) = self.components.get_mut(target.index()) else {
-                panic!(
-                    "event {} targets unknown component {target}",
-                    event.id
-                );
+                panic!("event {} targets unknown component {target}", event.id);
             };
-            let mut component = slot.take().unwrap_or_else(|| {
-                panic!("component {target} re-entered during its own dispatch")
-            });
+            let mut component = slot
+                .take()
+                .unwrap_or_else(|| panic!("component {target} re-entered during its own dispatch"));
             {
                 let mut ctx = make_context(&mut self.core, target);
                 component.handle(&mut ctx, event.msg);
@@ -364,9 +359,8 @@ impl Simulator {
             match self.core.queue.peek_time() {
                 Some(t) if t <= until => {
                     let sim_elapsed = t.saturating_duration_since(sim_start);
-                    let wall_target = std::time::Duration::from_secs_f64(
-                        sim_elapsed.as_secs_f64() / speedup,
-                    );
+                    let wall_target =
+                        std::time::Duration::from_secs_f64(sim_elapsed.as_secs_f64() / speedup);
                     let wall_elapsed = wall_start.elapsed();
                     if wall_target > wall_elapsed {
                         std::thread::sleep(wall_target - wall_elapsed);
@@ -570,8 +564,14 @@ mod tests {
         realtime_run.run_until_realtime(SimTime::from_secs(1), 50.0);
         let elapsed = wall.elapsed();
         assert_eq!(
-            virtual_run.component::<Recorder>(idv).expect("registered").seen,
-            realtime_run.component::<Recorder>(idr).expect("registered").seen,
+            virtual_run
+                .component::<Recorder>(idv)
+                .expect("registered")
+                .seen,
+            realtime_run
+                .component::<Recorder>(idr)
+                .expect("registered")
+                .seen,
         );
         // 1 simulated second at 50x is ~20 ms of wall pacing.
         assert!(

@@ -76,6 +76,6 @@ pub use component::{Component, ComponentId, Context};
 pub use event::{EventId, Message, MessageExt, ScheduledEvent};
 pub use kernel::{Simulator, DEFAULT_EVENT_LIMIT};
 pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
-pub use rng::SimRng;
+pub use rng::{derive_stream, derive_stream_seed, SimRng};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceLog, TraceRecord};

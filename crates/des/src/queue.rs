@@ -191,8 +191,7 @@ impl CalendarQueue {
             .unwrap_or(self.current_time);
         self.current_time = floor.min(self.current_time.max(floor));
         self.current_bucket = self.bucket_index(self.current_time);
-        self.bucket_top =
-            (self.current_time / self.day_width + 1) * self.day_width;
+        self.bucket_top = (self.current_time / self.day_width + 1) * self.day_width;
         for event in drained {
             self.push_internal(event);
         }
@@ -295,8 +294,7 @@ impl EventQueue for CalendarQueue {
         self.len -= 1;
         self.current_bucket = best_idx;
         self.current_time = event.time.as_nanos();
-        self.bucket_top =
-            (self.current_time / self.day_width + 1) * self.day_width;
+        self.bucket_top = (self.current_time / self.day_width + 1) * self.day_width;
         Some(event)
     }
 
@@ -388,8 +386,7 @@ mod tests {
     #[test]
     fn calendar_resizes_under_load() {
         let mut q = CalendarQueue::new();
-        let events: Vec<(u64, u64)> =
-            (0..500u64).map(|i| (i * 137 % 10_000, i)).collect();
+        let events: Vec<(u64, u64)> = (0..500u64).map(|i| (i * 137 % 10_000, i)).collect();
         check_ordering(&mut q, events);
     }
 
@@ -405,21 +402,34 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(30)));
     }
 
-#[test]
-fn replay_failing_schedule() {
-    let times: Vec<u64> = vec![19089,18114,17763,17643,15921,14772,14763,11496,11415,74727,26361,515098,565284,799255,616069,256143,607018,420867,143302,829196,346817,830397,953553,476272,891398,355918,335281,35706,983007,727921,816851,132952,687619,25081,822031,660771,413648,163036,494676,752463,918848,816451,159871,981148,547060,504638,788457,692722,472631,259955,672300,189056,668287,782961,851875,816118,964236,98233,90458,84585,222237,957302,662310,604290,517618,171812,762974,559508,473922,51733,23059,102741,938700,505992,230250,385523,514016,35776,999184,350628,672199,78115,555564,961245,176977,950256,547249,298241,834989,355387,132877,919515,43042,192165,441404,926424,671005,488540,870361,254947,209357,519749,969164,196238,872043,702177,103465,928139,403884,371886,626971,580781,716295,280137,735962,158792,197184,752668,80409,481414,531458,82367,362318,678423,20915,277504,914132,405410,618462,1957];
-    // replicate up to 130 by cycling? use what we have; try to reproduce
-    let mut q = CalendarQueue::new();
-    for (i, &t) in times.iter().enumerate() {
-        q.push(ev(t, i as u64));
+    #[test]
+    fn replay_failing_schedule() {
+        let times: Vec<u64> = vec![
+            19089, 18114, 17763, 17643, 15921, 14772, 14763, 11496, 11415, 74727, 26361, 515098,
+            565284, 799255, 616069, 256143, 607018, 420867, 143302, 829196, 346817, 830397, 953553,
+            476272, 891398, 355918, 335281, 35706, 983007, 727921, 816851, 132952, 687619, 25081,
+            822031, 660771, 413648, 163036, 494676, 752463, 918848, 816451, 159871, 981148, 547060,
+            504638, 788457, 692722, 472631, 259955, 672300, 189056, 668287, 782961, 851875, 816118,
+            964236, 98233, 90458, 84585, 222237, 957302, 662310, 604290, 517618, 171812, 762974,
+            559508, 473922, 51733, 23059, 102741, 938700, 505992, 230250, 385523, 514016, 35776,
+            999184, 350628, 672199, 78115, 555564, 961245, 176977, 950256, 547249, 298241, 834989,
+            355387, 132877, 919515, 43042, 192165, 441404, 926424, 671005, 488540, 870361, 254947,
+            209357, 519749, 969164, 196238, 872043, 702177, 103465, 928139, 403884, 371886, 626971,
+            580781, 716295, 280137, 735962, 158792, 197184, 752668, 80409, 481414, 531458, 82367,
+            362318, 678423, 20915, 277504, 914132, 405410, 618462, 1957,
+        ];
+        // replicate up to 130 by cycling? use what we have; try to reproduce
+        let mut q = CalendarQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(ev(t, i as u64));
+        }
+        let mut last = 0u64;
+        while let Some(e) = q.pop() {
+            let t = e.time.as_nanos();
+            assert!(t >= last, "inversion: {} after {} (state {:?})", t, last, q);
+            last = t;
+        }
     }
-    let mut last = 0u64;
-    while let Some(e) = q.pop() {
-        let t = e.time.as_nanos();
-        assert!(t >= last, "inversion: {} after {} (state {:?})", t, last, q);
-        last = t;
-    }
-}
 
     #[test]
     #[should_panic(expected = "at least one bucket")]

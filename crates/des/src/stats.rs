@@ -451,9 +451,7 @@ impl BusyTime {
 
     /// Accumulates one busy span.
     pub fn add(&mut self, span: SimDuration) {
-        self.total = SimDuration::from_nanos(
-            self.total.as_nanos().saturating_add(span.as_nanos()),
-        );
+        self.total = SimDuration::from_nanos(self.total.as_nanos().saturating_add(span.as_nanos()));
     }
 
     /// The accumulated busy time.
@@ -494,8 +492,7 @@ mod tests {
             s.record(x);
         }
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var =
-            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / data.len() as f64;
         assert!((s.mean() - mean).abs() < 1e-12);
         assert!((s.variance() - var).abs() < 1e-9);
         assert_eq!(s.min(), Some(1.0));
@@ -518,7 +515,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 2.0);
         tw.set(SimTime::from_secs(1), 4.0);
         tw.adjust(SimTime::from_secs(3), -3.0); // now 1.0
-        // integral = 2*1 + 4*2 + 1*1 = 11 over 4 s
+                                                // integral = 2*1 + 4*2 + 1*1 = 11 over 4 s
         assert!((tw.time_average(SimTime::from_secs(4)) - 11.0 / 4.0).abs() < 1e-12);
         assert_eq!(tw.current(), 1.0);
     }

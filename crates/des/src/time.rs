@@ -108,9 +108,7 @@ impl SimTime {
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
         match self.0.checked_sub(earlier.0) {
             Some(d) => SimDuration(d),
-            None => panic!(
-                "duration_since: earlier instant {earlier} is later than {self}"
-            ),
+            None => panic!("duration_since: earlier instant {earlier} is later than {self}"),
         }
     }
 
@@ -431,10 +429,7 @@ mod tests {
             SimTime::ZERO.saturating_duration_since(SimTime::from_secs(1)),
             SimDuration::ZERO
         );
-        assert_eq!(
-            SimDuration::MAX.saturating_mul(3),
-            SimDuration::MAX
-        );
+        assert_eq!(SimDuration::MAX.saturating_mul(3), SimDuration::MAX);
     }
 
     #[test]

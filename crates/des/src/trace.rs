@@ -117,10 +117,7 @@ impl TraceLog {
     }
 
     /// Iterates over retained records matching `label`, oldest first.
-    pub fn with_label<'a>(
-        &'a self,
-        label: &'a str,
-    ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+    pub fn with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
         self.records.iter().filter(move |r| r.label == label)
     }
 

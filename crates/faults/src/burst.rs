@@ -37,7 +37,12 @@ impl BurstParams {
     ///
     /// Panics if any parameter is NaN or outside `[0, 1]`.
     #[must_use]
-    pub fn new(good_error_rate: f64, bad_error_rate: f64, good_to_bad: f64, bad_to_good: f64) -> Self {
+    pub fn new(
+        good_error_rate: f64,
+        bad_error_rate: f64,
+        good_to_bad: f64,
+        bad_to_good: f64,
+    ) -> Self {
         Self {
             good_error_rate: validate_probability("good_error_rate", good_error_rate),
             bad_error_rate: validate_probability("bad_error_rate", bad_error_rate),
@@ -112,7 +117,11 @@ impl GilbertElliott {
     /// Creates a channel starting in the good state.
     #[must_use]
     pub fn new(params: BurstParams) -> Self {
-        Self { params, state: ChannelState::Good, state_until: None }
+        Self {
+            params,
+            state: ChannelState::Good,
+            state_until: None,
+        }
     }
 
     /// The channel's parameters.
@@ -180,7 +189,11 @@ impl GilbertElliott {
             // Inverse-CDF geometric draw: support {1, 2, ...}.
             let u = rng.uniform_f64();
             let f = ((1.0 - u).ln() / (1.0 - leave).ln()).floor() + 1.0;
-            if f >= 1e18 { 1_000_000_000_000_000_000 } else { f as u64 }
+            if f >= 1e18 {
+                1_000_000_000_000_000_000
+            } else {
+                f as u64
+            }
         };
         saturating_frames(frame_time, frames)
     }
@@ -224,7 +237,10 @@ mod tests {
             }
             t = t.saturating_add(FRAME);
         }
-        assert!(corrupted >= 99, "absorbed bad channel corrupts: {corrupted}/100");
+        assert!(
+            corrupted >= 99,
+            "absorbed bad channel corrupts: {corrupted}/100"
+        );
     }
 
     #[test]

@@ -12,9 +12,9 @@ use crate::validate_probability;
 /// Per-direction fault configuration for a packet link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LinkFaults {
-    loss: u64,        // scaled by 2^32 for Eq/Hash friendliness
-    duplicate: u64,   // scaled by 2^32
-    reorder: u64,     // scaled by 2^32
+    loss: u64,      // scaled by 2^32 for Eq/Hash friendliness
+    duplicate: u64, // scaled by 2^32
+    reorder: u64,   // scaled by 2^32
     /// Maximum extra uniform delay added to every delivered packet.
     pub jitter: SimDuration,
     /// Extra delay applied to packets picked for reordering.

@@ -33,7 +33,10 @@ impl Backoff {
         match *self {
             Backoff::None => 0,
             Backoff::Fixed { bits } => bits,
-            Backoff::Exponential { base_bits, cap_bits } => {
+            Backoff::Exponential {
+                base_bits,
+                cap_bits,
+            } => {
                 let shift = attempt.saturating_sub(1).min(63);
                 base_bits.saturating_shl(shift).min(cap_bits)
             }
@@ -72,7 +75,10 @@ impl RetryParams {
     /// Immediate resends, `max_retries` times — the seed behaviour.
     #[must_use]
     pub const fn immediate(max_retries: u8) -> Self {
-        Self { max_retries, backoff: Backoff::None }
+        Self {
+            max_retries,
+            backoff: Backoff::None,
+        }
     }
 }
 
@@ -124,7 +130,11 @@ impl RetryPolicy {
     /// Uniform policy with the given parameters for every class.
     #[must_use]
     pub const fn uniform(params: RetryParams) -> Self {
-        Self { default: params, stream_read: None, stream_write: None }
+        Self {
+            default: params,
+            stream_read: None,
+            stream_write: None,
+        }
     }
 
     /// Returns a copy with a [`FrameClass::StreamRead`] override.
@@ -170,7 +180,10 @@ mod tests {
         let fixed = Backoff::Fixed { bits: 64 };
         assert_eq!(fixed.delay_bits(1), 64);
         assert_eq!(fixed.delay_bits(5), 64);
-        let exp = Backoff::Exponential { base_bits: 32, cap_bits: 2048 };
+        let exp = Backoff::Exponential {
+            base_bits: 32,
+            cap_bits: 2048,
+        };
         assert_eq!(exp.delay_bits(1), 32);
         assert_eq!(exp.delay_bits(2), 64);
         assert_eq!(exp.delay_bits(3), 128);
@@ -180,27 +193,42 @@ mod tests {
 
     #[test]
     fn zero_base_never_delays() {
-        let exp = Backoff::Exponential { base_bits: 0, cap_bits: 1024 };
+        let exp = Backoff::Exponential {
+            base_bits: 0,
+            cap_bits: 1024,
+        };
         assert_eq!(exp.delay_bits(1), 0);
         assert_eq!(exp.delay_bits(64), 0);
     }
 
     #[test]
     fn class_overrides_resolve() {
-        let policy = RetryPolicy::immediate(3)
-            .with_stream_read(RetryParams {
-                max_retries: 8,
-                backoff: Backoff::Exponential { base_bits: 16, cap_bits: 512 },
-            });
-        assert_eq!(policy.for_class(FrameClass::Control), RetryParams::immediate(3));
-        assert_eq!(policy.for_class(FrameClass::StreamWrite), RetryParams::immediate(3));
+        let policy = RetryPolicy::immediate(3).with_stream_read(RetryParams {
+            max_retries: 8,
+            backoff: Backoff::Exponential {
+                base_bits: 16,
+                cap_bits: 512,
+            },
+        });
+        assert_eq!(
+            policy.for_class(FrameClass::Control),
+            RetryParams::immediate(3)
+        );
+        assert_eq!(
+            policy.for_class(FrameClass::StreamWrite),
+            RetryParams::immediate(3)
+        );
         assert_eq!(policy.for_class(FrameClass::StreamRead).max_retries, 8);
     }
 
     #[test]
     fn default_matches_seed_behaviour() {
         let policy = RetryPolicy::default();
-        for class in [FrameClass::Control, FrameClass::StreamRead, FrameClass::StreamWrite] {
+        for class in [
+            FrameClass::Control,
+            FrameClass::StreamRead,
+            FrameClass::StreamWrite,
+        ] {
             let p = policy.for_class(class);
             assert_eq!(p.max_retries, 3);
             assert_eq!(p.backoff, Backoff::None);

@@ -143,9 +143,18 @@ mod tests {
         let mut sim = Simulator::new();
         let log = sim.add_component("log", FaultLog::default());
         let schedule = FaultSchedule::new()
-            .at(SimTime::ZERO + SimDuration::from_millis(5), FaultKind::SlaveCrash(3))
-            .at(SimTime::ZERO + SimDuration::from_millis(1), FaultKind::ChainBreak { after: 2 })
-            .at(SimTime::ZERO + SimDuration::from_millis(9), FaultKind::ChainHeal);
+            .at(
+                SimTime::ZERO + SimDuration::from_millis(5),
+                FaultKind::SlaveCrash(3),
+            )
+            .at(
+                SimTime::ZERO + SimDuration::from_millis(1),
+                FaultKind::ChainBreak { after: 2 },
+            )
+            .at(
+                SimTime::ZERO + SimDuration::from_millis(9),
+                FaultKind::ChainHeal,
+            );
         sim.add_component("faults", FaultDriver::new(log, schedule));
         sim.run_until(SimTime::from_secs(1));
         let log_ref: &FaultLog = sim.component(log).expect("registered");
@@ -156,8 +165,14 @@ mod tests {
                     SimTime::ZERO + SimDuration::from_millis(1),
                     FaultKind::ChainBreak { after: 2 }
                 ),
-                (SimTime::ZERO + SimDuration::from_millis(5), FaultKind::SlaveCrash(3)),
-                (SimTime::ZERO + SimDuration::from_millis(9), FaultKind::ChainHeal),
+                (
+                    SimTime::ZERO + SimDuration::from_millis(5),
+                    FaultKind::SlaveCrash(3)
+                ),
+                (
+                    SimTime::ZERO + SimDuration::from_millis(9),
+                    FaultKind::ChainHeal
+                ),
             ]
         );
     }

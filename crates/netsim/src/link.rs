@@ -4,9 +4,7 @@
 use std::collections::VecDeque;
 
 use tsbus_des::stats::{Counter, Utilization};
-use tsbus_des::{
-    Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime,
-};
+use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime};
 use tsbus_faults::LinkFaults;
 
 use crate::packet::{Deliver, Packet, Transmit};
@@ -35,7 +33,10 @@ impl LinkSpec {
             bandwidth_bps.is_finite() && bandwidth_bps > 0.0,
             "link bandwidth must be positive and finite"
         );
-        assert!(queue_limit > 0, "queue limit must allow at least one packet");
+        assert!(
+            queue_limit > 0,
+            "queue limit must allow at least one packet"
+        );
         LinkSpec {
             bandwidth_bps,
             delay,
@@ -243,7 +244,13 @@ impl Link {
         if faults.duplicate() > 0.0 && ctx.rng().chance(faults.duplicate()) {
             self.directions[dir].duplicated.increment();
             ctx.trace("fault-dup", format_args!("seq={}", packet.seq));
-            ctx.schedule_in(delay, receiver, Deliver { packet: packet.clone() });
+            ctx.schedule_in(
+                delay,
+                receiver,
+                Deliver {
+                    packet: packet.clone(),
+                },
+            );
         }
         ctx.schedule_in(delay, receiver, Deliver { packet });
     }
@@ -255,9 +262,7 @@ impl Component for Link {
             Ok(transmit) => {
                 let Transmit { from, packet } = *transmit;
                 let Some(dir) = self.dir_of(from) else {
-                    panic!(
-                        "Transmit from {from} which is not an endpoint of this link"
-                    );
+                    panic!("Transmit from {from} which is not an endpoint of this link");
                 };
                 if self.directions[dir].busy {
                     if self.directions[dir].queue.len() >= self.spec.queue_limit {
@@ -504,11 +509,7 @@ mod tests {
         sim.run_until(SimTime::from_secs(1));
         let ep: &Endpoint = sim.component(b).expect("registered");
         assert_eq!(ep.deliveries.len(), 20, "reordering delays, never drops");
-        let inversions = ep
-            .deliveries
-            .windows(2)
-            .filter(|w| w[1].1 < w[0].1)
-            .count();
+        let inversions = ep.deliveries.windows(2).filter(|w| w[1].1 < w[0].1).count();
         assert!(inversions > 0, "held packets must be overtaken");
         let link_ref: &Link = sim.component(link).expect("registered");
         let reordered = link_ref.stats(0, sim.now()).reordered;

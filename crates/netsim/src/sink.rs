@@ -153,7 +153,14 @@ mod tests {
     fn sink_accounts_bytes_latency_and_gaps() {
         let mut sim = Simulator::new();
         let sink = sim.add_component("sink", Sink::new());
-        deliver_at(&mut sim, sink, SimDuration::from_secs(1), 0, 10, SimTime::ZERO);
+        deliver_at(
+            &mut sim,
+            sink,
+            SimDuration::from_secs(1),
+            0,
+            10,
+            SimTime::ZERO,
+        );
         deliver_at(
             &mut sim,
             sink,

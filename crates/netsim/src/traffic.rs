@@ -7,9 +7,7 @@
 //! flows.
 
 use bytes::Bytes;
-use tsbus_des::{
-    Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime,
-};
+use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime};
 
 use crate::packet::{Packet, Transmit};
 
@@ -303,7 +301,10 @@ impl OnOffSource {
             "burst rate must be positive and finite"
         );
         assert!(packet_size > 0, "packet size must be positive");
-        assert!(!mean_on.is_zero() && !mean_off.is_zero(), "mean periods must be positive");
+        assert!(
+            !mean_on.is_zero() && !mean_off.is_zero(),
+            "mean periods must be positive"
+        );
         OnOffSource {
             self_id,
             link,
@@ -325,9 +326,7 @@ impl OnOffSource {
     }
 
     fn packet_period(&self) -> SimDuration {
-        SimDuration::from_secs_f64(
-            f64::from(self.packet_size) / self.burst_rate_bytes_per_sec,
-        )
+        SimDuration::from_secs_f64(f64::from(self.packet_size) / self.burst_rate_bytes_per_sec)
     }
 
     fn arm_toggle(&self, ctx: &mut Context<'_>) {
@@ -578,7 +577,10 @@ mod tests {
         assert_eq!(s.bytes_received(), 37);
         // Replay order is time-sorted regardless of input order.
         assert_eq!(s.received_seqs(), &[0, 1, 2]);
-        assert_eq!(s.first_arrival().map(|t| t.as_nanos() / 1_000_000_000), Some(1));
+        assert_eq!(
+            s.first_arrival().map(|t| t.as_nanos() / 1_000_000_000),
+            Some(1)
+        );
     }
 
     #[test]

@@ -259,7 +259,10 @@ mod tests {
         let params = p().with_dma_block(32);
         let plain = message_relay_bits(&params, 0, 1, 2);
         let dma = message_relay_bits_dma(&params, 0, 1, 2);
-        assert!(dma >= plain, "2-byte DMA ({dma}) should not beat per-byte ({plain})");
+        assert!(
+            dma >= plain,
+            "2-byte DMA ({dma}) should not beat per-byte ({plain})"
+        );
     }
 
     #[test]

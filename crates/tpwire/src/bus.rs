@@ -396,7 +396,10 @@ impl TpWireBus {
     /// Panics if `chain` is empty or contains a duplicate node id.
     #[must_use]
     pub fn new(params: BusParams, chain: Vec<NodeId>) -> Self {
-        assert!(!chain.is_empty(), "a TpWIRE network needs at least one slave");
+        assert!(
+            !chain.is_empty(),
+            "a TpWIRE network needs at least one slave"
+        );
         let mut positions = HashMap::new();
         let devices: Vec<SlaveDevice> = chain
             .iter()
@@ -420,8 +423,7 @@ impl TpWireBus {
             })
             .collect();
         let owners = vec![None; devices.len()];
-        let read_toggles =
-            vec![vec![true; devices.len()]; usize::from(params.wiring.lanes())];
+        let read_toggles = vec![vec![true; devices.len()]; usize::from(params.wiring.lanes())];
         let crashed = vec![false; devices.len()];
         TpWireBus {
             params,
@@ -636,8 +638,7 @@ impl TpWireBus {
         let frame_time = p.frame_time();
         let hop = p.bits_to_time(p.hop_delay_bits);
         let now = ctx.now();
-        let timeout_cost =
-            frame_time + p.response_timeout() + p.bits_to_time(p.gap_bits);
+        let timeout_cost = frame_time + p.response_timeout() + p.bits_to_time(p.gap_bits);
 
         let lane = &mut self.lanes[lane_idx];
         lane.in_flight = Some(InFlight {
@@ -669,8 +670,7 @@ impl TpWireBus {
             Some(Activity::Broadcast { .. })
         );
         let broadcast = in_broadcast
-            || (frame.cmd == Command::SelectNode
-                && frame.data & 0x7F == NodeId::BROADCAST.raw());
+            || (frame.cmd == Command::SelectNode && frame.data & 0x7F == NodeId::BROADCAST.raw());
         let mut reply: Option<(usize, RxFrame)> = None;
         let crashed = &self.crashed;
         let break_after = self.break_after;
@@ -683,10 +683,7 @@ impl TpWireBus {
             }
             let arrival = now + frame_time + hop * (pos as u64 + 1);
             if let Some(rx) = slave.on_tx(&frame, lane_idx, arrival, &p) {
-                debug_assert!(
-                    broadcast || reply.is_none(),
-                    "two slaves replied to one TX"
-                );
+                debug_assert!(broadcast || reply.is_none(), "two slaves replied to one TX");
                 reply = Some((pos, rx));
             }
         }
@@ -755,7 +752,13 @@ impl TpWireBus {
     /// acknowledge* on a write means the data landed; the master verifies
     /// by re-reading the DMA counter (one extra transaction) instead of
     /// resending.
-    fn issue_burst(&mut self, ctx: &mut Context<'_>, lane_idx: usize, kind: InFlightKind, attempts: u8) {
+    fn issue_burst(
+        &mut self,
+        ctx: &mut Context<'_>,
+        lane_idx: usize,
+        kind: InFlightKind,
+        attempts: u8,
+    ) {
         let p = self.params;
         let now = ctx.now();
         let lane = &mut self.lanes[lane_idx];
@@ -791,8 +794,8 @@ impl TpWireBus {
         // whole block (bursts are short next to channel sojourns).
         let per_frame = self.per_frame_error_rate(ctx);
         let body_frames = k as f64 + 7.0;
-        let body_corrupt = per_frame > 0.0
-            && ctx.rng().chance(1.0 - (1.0 - per_frame).powf(body_frames));
+        let body_corrupt =
+            per_frame > 0.0 && ctx.rng().chance(1.0 - (1.0 - per_frame).powf(body_frames));
         if body_corrupt {
             self.lanes[lane_idx].in_flight = Some(InFlight { kind, attempts });
             let timeout_cost = cost + p.response_timeout();
@@ -820,10 +823,7 @@ impl TpWireBus {
         let crashed = &self.crashed;
         let break_after = self.break_after;
         for (other, slave) in self.chain.iter_mut().enumerate() {
-            if other != pos
-                && !crashed[other]
-                && break_after.is_none_or(|after| other < after)
-            {
+            if other != pos && !crashed[other] && break_after.is_none_or(|after| other < after) {
                 slave.observe_burst(lane_idx, arrival, &p);
             }
         }
@@ -889,7 +889,11 @@ impl TpWireBus {
                                 self.stats.backoff_bits += delay_bits;
                                 ctx.schedule_self_in(
                                     self.params.bits64_to_time(delay_bits),
-                                    RetryBurst { lane: lane_idx, kind, attempts },
+                                    RetryBurst {
+                                        lane: lane_idx,
+                                        kind,
+                                        attempts,
+                                    },
                                 );
                             }
                         } else {
@@ -950,7 +954,11 @@ impl TpWireBus {
                         self.stats.backoff_bits += delay_bits;
                         ctx.schedule_self_in(
                             self.params.bits64_to_time(delay_bits),
-                            RetryFrame { lane: lane_idx, frame, attempts },
+                            RetryFrame {
+                                lane: lane_idx,
+                                frame,
+                                attempts,
+                            },
                         );
                     }
                 } else {
@@ -1003,8 +1011,9 @@ impl TpWireBus {
                     Some(command) => {
                         // The broadcast select reached everyone; now the
                         // command itself, also unacknowledged.
-                        self.lanes[lane_idx].activity =
-                            Some(Activity::Broadcast { pending_command: None });
+                        self.lanes[lane_idx].activity = Some(Activity::Broadcast {
+                            pending_command: None,
+                        });
                         self.issue(
                             ctx,
                             lane_idx,
@@ -1040,7 +1049,10 @@ impl TpWireBus {
                 self.release_owner(pos, lane_idx);
                 self.schedule_lane(ctx, lane_idx);
             }
-            Activity::Discover { src_pos, mut header } => {
+            Activity::Discover {
+                src_pos,
+                mut header,
+            } => {
                 let Some(rx) = rx else {
                     // Give up; the slave's interrupt stays pending and a
                     // later poll retries discovery. (Header bytes already
@@ -1052,14 +1064,12 @@ impl TpWireBus {
                 };
                 if frame.cmd == Command::ReadData {
                     header.push(rx.data);
-                    self.read_toggles[lane_idx][src_pos] =
-                        !self.read_toggles[lane_idx][src_pos];
+                    self.read_toggles[lane_idx][src_pos] = !self.read_toggles[lane_idx][src_pos];
                 }
                 if header.len() == STREAM_HEADER_BYTES {
                     self.finish_discovery(ctx, lane_idx, src_pos, &header);
                 } else {
-                    self.lanes[lane_idx].activity =
-                        Some(Activity::Discover { src_pos, header });
+                    self.lanes[lane_idx].activity = Some(Activity::Discover { src_pos, header });
                     self.continue_discover(ctx, lane_idx);
                 }
             }
@@ -1140,7 +1150,12 @@ impl TpWireBus {
         if self.lanes[lane_idx].selected != Some((node.raw(), AddressSpace::Memory)) {
             self.issue(ctx, lane_idx, TxFrame::select(node, false), 0);
         } else if !self.lanes[lane_idx].ptr_at_stream {
-            self.issue(ctx, lane_idx, TxFrame::new(Command::SetPointer, STREAM_ADDR), 0);
+            self.issue(
+                ctx,
+                lane_idx,
+                TxFrame::new(Command::SetPointer, STREAM_ADDR),
+                0,
+            );
         } else {
             let frame = self.stream_read_frame(lane_idx, src_pos);
             self.issue(ctx, lane_idx, frame, 0);
@@ -1278,9 +1293,7 @@ impl TpWireBus {
                                 let take = job.buffer.len().min(dma);
                                 let bytes: Vec<u8> = job.buffer.drain(..take).collect();
                                 JobStep::DmaWrite {
-                                    dst_pos: job
-                                        .dst_pos
-                                        .expect("slave destination has a position"),
+                                    dst_pos: job.dst_pos.expect("slave destination has a position"),
                                     bytes,
                                 }
                             } else if job.buffer.front().is_some() {
@@ -1289,9 +1302,7 @@ impl TpWireBus {
                                 JobStep::DrainInboundThenBoundary {
                                     from: job.from,
                                     to: job.to,
-                                    dst_pos: job
-                                        .dst_pos
-                                        .expect("slave destination has a position"),
+                                    dst_pos: job.dst_pos.expect("slave destination has a position"),
                                     end_of_message: job.written == job.total,
                                 }
                             }
@@ -1304,9 +1315,7 @@ impl TpWireBus {
             match step {
                 JobStep::EnsureAndRead { src_pos } => {
                     let node = self.chain[src_pos].node();
-                    if self.lanes[lane_idx].selected
-                        != Some((node.raw(), AddressSpace::Memory))
-                    {
+                    if self.lanes[lane_idx].selected != Some((node.raw(), AddressSpace::Memory)) {
                         self.issue(ctx, lane_idx, TxFrame::select(node, false), 0);
                     } else if !self.lanes[lane_idx].ptr_at_stream {
                         self.issue(
@@ -1322,8 +1331,7 @@ impl TpWireBus {
                     return;
                 }
                 JobStep::EnsureAndWrite { dst_node } => {
-                    if self.lanes[lane_idx].selected
-                        != Some((dst_node.raw(), AddressSpace::Memory))
+                    if self.lanes[lane_idx].selected != Some((dst_node.raw(), AddressSpace::Memory))
                     {
                         self.issue(ctx, lane_idx, TxFrame::select(dst_node, false), 0);
                     } else if !self.lanes[lane_idx].ptr_at_stream {
@@ -1334,8 +1342,7 @@ impl TpWireBus {
                             0,
                         );
                     } else {
-                        let Some(Activity::Job(job)) = &mut self.lanes[lane_idx].activity
-                        else {
+                        let Some(Activity::Job(job)) = &mut self.lanes[lane_idx].activity else {
                             unreachable!()
                         };
                         let byte = job.buffer.pop_front().expect("checked above");
@@ -1388,12 +1395,7 @@ impl TpWireBus {
                     }
                 }
                 JobStep::DmaRead { src_pos, k } => {
-                    self.issue_burst(
-                        ctx,
-                        lane_idx,
-                        InFlightKind::DmaRead { pos: src_pos, k },
-                        0,
-                    );
+                    self.issue_burst(ctx, lane_idx, InFlightKind::DmaRead { pos: src_pos, k }, 0);
                     return;
                 }
                 JobStep::DmaWrite { dst_pos, bytes } => {
@@ -1655,9 +1657,7 @@ impl TpWireBus {
 
     fn kick_idle_lanes(&mut self, ctx: &mut Context<'_>) {
         for lane_idx in 0..self.lanes.len() {
-            if self.lanes[lane_idx].activity.is_none()
-                && self.lanes[lane_idx].in_flight.is_none()
-            {
+            if self.lanes[lane_idx].activity.is_none() && self.lanes[lane_idx].in_flight.is_none() {
                 self.schedule_lane(ctx, lane_idx);
             }
         }
@@ -1689,7 +1689,11 @@ impl Component for TpWireBus {
         };
         let msg = match msg.downcast::<RetryFrame>() {
             Ok(retry) => {
-                let RetryFrame { lane, frame, attempts } = *retry;
+                let RetryFrame {
+                    lane,
+                    frame,
+                    attempts,
+                } = *retry;
                 self.issue(ctx, lane, frame, attempts);
                 return;
             }
@@ -1697,7 +1701,11 @@ impl Component for TpWireBus {
         };
         let msg = match msg.downcast::<RetryBurst>() {
             Ok(retry) => {
-                let RetryBurst { lane, kind, attempts } = *retry;
+                let RetryBurst {
+                    lane,
+                    kind,
+                    attempts,
+                } = *retry;
                 self.issue_burst(ctx, lane, kind, attempts);
                 return;
             }

@@ -302,11 +302,7 @@ impl SlaveDevice {
         };
         let reply = match frame.cmd {
             Command::SelectNode => unreachable!("handled above"),
-            Command::Status => RxFrame::status_ack(
-                self.node,
-                self.pending_interrupt(),
-                false,
-            ),
+            Command::Status => RxFrame::status_ack(self.node, self.pending_interrupt(), false),
             Command::WriteData => {
                 self.write_data(port, space, frame.data);
                 RxFrame::status_ack(self.node, self.pending_interrupt(), false)
@@ -540,7 +536,12 @@ mod tests {
         dev.push_outbound([10, 20, 30]);
         assert!(dev.pending_interrupt(), "outbound bytes raise INT");
         select(&mut dev, 1, false, t);
-        dev.on_tx(&TxFrame::new(Command::SetPointer, STREAM_ADDR), 0, t, &params());
+        dev.on_tx(
+            &TxFrame::new(Command::SetPointer, STREAM_ADDR),
+            0,
+            t,
+            &params(),
+        );
         let mut reads = Vec::new();
         for i in 0..3u8 {
             // Stream reads must alternate the DATA[0] toggle to pop fresh
@@ -570,7 +571,12 @@ mod tests {
         let mut dev = slave(1);
         let t = SimTime::from_nanos(10);
         select(&mut dev, 1, false, t);
-        dev.on_tx(&TxFrame::new(Command::SetPointer, STREAM_ADDR), 0, t, &params());
+        dev.on_tx(
+            &TxFrame::new(Command::SetPointer, STREAM_ADDR),
+            0,
+            t,
+            &params(),
+        );
         for byte in [1, 2, 3] {
             dev.on_tx(&TxFrame::new(Command::WriteData, byte), 0, t, &params());
         }

@@ -348,9 +348,8 @@ impl BusParams {
     /// slaves: one TX frame to the end of the chain, no RX, plus the gap.
     #[must_use]
     pub fn broadcast_time(&self, chain_len: u32) -> SimDuration {
-        let bits = self.wiring.frame_bit_periods()
-            + chain_len * self.hop_delay_bits
-            + self.gap_bits;
+        let bits =
+            self.wiring.frame_bit_periods() + chain_len * self.hop_delay_bits + self.gap_bits;
         self.bits_to_time(bits)
     }
 
@@ -435,10 +434,7 @@ mod tests {
 
     #[test]
     fn invalid_wirings_are_rejected() {
-        assert_eq!(
-            Wiring::parallel_data(1),
-            Err(InvalidWiring::TooFewLines(1))
-        );
+        assert_eq!(Wiring::parallel_data(1), Err(InvalidWiring::TooFewLines(1)));
         assert_eq!(Wiring::parallel_buses(0), Err(InvalidWiring::ZeroBuses));
     }
 
@@ -476,10 +472,7 @@ mod tests {
     fn broadcast_has_no_reply_leg() {
         let p = BusParams::theseus_default();
         // 1 frame (16) + 3 hops + gap 2 = 21 bits.
-        assert_eq!(
-            p.broadcast_time(3),
-            SimDuration::from_nanos(21 * 125)
-        );
+        assert_eq!(p.broadcast_time(3), SimDuration::from_nanos(21 * 125));
         assert!(p.broadcast_time(3) < p.transaction_time(3));
     }
 
@@ -530,7 +523,10 @@ mod tests {
         let burst = BurstParams::with_mean_lengths(100.0, 10.0, 0.0, 0.5);
         let retry = RetryPolicy::uniform(RetryParams {
             max_retries: 5,
-            backoff: Backoff::Exponential { base_bits: 32, cap_bits: 1024 },
+            backoff: Backoff::Exponential {
+                base_bits: 32,
+                cap_bits: 1024,
+            },
         });
         let p = p.with_burst_error(burst).with_retry_policy(retry);
         assert_eq!(p.burst_error, Some(burst));

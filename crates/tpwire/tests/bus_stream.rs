@@ -410,7 +410,10 @@ fn bus_utilization_rises_under_load() {
         busy_util > idle_util,
         "load must raise utilization ({idle_util} → {busy_util})"
     );
-    assert!(busy_util > 0.5, "a saturating transfer should keep the lane busy");
+    assert!(
+        busy_util > 0.5,
+        "a saturating transfer should keep the lane busy"
+    );
 }
 
 #[test]
@@ -467,7 +470,9 @@ fn deterministic_across_runs() {
 
 #[test]
 fn dma_bursts_deliver_intact_payloads() {
-    let params = BusParams::theseus_default().with_dma_block(32).with_relay_chunk(64);
+    let params = BusParams::theseus_default()
+        .with_dma_block(32)
+        .with_relay_chunk(64);
     let (mut sim, bus, recs, _) = build(params, 2);
     let payload: Vec<u8> = (0..=255).collect();
     sim.with_context(|ctx| {
@@ -622,8 +627,14 @@ fn broadcast_interleaves_with_stream_traffic() {
     let rec: &Recorder = sim.component(recs[1]).expect("registered");
     assert_eq!(rec.delivered, payload, "stream survives the broadcast");
     let bus_ref: &TpWireBus = sim.component(bus).expect("registered");
-    assert_eq!(bus_ref.slave(node(1)).expect("on chain").command_reg(), 0x11);
-    assert_eq!(bus_ref.slave(node(2)).expect("on chain").command_reg(), 0x11);
+    assert_eq!(
+        bus_ref.slave(node(1)).expect("on chain").command_reg(),
+        0x11
+    );
+    assert_eq!(
+        bus_ref.slave(node(2)).expect("on chain").command_reg(),
+        0x11
+    );
 }
 
 #[test]
@@ -645,8 +656,7 @@ fn stream_integrity_across_the_configuration_matrix() {
                         .with_relay_chunk(chunk)
                         .with_dma_block(dma);
                     let (mut sim, bus, recs, _) = build(params, 3);
-                    let payload: Vec<u8> =
-                        (0..len).map(|i| (i * 7 % 256) as u8).collect();
+                    let payload: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
                     sim.with_context(|ctx| {
                         ctx.send(
                             bus,
@@ -708,8 +718,8 @@ fn regression_mode_b_single_flow_does_not_livelock() {
     // Two lanes + a single relay flow between two slaves: eager INT-polls
     // from the idle lane once transiently owned the endpoints the parked
     // job needed, livelocking both lanes into polling forever.
-    let params = BusParams::theseus_default()
-        .with_wiring(Wiring::parallel_buses(2).expect("valid"));
+    let params =
+        BusParams::theseus_default().with_wiring(Wiring::parallel_buses(2).expect("valid"));
     let (mut sim, bus, recs, _) = build(params, 2);
     sim.with_context(|ctx| {
         for _ in 0..5 {
@@ -740,9 +750,7 @@ mod combined_faults {
     use bytes::Bytes;
     use proptest::prelude::*;
     use tsbus_des::{SimDuration, SimTime};
-    use tsbus_faults::{
-        Backoff, BurstParams, FaultCommand, FaultKind, RetryParams, RetryPolicy,
-    };
+    use tsbus_faults::{Backoff, BurstParams, FaultCommand, FaultKind, RetryParams, RetryPolicy};
     use tsbus_tpwire::{BusParams, SendStream, StreamEndpoint, TpWireBus};
 
     proptest! {

@@ -59,12 +59,7 @@ pub fn lookup(space: &mut Space, service: &str, now: SimTime) -> Vec<String> {
     space
         .read_all(&template, now)
         .into_iter()
-        .filter_map(|entry| {
-            entry
-                .field(2)
-                .and_then(Value::as_str)
-                .map(str::to_owned)
-        })
+        .filter_map(|entry| entry.field(2).and_then(Value::as_str).map(str::to_owned))
         .collect()
 }
 
@@ -105,13 +100,7 @@ mod tests {
     #[test]
     fn leased_registrations_vanish_with_crashed_providers() {
         let mut space = Space::new();
-        register(
-            &mut space,
-            "fft",
-            "node-7",
-            Lease::Until(t(10)),
-            t(0),
-        );
+        register(&mut space, "fft", "node-7", Lease::Until(t(10)), t(0));
         assert_eq!(lookup(&mut space, "fft", t(9)).len(), 1);
         assert!(lookup(&mut space, "fft", t(10)).is_empty());
     }

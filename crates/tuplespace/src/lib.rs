@@ -46,9 +46,7 @@ mod txn;
 mod value;
 
 pub use live::{SpaceServer, Transaction, WaitTimedOut};
-pub use space::{
-    EntryId, EventKind, Lease, Notification, Space, SpaceStats, SubscriptionId,
-};
+pub use space::{EntryId, EventKind, Lease, Notification, Space, SpaceStats, SubscriptionId};
 pub use template::{IntoPattern, Pattern, Template};
 pub use tuple::Tuple;
 pub use txn::{TxnId, UnknownTxn};

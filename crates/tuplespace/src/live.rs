@@ -431,8 +431,7 @@ mod tests {
     fn blocking_take_times_out() {
         let server = SpaceServer::new();
         let start = Instant::now();
-        let result =
-            server.take_blocking(&template!["never"], Some(Duration::from_millis(50)));
+        let result = server.take_blocking(&template!["never"], Some(Duration::from_millis(50)));
         assert_eq!(result, Err(WaitTimedOut));
         assert!(start.elapsed() >= Duration::from_millis(50));
     }
@@ -451,7 +450,10 @@ mod tests {
         let server = SpaceServer::new();
         server.write(tuple!["keep", 1], None);
         let got = server
-            .read_blocking(&template!["keep", ValueType::Int], Some(Duration::from_secs(1)))
+            .read_blocking(
+                &template!["keep", ValueType::Int],
+                Some(Duration::from_secs(1)),
+            )
             .expect("present");
         assert_eq!(got, tuple!["keep", 1]);
         assert_eq!(server.len(), 1);

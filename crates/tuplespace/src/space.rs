@@ -262,12 +262,7 @@ impl Space {
 
     /// Removes and returns up to `limit` live tuples matching `template`,
     /// oldest first (the JavaSpaces05-style bulk take).
-    pub fn take_all(
-        &mut self,
-        template: &Template,
-        now: SimTime,
-        limit: usize,
-    ) -> Vec<Tuple> {
+    pub fn take_all(&mut self, template: &Template, now: SimTime, limit: usize) -> Vec<Tuple> {
         let mut out = Vec::new();
         while out.len() < limit {
             match self.take(template, now) {
@@ -455,8 +450,8 @@ impl Space {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{template, tuple};
     use crate::value::ValueType;
+    use crate::{template, tuple};
     use tsbus_des::SimDuration;
 
     fn t(secs: u64) -> SimTime {
@@ -552,10 +547,7 @@ mod tests {
     #[test]
     fn taken_and_expired_notifications() {
         let mut space = Space::new();
-        let sub = space.subscribe(
-            Template::any(1),
-            [EventKind::Taken, EventKind::Expired],
-        );
+        let sub = space.subscribe(Template::any(1), [EventKind::Taken, EventKind::Expired]);
         space.write(tuple![1], Lease::Until(t(10)), t(0));
         space.write(tuple![2], Lease::Forever, t(0));
         let _ = space.take(&template![2], t(1));

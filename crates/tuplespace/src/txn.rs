@@ -243,8 +243,8 @@ impl Space {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{template, tuple};
     use crate::value::ValueType;
+    use crate::{template, tuple};
 
     fn t(secs: u64) -> SimTime {
         SimTime::from_secs(secs)
@@ -314,7 +314,9 @@ mod tests {
         let _sub = space.subscribe(template!["shared"], [EventKind::Taken]);
         space.drain_notifications(); // clear the Written-side noise if any
         let txn = space.txn_begin();
-        let _ = space.txn_take(txn, &template!["shared"], t(1)).expect("open");
+        let _ = space
+            .txn_take(txn, &template!["shared"], t(1))
+            .expect("open");
         assert!(
             space.drain_notifications().is_empty(),
             "Taken fires at commit, not at the provisional take"
@@ -397,13 +399,19 @@ mod tests {
         space.write(tuple!["contended"], Lease::Forever, t(0));
         let a = space.txn_begin();
         let b = space.txn_begin();
-        let got_a = space.txn_take(a, &template!["contended"], t(1)).expect("open");
-        let got_b = space.txn_take(b, &template!["contended"], t(1)).expect("open");
+        let got_a = space
+            .txn_take(a, &template!["contended"], t(1))
+            .expect("open");
+        let got_b = space
+            .txn_take(b, &template!["contended"], t(1))
+            .expect("open");
         assert!(got_a.is_some());
         assert!(got_b.is_none(), "the entry is held by transaction a");
         // a aborts: b can now get it.
         space.txn_abort(a, t(2)).expect("open");
-        let got_b2 = space.txn_take(b, &template!["contended"], t(3)).expect("open");
+        let got_b2 = space
+            .txn_take(b, &template!["contended"], t(3))
+            .expect("open");
         assert!(got_b2.is_some());
         space.txn_commit(b, t(4)).expect("open");
         assert!(space.read(&template!["contended"], t(5)).is_none());

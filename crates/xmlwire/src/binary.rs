@@ -241,12 +241,18 @@ pub fn request_to_binary(request: &Request) -> Vec<u8> {
             put_opt_u64(&mut out, *lease_ns);
             put_tuple(&mut out, tuple);
         }
-        Request::Read { template, timeout_ns } => {
+        Request::Read {
+            template,
+            timeout_ns,
+        } => {
             out.push(1);
             put_opt_u64(&mut out, *timeout_ns);
             put_template(&mut out, template);
         }
-        Request::Take { template, timeout_ns } => {
+        Request::Take {
+            template,
+            timeout_ns,
+        } => {
             out.push(2);
             put_opt_u64(&mut out, *timeout_ns);
             put_template(&mut out, template);
@@ -513,9 +519,15 @@ mod tests {
                 template: Template::any(2),
                 timeout_ns: None,
             },
-            Request::ReadIfExists { template: template![1] },
-            Request::TakeIfExists { template: template![1] },
-            Request::Count { template: template![Pattern::Wildcard] },
+            Request::ReadIfExists {
+                template: template![1],
+            },
+            Request::TakeIfExists {
+                template: template![1],
+            },
+            Request::Count {
+                template: template![Pattern::Wildcard],
+            },
             Request::Subscribe {
                 template: template!["x"],
                 kinds: vec![EventKind::Written, EventKind::Expired],

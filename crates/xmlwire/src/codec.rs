@@ -336,9 +336,14 @@ pub fn decode_template(el: &XmlElement) -> Result<Template, DecodeWireError> {
     let mut patterns = Vec::new();
     for child in el.child_elements() {
         if child.name() != "pattern" {
-            return Err(shape(format!("expected <pattern>, found <{}>", child.name())));
+            return Err(shape(format!(
+                "expected <pattern>, found <{}>",
+                child.name()
+            )));
         }
-        let kind = child.attr("kind").ok_or_else(|| shape("pattern without kind"))?;
+        let kind = child
+            .attr("kind")
+            .ok_or_else(|| shape("pattern without kind"))?;
         let pattern = match kind {
             "exact" => {
                 let field = child
@@ -347,7 +352,9 @@ pub fn decode_template(el: &XmlElement) -> Result<Template, DecodeWireError> {
                 Pattern::Exact(decode_value(field)?)
             }
             "type" => {
-                let name = child.attr("type").ok_or_else(|| shape("type pattern without type"))?;
+                let name = child
+                    .attr("type")
+                    .ok_or_else(|| shape("type pattern without type"))?;
                 Pattern::AnyOfType(
                     ValueType::from_name(name)
                         .ok_or_else(|| shape(format!("unknown pattern type {name:?}")))?,
@@ -376,12 +383,14 @@ pub fn encode_request(request: &Request) -> XmlElement {
             }
             el.with_child(encode_tuple(tuple))
         }
-        Request::Read { template, timeout_ns } => {
-            op_with_template("read", template, *timeout_ns)
-        }
-        Request::Take { template, timeout_ns } => {
-            op_with_template("take", template, *timeout_ns)
-        }
+        Request::Read {
+            template,
+            timeout_ns,
+        } => op_with_template("read", template, *timeout_ns),
+        Request::Take {
+            template,
+            timeout_ns,
+        } => op_with_template("take", template, *timeout_ns),
         Request::ReadIfExists { template } => op_with_template("read-if-exists", template, None),
         Request::TakeIfExists { template } => op_with_template("take-if-exists", template, None),
         Request::Count { template } => op_with_template("count", template, None),
@@ -463,9 +472,15 @@ pub fn decode_request(el: &XmlElement) -> Result<Request, DecodeWireError> {
             template: template()?,
             timeout_ns: parse_u64("timeout-ns")?,
         }),
-        "read-if-exists" => Ok(Request::ReadIfExists { template: template()? }),
-        "take-if-exists" => Ok(Request::TakeIfExists { template: template()? }),
-        "count" => Ok(Request::Count { template: template()? }),
+        "read-if-exists" => Ok(Request::ReadIfExists {
+            template: template()?,
+        }),
+        "take-if-exists" => Ok(Request::TakeIfExists {
+            template: template()?,
+        }),
+        "count" => Ok(Request::Count {
+            template: template()?,
+        }),
         "subscribe" => {
             let raw = el.attr("kinds").unwrap_or("");
             let mut kinds = Vec::new();
@@ -484,7 +499,9 @@ pub fn decode_request(el: &XmlElement) -> Result<Request, DecodeWireError> {
             })
         }
         "unsubscribe" => {
-            let raw = el.attr("sub").ok_or_else(|| shape("unsubscribe op without sub"))?;
+            let raw = el
+                .attr("sub")
+                .ok_or_else(|| shape("unsubscribe op without sub"))?;
             Ok(Request::Unsubscribe {
                 id: raw
                     .parse::<u64>()
@@ -728,9 +745,7 @@ mod tests {
             ServerMessage::Response(_) => panic!("events must dispatch as events"),
         }
         // Plain responses still dispatch as responses.
-        match server_message_from_xml(&response_to_xml(&Response::WriteAck))
-            .expect("decodes")
-        {
+        match server_message_from_xml(&response_to_xml(&Response::WriteAck)).expect("decodes") {
             ServerMessage::Response(Response::WriteAck) => {}
             other => panic!("expected WriteAck, got {other:?}"),
         }

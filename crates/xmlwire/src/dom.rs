@@ -178,10 +178,7 @@ impl XmlElement {
             return;
         }
         // Elements with only text children stay on one line.
-        let only_text = self
-            .children
-            .iter()
-            .all(|c| matches!(c, XmlNode::Text(_)));
+        let only_text = self.children.iter().all(|c| matches!(c, XmlNode::Text(_)));
         if only_text {
             out.push('>');
             for child in &self.children {
@@ -311,7 +308,10 @@ mod tests {
         assert_eq!(el.attr("b"), None);
         assert_eq!(el.children_named("x").count(), 2);
         assert_eq!(el.child_named("y").map(XmlElement::name), Some("y"));
-        assert_eq!(el.child_named("x").map(XmlElement::text), Some("one".into()));
+        assert_eq!(
+            el.child_named("x").map(XmlElement::text),
+            Some("one".into())
+        );
         assert_eq!(el.child_elements().count(), 3);
     }
 
@@ -326,11 +326,13 @@ mod tests {
 
     #[test]
     fn pretty_printer_indents_and_inlines_text() {
-        let el = XmlElement::new("op")
-            .with_attr("type", "write")
-            .with_child(XmlElement::new("tuple").with_child(
-                XmlElement::new("field").with_attr("type", "int").with_text("42"),
-            ));
+        let el = XmlElement::new("op").with_attr("type", "write").with_child(
+            XmlElement::new("tuple").with_child(
+                XmlElement::new("field")
+                    .with_attr("type", "int")
+                    .with_text("42"),
+            ),
+        );
         let pretty = el.to_xml_pretty();
         let expected = "<op type=\"write\">\n  <tuple>\n    <field type=\"int\">42</field>\n  </tuple>\n</op>\n";
         assert_eq!(pretty, expected);
@@ -338,7 +340,10 @@ mod tests {
         // text between elements is dropped by our parser? No — it is kept;
         // so compare via compact serialization of a reparse of the COMPACT
         // form instead; the pretty form is for humans.)
-        assert_eq!(crate::parser::parse(&el.to_xml()).expect("compact parses"), el);
+        assert_eq!(
+            crate::parser::parse(&el.to_xml()).expect("compact parses"),
+            el
+        );
     }
 
     #[test]

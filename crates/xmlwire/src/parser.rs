@@ -18,7 +18,11 @@ pub struct ParseXmlError {
 
 impl fmt::Display for ParseXmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "xml parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "xml parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -253,8 +257,7 @@ fn unescape(text: &str) -> Result<String, String> {
                 let code = u32::from_str_radix(&entity[2..], 16)
                     .map_err(|_| format!("bad character reference &{entity};"))?;
                 out.push(
-                    char::from_u32(code)
-                        .ok_or_else(|| format!("invalid code point &{entity};"))?,
+                    char::from_u32(code).ok_or_else(|| format!("invalid code point &{entity};"))?,
                 );
             }
             _ if entity.starts_with('#') => {
@@ -262,8 +265,7 @@ fn unescape(text: &str) -> Result<String, String> {
                     .parse::<u32>()
                     .map_err(|_| format!("bad character reference &{entity};"))?;
                 out.push(
-                    char::from_u32(code)
-                        .ok_or_else(|| format!("invalid code point &{entity};"))?,
+                    char::from_u32(code).ok_or_else(|| format!("invalid code point &{entity};"))?,
                 );
             }
             _ => return Err(format!("unknown entity &{entity};")),

@@ -9,9 +9,7 @@
 //! pile up). Every notification — including the lease expiries — crosses
 //! the TpWIRE wire as a pushed `<event>` document.
 
-use tsbus_core::{
-    ClientStep, EndpointCosts, ScriptedClient, SpaceServerAgent, TpwireEndpoint,
-};
+use tsbus_core::{ClientStep, EndpointCosts, ScriptedClient, SpaceServerAgent, TpwireEndpoint};
 use tsbus_des::{ComponentId, SimDuration, SimTime, Simulator};
 use tsbus_tpwire::{BusParams, NodeId, TpWireBus};
 use tsbus_tuplespace::{template, tuple, EventKind, ValueType};
@@ -74,7 +72,10 @@ fn main() {
             ],
         ),
     );
-    sim.add_component("server", SpaceServerAgent::new(server_ep, SimDuration::ZERO));
+    sim.add_component(
+        "server",
+        SpaceServerAgent::new(server_ep, SimDuration::ZERO),
+    );
     sim.add_component(
         "monitor_ep",
         TpwireEndpoint::new(node(2), monitor_app, bus_id, EndpointCosts::free()),

@@ -84,21 +84,20 @@ fn run_farm(consumers: usize, jobs: usize, fft_size: usize) -> Duration {
             let space = space.clone();
             std::thread::spawn(move || {
                 let wanted = template!["fft-request", ValueType::Int, ValueType::Bytes];
-                while let Some(request) =
-                    space.take_if_exists(&wanted)
-                {
+                while let Some(request) = space.take_if_exists(&wanted) {
                     let id = request.field(1).and_then(Value::as_int).expect("int id");
                     let samples =
                         unpack(request.field(2).and_then(Value::as_bytes).expect("bytes"));
-                    let mut buf: Vec<(f64, f64)> =
-                        samples.iter().map(|&s| (s, 0.0)).collect();
+                    let mut buf: Vec<(f64, f64)> = samples.iter().map(|&s| (s, 0.0)).collect();
                     // The "high performance node with FPU support" does
                     // real work (repeated to make compute dominate).
                     for _ in 0..200 {
                         fft(&mut buf);
                     }
-                    let spectrum: Vec<f64> =
-                        buf.iter().map(|(re, im)| (re * re + im * im).sqrt()).collect();
+                    let spectrum: Vec<f64> = buf
+                        .iter()
+                        .map(|(re, im)| (re * re + im * im).sqrt())
+                        .collect();
                     space.write(tuple!["fft-result", id, pack(&spectrum)], None);
                 }
             })

@@ -50,10 +50,7 @@ fn live_space() {
     println!("leased entry expired on schedule");
 
     // Notify: subscribe to writes matching a template.
-    let notifications = server.subscribe(
-        template!["alert", ValueType::Str],
-        [EventKind::Written],
-    );
+    let notifications = server.subscribe(template!["alert", ValueType::Str], [EventKind::Written]);
     server.write(tuple!["alert", "overtemp"], None);
     let event = notifications
         .recv_timeout(Duration::from_secs(1))
@@ -100,7 +97,11 @@ fn over_the_bus() {
         "write RTT {:.2} ms, take RTT {:.2} ms over the wire — entry {}",
         result.write_latency.expect("finished").as_millis_f64(),
         result.take_latency.expect("finished").as_millis_f64(),
-        if result.out_of_time { "LOST" } else { "returned" }
+        if result.out_of_time {
+            "LOST"
+        } else {
+            "returned"
+        }
     );
     assert!(!result.out_of_time);
 }

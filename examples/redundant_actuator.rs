@@ -57,10 +57,7 @@ fn actuator(
             } else {
                 // Step 4: consume the dual's heartbeat; if none arrived,
                 // begin the recovery procedure.
-                let heartbeat = space.take_if_exists(&template![
-                    "actuator-state",
-                    ValueType::Str
-                ]);
+                let heartbeat = space.take_if_exists(&template!["actuator-state", ValueType::Str]);
                 if heartbeat.is_none() {
                     println!("{name}: heartbeat missing -> promoting to OPERATING");
                     operating = true;

@@ -29,8 +29,7 @@ fn main() {
 
     let fft_providers = server.with_space(|space, now| discovery::lookup(space, "fft", now));
     println!("devices offering 'fft':      {fft_providers:?}");
-    let log_providers =
-        server.with_space(|space, now| discovery::lookup(space, "logging", now));
+    let log_providers = server.with_space(|space, now| discovery::lookup(space, "logging", now));
     println!("devices offering 'logging':  {log_providers:?}");
 
     // A producer picks any provider — it never needs to know addresses in

@@ -100,7 +100,10 @@ fn the_lease_is_enforced_end_to_end() {
         ..fast_cfg()
     });
     assert!(result.finished);
-    assert!(result.out_of_time, "the 2 s lease must expire before the 10 s take");
+    assert!(
+        result.out_of_time,
+        "the 2 s lease must expire before the 10 s take"
+    );
 }
 
 #[test]
@@ -108,9 +111,7 @@ fn binary_wire_format_works_end_to_end_and_is_faster() {
     // The same exchange with the compact binary codec: identical outcome,
     // strictly less wire time.
     let xml = run_case_study(&fast_cfg());
-    let binary = run_case_study(
-        &fast_cfg().with_wire_format(tsbus_xmlwire::WireFormat::Binary),
-    );
+    let binary = run_case_study(&fast_cfg().with_wire_format(tsbus_xmlwire::WireFormat::Binary));
     assert!(binary.finished && !binary.out_of_time);
     let t_xml = xml.middleware_time.expect("finished").as_secs_f64();
     let t_bin = binary.middleware_time.expect("finished").as_secs_f64();

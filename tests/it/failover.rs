@@ -38,8 +38,7 @@ impl Actuator {
             );
         } else {
             // Step 4: consume the dual's heartbeat or take over.
-            let heartbeat =
-                space.take(&template!["actuator-state", ValueType::Str], now);
+            let heartbeat = space.take(&template!["actuator-state", ValueType::Str], now);
             if heartbeat.is_none() {
                 self.operating = true;
             }
@@ -95,7 +94,10 @@ fn backup_takes_over_within_one_tick_of_a_failure() {
     // The crash happens at tick 8. The backup consumes each heartbeat the
     // same tick it is written, so on tick 8 (the first with no fresh
     // heartbeat) its take comes up empty and it promotes immediately.
-    assert_eq!(takeover, 8, "takeover must follow the crash within one tick");
+    assert_eq!(
+        takeover, 8,
+        "takeover must follow the crash within one tick"
+    );
     assert!(backup.ticks_operating > 0, "backup ran the control program");
 }
 
@@ -217,6 +219,9 @@ fn three_way_redundancy_promotes_exactly_one_backup() {
         .iter()
         .filter(|a| a.alive && a.role == Role::Dual)
         .count();
-    assert_eq!(live_operating, 1, "exactly one live operator after failover");
+    assert_eq!(
+        live_operating, 1,
+        "exactly one live operator after failover"
+    );
     assert_eq!(live_dual, 1, "the cold standby moved up to dual");
 }

@@ -36,7 +36,10 @@ fn run(seed: u64) -> (BusStats, u64, u64) {
         .with_burst_error(BurstParams::with_mean_lengths(200.0, 8.0, 0.0, 1.0))
         .with_retry_policy(RetryPolicy::uniform(RetryParams {
             max_retries: 6,
-            backoff: Backoff::Exponential { base_bits: 32, cap_bits: 256 },
+            backoff: Backoff::Exponential {
+                base_bits: 32,
+                cap_bits: 256,
+            },
         }));
     let mut bus = TpWireBus::new(params, vec![node(1), node(2), node(3)]);
     bus.attach(node(3), sink);
@@ -58,7 +61,11 @@ fn run(seed: u64) -> (BusStats, u64, u64) {
     sim.run_until(SimTime::from_millis(200));
     let sink_ref: &BusCbrSink = sim.component(sink).expect("registered");
     let bus_ref: &TpWireBus = sim.component(bus_id).expect("registered");
-    (bus_ref.stats().clone(), sink_ref.messages(), sink_ref.bytes())
+    (
+        bus_ref.stats().clone(),
+        sink_ref.messages(),
+        sink_ref.bytes(),
+    )
 }
 
 #[test]
@@ -67,7 +74,10 @@ fn identical_seeds_replay_the_full_fault_cocktail_identically() {
     let (stats_b, msgs_b, bytes_b) = run(7);
     // BusStats is Eq: every counter — transactions, per-class retries,
     // backoff bookkeeping, hard failures, injected faults — must agree.
-    assert_eq!(stats_a, stats_b, "same seed must reproduce the exact fault trace");
+    assert_eq!(
+        stats_a, stats_b,
+        "same seed must reproduce the exact fault trace"
+    );
     assert_eq!((msgs_a, bytes_a), (msgs_b, bytes_b));
     // The run must have actually exercised the fault machinery, otherwise
     // this test proves nothing.
@@ -82,5 +92,8 @@ fn different_seeds_draw_different_fault_traces() {
     let (stats_b, ..) = run(8);
     // The scheduled faults are seed-independent, but the stochastic channel
     // (burst sojourns, per-frame errors) is not: some counter must differ.
-    assert_ne!(stats_a, stats_b, "stochastic faults must depend on the seed");
+    assert_ne!(
+        stats_a, stats_b,
+        "stochastic faults must depend on the seed"
+    );
 }

@@ -3,9 +3,7 @@
 //! the bus as a pushed `<event>` document — "primitives to support the
 //! subscribe and notify paradigm are usually provided" (§2).
 
-use tsbus_core::{
-    ClientStep, EndpointCosts, ScriptedClient, SpaceServerAgent, TpwireEndpoint,
-};
+use tsbus_core::{ClientStep, EndpointCosts, ScriptedClient, SpaceServerAgent, TpwireEndpoint};
 use tsbus_des::{ComponentId, SimDuration, SimTime, Simulator};
 use tsbus_tpwire::{BusParams, NodeId, TpWireBus};
 use tsbus_tuplespace::{template, tuple, EventKind, ValueType};
@@ -21,7 +19,11 @@ fn build(
     monitor_script: Vec<ClientStep>,
     producer_script: Vec<ClientStep>,
 ) -> (Simulator, ComponentId, ComponentId) {
-    build_with_format(monitor_script, producer_script, tsbus_xmlwire::WireFormat::Xml)
+    build_with_format(
+        monitor_script,
+        producer_script,
+        tsbus_xmlwire::WireFormat::Xml,
+    )
 }
 
 fn build_with_format(
@@ -50,7 +52,10 @@ fn build_with_format(
         ScriptedClient::new(producer_ep, node(1), SimDuration::ZERO, producer_script)
             .with_format(format),
     );
-    sim.add_component("server", SpaceServerAgent::new(server_ep, SimDuration::ZERO));
+    sim.add_component(
+        "server",
+        SpaceServerAgent::new(server_ep, SimDuration::ZERO),
+    );
     sim.add_component(
         "monitor_ep",
         TpwireEndpoint::new(node(2), monitor_app, bus_id, EndpointCosts::free()),
@@ -171,7 +176,6 @@ fn unsubscribe_stops_the_events() {
     assert_eq!(events[0].1.tuple, tuple!["alert", "first"]);
 }
 
-
 #[test]
 fn notify_works_in_binary_format_too() {
     // Subscribers get their events back in their own wire encoding.
@@ -220,7 +224,10 @@ fn service_discovery_works_over_the_wire() {
     let client: &ScriptedClient = sim.component(client_app).expect("registered");
     assert!(client.is_finished());
     let lookup = &client.records()[0];
-    assert!(lookup.returned_entry(), "the service registration is visible");
+    assert!(
+        lookup.returned_entry(),
+        "the service registration is visible"
+    );
     match lookup.response.as_ref() {
         Some(tsbus_xmlwire::Response::Entry { tuple: Some(t) }) => {
             assert_eq!(t.field(2).and_then(|v| v.as_str()), Some("node-7"));

@@ -51,10 +51,18 @@ fn request_strategy() -> impl Strategy<Value = Request> {
     prop_oneof![
         (tuple_strategy(), proptest::option::of(any::<u64>()))
             .prop_map(|(tuple, lease_ns)| Request::Write { tuple, lease_ns }),
-        (template_strategy(), proptest::option::of(any::<u64>()))
-            .prop_map(|(template, timeout_ns)| Request::Take { template, timeout_ns }),
-        (template_strategy(), proptest::option::of(any::<u64>()))
-            .prop_map(|(template, timeout_ns)| Request::Read { template, timeout_ns }),
+        (template_strategy(), proptest::option::of(any::<u64>())).prop_map(
+            |(template, timeout_ns)| Request::Take {
+                template,
+                timeout_ns
+            }
+        ),
+        (template_strategy(), proptest::option::of(any::<u64>())).prop_map(
+            |(template, timeout_ns)| Request::Read {
+                template,
+                timeout_ns
+            }
+        ),
         template_strategy().prop_map(|template| Request::ReadIfExists { template }),
         template_strategy().prop_map(|template| Request::TakeIfExists { template }),
         template_strategy().prop_map(|template| Request::Count { template }),

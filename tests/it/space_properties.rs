@@ -14,7 +14,10 @@ use tsbus_tuplespace::{template, tuple, Lease, Space, SpaceServer, Template, Val
 #[derive(Debug, Clone)]
 enum Op {
     /// Write ("k", tag) with an optional lease (in seconds from now).
-    Write { tag: i64, lease_secs: Option<u8> },
+    Write {
+        tag: i64,
+        lease_secs: Option<u8>,
+    },
     Take,
     Read,
     AdvanceSecs(u8),
@@ -217,9 +220,7 @@ fn count_matches_model_under_churn() {
         if i % 5 == 0 {
             let _ = space.take(&template!["c", ValueType::Int], SimTime::from_secs(now));
             // Model: remove the oldest live entry.
-            let live_idx = model
-                .iter()
-                .position(|&(_, d)| d.is_none_or(|d| now < d));
+            let live_idx = model.iter().position(|&(_, d)| d.is_none_or(|d| now < d));
             if let Some(idx) = live_idx {
                 model.remove(idx);
             }

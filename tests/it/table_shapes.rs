@@ -50,11 +50,23 @@ fn table4_shape_holds() {
     let two_wire = Wiring::parallel_data(2).expect("valid");
 
     let cell = |wiring: Wiring, cbr: f64| {
-        run_case_study(&base.with_bus(base.bus.with_wiring(wiring)).with_cbr_rate(cbr))
+        run_case_study(
+            &base
+                .with_bus(base.bus.with_wiring(wiring))
+                .with_cbr_rate(cbr),
+        )
     };
 
-    let one = [cell(Wiring::Single, 0.0), cell(Wiring::Single, 0.3), cell(Wiring::Single, 1.0)];
-    let two = [cell(two_wire, 0.0), cell(two_wire, 0.3), cell(two_wire, 1.0)];
+    let one = [
+        cell(Wiring::Single, 0.0),
+        cell(Wiring::Single, 0.3),
+        cell(Wiring::Single, 1.0),
+    ];
+    let two = [
+        cell(two_wire, 0.0),
+        cell(two_wire, 0.3),
+        cell(two_wire, 1.0),
+    ];
 
     // Out-of-time pattern: only (1-wire, 1 B/s).
     assert!(!one[0].out_of_time, "1-wire / 0 B/s keeps the lease");
@@ -65,12 +77,19 @@ fn table4_shape_holds() {
     }
 
     // Monotonicity in CBR.
-    let mt = |r: &tsbus_core::CaseStudyResult| {
-        r.middleware_time.expect("finished").as_secs_f64()
-    };
-    assert!(mt(&one[1]) > mt(&one[0]), "1-wire: 0.3 B/s slower than idle");
-    assert!(mt(&two[1]) > mt(&two[0]), "2-wire: 0.3 B/s slower than idle");
-    assert!(mt(&two[2]) > mt(&two[1]), "2-wire: 1 B/s slower than 0.3 B/s");
+    let mt = |r: &tsbus_core::CaseStudyResult| r.middleware_time.expect("finished").as_secs_f64();
+    assert!(
+        mt(&one[1]) > mt(&one[0]),
+        "1-wire: 0.3 B/s slower than idle"
+    );
+    assert!(
+        mt(&two[1]) > mt(&two[0]),
+        "2-wire: 0.3 B/s slower than idle"
+    );
+    assert!(
+        mt(&two[2]) > mt(&two[1]),
+        "2-wire: 1 B/s slower than 0.3 B/s"
+    );
 
     // Wiring speedup: faster, but sub-2x (the paper's "almost double").
     for (a, b) in one.iter().zip(&two).take(2) {

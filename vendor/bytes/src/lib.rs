@@ -40,7 +40,11 @@ impl Bytes {
     pub fn copy_from_slice(data: &[u8]) -> Self {
         let data: Arc<[u8]> = Arc::from(data);
         let end = data.len();
-        Self { data, start: 0, end }
+        Self {
+            data,
+            start: 0,
+            end,
+        }
     }
 
     /// Number of bytes in the view.
@@ -72,7 +76,10 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => len,
         };
-        assert!(begin <= end && end <= len, "slice {begin}..{end} out of bounds of {len}");
+        assert!(
+            begin <= end && end <= len,
+            "slice {begin}..{end} out of bounds of {len}"
+        );
         Self {
             data: Arc::clone(&self.data),
             start: self.start + begin,
@@ -161,7 +168,11 @@ impl From<Vec<u8>> for Bytes {
     fn from(vec: Vec<u8>) -> Self {
         let data: Arc<[u8]> = Arc::from(vec);
         let end = data.len();
-        Self { data, start: 0, end }
+        Self {
+            data,
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -208,7 +219,9 @@ impl BytesMut {
     /// Creates an empty buffer with at least `capacity` bytes reserved.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { vec: Vec::with_capacity(capacity) }
+        Self {
+            vec: Vec::with_capacity(capacity),
+        }
     }
 
     /// Number of bytes in the buffer.
@@ -240,7 +253,11 @@ impl BytesMut {
     /// Panics if `at > len`.
     #[must_use]
     pub fn split_to(&mut self, at: usize) -> BytesMut {
-        assert!(at <= self.vec.len(), "split_to({at}) out of bounds of {}", self.vec.len());
+        assert!(
+            at <= self.vec.len(),
+            "split_to({at}) out of bounds of {}",
+            self.vec.len()
+        );
         let tail = self.vec.split_off(at);
         let head = std::mem::replace(&mut self.vec, tail);
         BytesMut { vec: head }
@@ -253,7 +270,9 @@ impl BytesMut {
     /// Panics if `at > len`.
     #[must_use]
     pub fn split_off(&mut self, at: usize) -> BytesMut {
-        BytesMut { vec: self.vec.split_off(at) }
+        BytesMut {
+            vec: self.vec.split_off(at),
+        }
     }
 }
 

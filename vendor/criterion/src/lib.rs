@@ -22,12 +22,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id from a function name and a parameter display value.
     pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        Self { id: format!("{}/{}", function_name.into(), parameter) }
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Creates an id from a parameter display value alone.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -72,8 +76,8 @@ impl Bencher {
         let warmup_start = Instant::now();
         black_box(routine());
         let estimate = warmup_start.elapsed().max(Duration::from_nanos(1));
-        let inner = (Duration::from_millis(5).as_nanos() / estimate.as_nanos()).clamp(1, 10_000)
-            as usize;
+        let inner =
+            (Duration::from_millis(5).as_nanos() / estimate.as_nanos()).clamp(1, 10_000) as usize;
         let mut samples: Vec<Duration> = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let start = Instant::now();
@@ -107,7 +111,10 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into_benchmark_id();
-        let mut bencher = Bencher { samples: self.sample_size, result: None };
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
         f(&mut bencher);
         let time = bencher.result.unwrap_or_default();
         println!(
@@ -136,7 +143,11 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("== {name} ==");
-        BenchmarkGroup { name, criterion: self, sample_size: 10 }
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            sample_size: 10,
+        }
     }
 
     /// Runs one stand-alone benchmark (group of one).

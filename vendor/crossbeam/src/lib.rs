@@ -40,7 +40,9 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Enqueues `value`, failing only if the receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
         }
     }
 
@@ -53,7 +55,9 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Blocks until a message arrives or all senders are dropped.
         pub fn recv(&self) -> Result<T, RecvTimeoutError> {
-            self.inner.recv().map_err(|_| RecvTimeoutError::Disconnected)
+            self.inner
+                .recv()
+                .map_err(|_| RecvTimeoutError::Disconnected)
         }
 
         /// Blocks up to `timeout` for a message.

@@ -19,7 +19,9 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub const fn new(value: T) -> Self {
-        Self { inner: std::sync::Mutex::new(value) }
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 }
 
@@ -43,13 +45,17 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
 
     fn deref(&self) -> &T {
-        self.inner.as_ref().expect("guard present outside Condvar::wait")
+        self.inner
+            .as_ref()
+            .expect("guard present outside Condvar::wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.inner.as_mut().expect("guard present outside Condvar::wait")
+        self.inner
+            .as_mut()
+            .expect("guard present outside Condvar::wait")
     }
 }
 
@@ -76,7 +82,9 @@ pub struct Condvar {
 impl Condvar {
     /// Creates a new condition variable.
     pub const fn new() -> Self {
-        Self { inner: std::sync::Condvar::new() }
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
     }
 
     /// Blocks until notified, releasing the guard's mutex while waiting.
@@ -102,7 +110,9 @@ impl Condvar {
             .wait_timeout(inner, timeout)
             .unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(inner);
-        WaitTimeoutResult { timed_out: result.timed_out() }
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
     }
 
     /// Wakes one waiter.

@@ -51,7 +51,9 @@ impl TestRng {
             hash ^= u64::from(byte);
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        Self { state: hash ^ 0x9e37_79b9_7f4a_7c15 }
+        Self {
+            state: hash ^ 0x9e37_79b9_7f4a_7c15,
+        }
     }
 
     /// Next raw 64-bit draw.
@@ -134,14 +136,18 @@ pub struct BoxedStrategy<T> {
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        Self { sample: Rc::clone(&self.sample) }
+        Self {
+            sample: Rc::clone(&self.sample),
+        }
     }
 }
 
 impl<T> BoxedStrategy<T> {
     /// Wraps a sampling function.
     pub fn new(sample: impl Fn(&mut TestRng) -> T + 'static) -> Self {
-        Self { sample: Rc::new(sample) }
+        Self {
+            sample: Rc::new(sample),
+        }
     }
 }
 
@@ -156,7 +162,10 @@ impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
 /// Uniform choice among type-erased alternatives (used by `prop_oneof!`).
 #[must_use]
 pub fn union<T: fmt::Debug + 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
-    assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+    assert!(
+        !options.is_empty(),
+        "prop_oneof! needs at least one alternative"
+    );
     BoxedStrategy::new(move |rng| {
         let pick = rng.below(options.len() as u64) as usize;
         options[pick].new_value(rng)
@@ -374,8 +383,8 @@ mod pattern {
                     // sometimes wider unicode to exercise UTF-8 paths.
                     if rng.below(4) == 0 {
                         const WIDE: &[char] = &[
-                            'é', 'ß', 'λ', 'Ω', '中', '文', '€', '™', '☃', '𝄞', '🦀',
-                            '\u{00A0}', '\u{2028}',
+                            'é', 'ß', 'λ', 'Ω', '中', '文', '€', '™', '☃', '𝄞', '🦀', '\u{00A0}',
+                            '\u{2028}',
                         ];
                         WIDE[rng.below(WIDE.len() as u64) as usize]
                     } else {
@@ -432,9 +441,7 @@ mod pattern {
                     .expect("unterminated repetition")
                     + i;
                 let body: String = chars[i + 1..close].iter().collect();
-                let (lo, hi) = body
-                    .split_once(',')
-                    .expect("repetition must be {m,n}");
+                let (lo, hi) = body.split_once(',').expect("repetition must be {m,n}");
                 i = close + 1;
                 (
                     lo.parse::<u64>().expect("repetition bound"),
@@ -467,19 +474,28 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            Self { min: r.start, max_exclusive: r.end }
+            Self {
+                min: r.start,
+                max_exclusive: r.end,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            Self { min: *r.start(), max_exclusive: *r.end() + 1 }
+            Self {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
         }
     }
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            Self { min: n, max_exclusive: n + 1 }
+            Self {
+                min: n,
+                max_exclusive: n + 1,
+            }
         }
     }
 
@@ -707,21 +723,24 @@ mod tests {
         let mut rng = TestRng::for_test("strings");
         for _ in 0..200 {
             let s = "[a-z]{0,8}".new_value(&mut rng);
-            assert!(s.len() <= 8 && s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            assert!(
+                s.len() <= 8 && s.chars().all(|c| c.is_ascii_lowercase()),
+                "{s:?}"
+            );
             let p = "[ -~]{0,16}".new_value(&mut rng);
             assert!(p.chars().count() <= 16 && p.chars().all(|c| (' '..='~').contains(&c)));
             let u = "\\PC{0,24}".new_value(&mut rng);
-            assert!(u.chars().count() <= 24 && u.chars().all(|c| !c.is_control()), "{u:?}");
+            assert!(
+                u.chars().count() <= 24 && u.chars().all(|c| !c.is_control()),
+                "{u:?}"
+            );
         }
     }
 
     #[test]
     fn oneof_and_collections_compose() {
         let mut rng = TestRng::for_test("compose");
-        let strat = collection::vec(
-            prop_oneof![Just(1u8), 5u8..10, any::<u8>()],
-            0..5,
-        );
+        let strat = collection::vec(prop_oneof![Just(1u8), 5u8..10, any::<u8>()], 0..5);
         for _ in 0..100 {
             assert!(strat.new_value(&mut rng).len() < 5);
         }
