@@ -21,12 +21,13 @@
 //! emitters under `<cache-dir>/exports/`.
 
 use std::time::Instant;
+use tsbus_bench::dedup_cost::{dedup_axis_from_env, run_dedup_cost_sweep};
 use tsbus_bench::workload::{burst_channel, patient_policy, run_stream_workload};
 use tsbus_bench::{fmt_secs, render_table};
 use tsbus_core::{run_case_study, CaseStudyConfig};
 use tsbus_lab::{
     run_campaign, AsciiEmitter, Campaign, CampaignReport, CsvEmitter, Emitter, ExecOpts, Grid,
-    GridPoint, JsonlEmitter, LabArgs, Metrics,
+    GridPoint, JsonlEmitter, Metrics,
 };
 use tsbus_tpwire::Wiring;
 
@@ -72,7 +73,7 @@ fn footer<P>(report: &CampaignReport<P>) {
 }
 
 fn main() {
-    let args = LabArgs::from_env();
+    let (dedup_modes, args) = dedup_axis_from_env();
     let opts = args.exec_opts();
     let master_seed = args.seed.unwrap_or(DEFAULT_MASTER_SEED);
     let started = Instant::now();
@@ -245,6 +246,12 @@ fn main() {
             pair[1],
         );
     }
+    export(&report, &opts);
+    footer(&report);
+
+    // ---- 4. exactly-once cost axis (dedup off vs on, --dedup filter) ----
+    println!("(4) exactly-once cost — bytes on the wire and middleware time");
+    let report = run_dedup_cost_sweep("campaign_dedup_cost", &dedup_modes, &opts, master_seed);
     export(&report, &opts);
     footer(&report);
 

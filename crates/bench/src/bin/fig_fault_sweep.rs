@@ -13,9 +13,11 @@
 //! `tsbus_bench::workload`) under a burst channel of growing severity,
 //! then pits the seed's immediate-resend policy against fixed and
 //! exponential backoff on a harsh channel where every in-burst frame is
-//! lost. Both sweeps run as `tsbus-lab` campaigns on the reference seed
-//! (23), so the tables are reproducible; `--threads` / `--cache-dir`
-//! apply as usual.
+//! lost. A third sweep prices the exactly-once layer on the case-study
+//! exchange — bytes on the wire and middleware time, dedup off vs on,
+//! filtered by `--dedup on|off|both`. All sweeps run as `tsbus-lab`
+//! campaigns on the reference seed (23), so the tables are reproducible;
+//! `--threads` / `--cache-dir` apply as usual.
 //!
 //! Severity is swept as burst *density* (shorter good sojourns between
 //! bursts) at 100% in-burst loss, not as the in-burst loss rate. Partial
@@ -24,12 +26,13 @@
 //! can cost more wall time than a 100%-loss one the master skips over with
 //! a few long waits.
 
+use tsbus_bench::dedup_cost::{dedup_axis_from_env, run_dedup_cost_sweep};
 use tsbus_bench::render_table;
 use tsbus_bench::workload::{
     burst_channel, patient_policy, run_stream_workload, Outcome, REFERENCE_SEED,
 };
 use tsbus_faults::{Backoff, RetryParams, RetryPolicy};
-use tsbus_lab::{run_campaign, Campaign, LabArgs, Metrics, PointResult};
+use tsbus_lab::{run_campaign, Campaign, Metrics, PointResult};
 
 const MESSAGES: u64 = 30;
 const LEN: usize = 64;
@@ -45,7 +48,7 @@ fn to_metrics(o: &Outcome) -> Metrics {
 }
 
 fn main() {
-    let args = LabArgs::from_env();
+    let (dedup_modes, args) = dedup_axis_from_env();
     let opts = args.exec_opts();
 
     println!("Fault sweep 1 — burst density under a patient (exponential) policy\n");
@@ -212,6 +215,14 @@ fn main() {
     println!(
         "Same retry budget, different clocks: immediate resends die inside the\n\
          burst that killed the first attempt, while exponential backoff waits\n\
-         long enough for the Gilbert-Elliott channel to leave the bad state."
+         long enough for the Gilbert-Elliott channel to leave the bad state.\n"
+    );
+
+    println!("Fault sweep 3 — what the exactly-once layer costs (--dedup axis)\n");
+    run_dedup_cost_sweep(
+        "fig_fault_sweep_dedup_cost",
+        &dedup_modes,
+        &opts,
+        REFERENCE_SEED,
     );
 }

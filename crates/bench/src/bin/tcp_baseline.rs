@@ -46,6 +46,7 @@ fn main() {
                 horizon: SimDuration::from_secs(600),
                 wire_format: tsbus_xmlwire::WireFormat::Xml,
                 recovery: None,
+                exactly_once: false,
             };
             let tpwire = run_case_study(&cfg);
             let tcp = run_case_study_tcp(&cfg, TcpParams::ethernet_10mbps());

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dedup_cost;
 pub mod workload;
 
 pub use tsbus_lab::{fmt_secs, render_table};

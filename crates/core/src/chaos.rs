@@ -1,0 +1,524 @@
+//! Chaos harness: randomized fault schedules against a scripted
+//! write/take workload, with conservation invariants checked against the
+//! server space's audit trail.
+//!
+//! Each trial derives — deterministically from one seed — a Gilbert-Elliott
+//! burst channel, a schedule of NIC crashes and chain breaks, and runs the
+//! full client/bus/server stack through a subscribe + `write×K` + `take×K`
+//! workload under end-to-end recovery. The server's [`tsbus_tuplespace`]
+//! audit trail is the ground truth: whatever the clients believe, the
+//! space itself records every write, take, and expiry exactly once, so
+//! duplicate application and lost deliveries are directly observable.
+//!
+//! With the exactly-once layer on ([`ChaosConfig::dedup`]), every trial
+//! must report zero [`Violation`]s; with it off, lost replies re-applied
+//! by retries surface as [`ViolationKind::DuplicateApply`] /
+//! [`ViolationKind::LostDelivery`]. Violations replay byte-identically
+//! from their seed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use tsbus_des::{ComponentId, SimDuration, SimTime, Simulator};
+use tsbus_faults::{BurstParams, FaultDriver, FaultKind, FaultSchedule};
+use tsbus_tpwire::{BusParams, NodeId, TpWireBus};
+use tsbus_tuplespace::{EventKind, Pattern, Template, Tuple, Value};
+use tsbus_xmlwire::{Request, WireFormat};
+
+use crate::buscbr::{BusCbrSink, BusCbrSource};
+use crate::client::{ClientStep, RecoveryPolicy, ScriptedClient};
+use crate::endpoint::{EndpointCosts, TpwireEndpoint};
+use crate::server::SpaceServerAgent;
+
+fn node(id: u8) -> NodeId {
+    NodeId::new(id).expect("static chaos node ids are in range")
+}
+
+/// Parameters of one chaos trial (everything except the seed).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Distinct items the client writes and then takes back.
+    pub n_items: u64,
+    /// Whether the exactly-once layer (request identities + server
+    /// duplicate cache) is on. Off is the ablation: the same workload and
+    /// faults, but end-to-end retries can re-apply operations.
+    pub dedup: bool,
+    /// Wire encoding of the workload.
+    pub wire_format: WireFormat,
+    /// Give up on a trial after this much simulated time (an unfinished
+    /// script is not itself a violation — give-ups are legal outcomes).
+    pub horizon: SimDuration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            n_items: 8,
+            dedup: true,
+            wire_format: WireFormat::Xml,
+            horizon: SimDuration::from_secs(600),
+        }
+    }
+}
+
+/// What a trial is accused of when an invariant breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// An item was written into the space more than once — a retried
+    /// write was re-applied instead of deduplicated.
+    DuplicateApply,
+    /// An item was taken from the space more than once.
+    DoubleTake,
+    /// Per-item conservation broke: writes ≠ takes + leftover entries.
+    Conservation,
+    /// The client holds a write acknowledgement but the space never
+    /// recorded the write.
+    AckedWriteLost,
+    /// The space recorded the item as taken, yet the client's take
+    /// settled empty-handed — the tuple was consumed and delivered to
+    /// no one.
+    LostDelivery,
+    /// The client received more notify events for an item than the space
+    /// ever generated (events may be lost, never invented).
+    PhantomNotify,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ViolationKind::DuplicateApply => "duplicate-apply",
+            ViolationKind::DoubleTake => "double-take",
+            ViolationKind::Conservation => "conservation",
+            ViolationKind::AckedWriteLost => "acked-write-lost",
+            ViolationKind::LostDelivery => "lost-delivery",
+            ViolationKind::PhantomNotify => "phantom-notify",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One broken invariant, tied to the item it concerns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// The workload item (`("item", i)`) involved.
+    pub item: u64,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} item {}: {}", self.kind, self.item, self.detail)
+    }
+}
+
+/// Outcome of one chaos trial.
+#[derive(Debug, Clone)]
+pub struct ChaosTrial {
+    /// The seed that generated faults, channel, and simulator streams;
+    /// re-running with it reproduces the trial byte for byte.
+    pub seed: u64,
+    /// Every invariant that broke (empty = the trial is clean).
+    pub violations: Vec<Violation>,
+    /// Whether the client script ran to completion within the horizon.
+    pub finished: bool,
+    /// Writes the client holds acknowledgements for.
+    pub writes_acked: u64,
+    /// Takes that settled with a tuple in hand.
+    pub takes_with_entry: u64,
+    /// Fault-schedule events injected.
+    pub fault_events: usize,
+    /// Duplicate requests the server answered from its reply cache.
+    pub dedup_replays: u64,
+    /// Client attempts declared failed by the reply timeout.
+    pub reply_timeouts: u64,
+    /// Duplicate replies the client discarded by id correlation.
+    pub stale_replies: u64,
+    /// Bus-level frame retries.
+    pub bus_retries: u64,
+    /// Bus transactions abandoned after exhausting their retry budget.
+    pub bus_hard_failures: u64,
+    /// Notify events the client received.
+    pub events_observed: u64,
+}
+
+/// splitmix64 — the fault/channel derivation stream. Self-contained so a
+/// seed alone pins the whole trial.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[lo, hi)` from the derivation stream.
+fn draw(state: &mut u64, lo: u64, hi: u64) -> u64 {
+    lo + splitmix64(state) % (hi - lo)
+}
+
+/// The workload's exact item tuple: `("item", i)`.
+fn item_tuple(i: u64) -> Tuple {
+    Tuple::new(vec![Value::from("item"), Value::Int(i as i64)])
+}
+
+/// Which item an audit/event tuple concerns, if it is a workload item.
+fn item_of(tuple: &Tuple) -> Option<u64> {
+    match (tuple.field(0), tuple.field(1)) {
+        (Some(Value::Str(tag)), Some(&Value::Int(i))) if tag == "item" && i >= 0 => Some(i as u64),
+        _ => None,
+    }
+}
+
+/// Derives the randomized fault environment of a trial: a burst error
+/// channel (most trials) and a schedule of NIC crash/revive windows and
+/// chain break/heal windows placed inside the workload's active phase.
+fn derive_faults(seed: u64) -> (Option<BurstParams>, FaultSchedule) {
+    let mut s = seed ^ 0x000C_4A05_u64.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // Warm the stream so small seeds diverge.
+    let _ = splitmix64(&mut s);
+
+    let burst = if draw(&mut s, 0, 3) < 2 {
+        // Dense error bursts: short good sojourns, total loss inside a
+        // burst. Severity varies per seed.
+        let mean_good = draw(&mut s, 300, 3_000) as f64;
+        let mean_bad = draw(&mut s, 4, 40) as f64;
+        Some(BurstParams::with_mean_lengths(
+            mean_good, mean_bad, 0.0, 1.0,
+        ))
+    } else {
+        None
+    };
+
+    let mut schedule = FaultSchedule::new();
+    let mut events = 0usize;
+    // 1–3 outage windows, each a crash/revive (client NIC or server NIC)
+    // or a chain break/heal, placed in the first ~12 s where the workload
+    // is active. Crashing the *client's* NIC while a reply is in flight
+    // is the canonical lost-reply generator.
+    let n_windows = draw(&mut s, 1, 4);
+    for _ in 0..n_windows {
+        let start_ms = draw(&mut s, 100, 12_000);
+        let len_ms = draw(&mut s, 40, 600);
+        let start = SimTime::from_millis(start_ms);
+        let end = SimTime::from_millis(start_ms + len_ms);
+        match draw(&mut s, 0, 3) {
+            0 => {
+                schedule = schedule
+                    .at(start, FaultKind::SlaveCrash(1))
+                    .at(end, FaultKind::SlaveRevive(1));
+            }
+            1 => {
+                schedule = schedule
+                    .at(start, FaultKind::SlaveCrash(3))
+                    .at(end, FaultKind::SlaveRevive(3));
+            }
+            _ => {
+                let after = draw(&mut s, 1, 3) as usize;
+                schedule = schedule
+                    .at(start, FaultKind::ChainBreak { after })
+                    .at(end, FaultKind::ChainHeal);
+            }
+        }
+        events += 2;
+    }
+    debug_assert_eq!(schedule.events().len(), events);
+    (burst, schedule)
+}
+
+/// The chaos workload script: subscribe to item events, write the K
+/// items, then take each back with an exact template.
+fn chaos_script(n_items: u64) -> Vec<ClientStep> {
+    let any_item = Template::new(vec![
+        Pattern::Exact(Value::from("item")),
+        Pattern::AnyOfType(tsbus_tuplespace::ValueType::Int),
+    ]);
+    let mut script = vec![ClientStep::Request(Request::Subscribe {
+        template: any_item,
+        kinds: vec![EventKind::Written, EventKind::Taken],
+    })];
+    for i in 0..n_items {
+        script.push(ClientStep::Request(Request::Write {
+            tuple: item_tuple(i),
+            lease_ns: None,
+        }));
+    }
+    for i in 0..n_items {
+        script.push(ClientStep::Request(Request::TakeIfExists {
+            template: Template::new(vec![
+                Pattern::Exact(Value::from("item")),
+                Pattern::Exact(Value::Int(i as i64)),
+            ]),
+        }));
+    }
+    script
+}
+
+/// Runs one chaos trial: seed → faults → full-stack run → invariant
+/// check. Identical `(cfg, seed)` pairs reproduce identical trials.
+#[must_use]
+pub fn run_chaos_trial(cfg: &ChaosConfig, seed: u64) -> ChaosTrial {
+    let (burst, schedule) = derive_faults(seed);
+
+    // Full-speed bus so a trial takes seconds of simulated time; modest
+    // fixed costs widen the windows in which a fault can separate an
+    // applied operation from its reply.
+    let mut bus_params = BusParams::theseus_default();
+    if let Some(b) = burst {
+        bus_params = bus_params.with_burst_error(b);
+    }
+
+    let mut sim = Simulator::with_seed(seed);
+    let client_app = ComponentId::from_raw(0);
+    let server_app = ComponentId::from_raw(1);
+    let ep_client = ComponentId::from_raw(2);
+    let ep_server = ComponentId::from_raw(3);
+    let cbr_src = ComponentId::from_raw(4);
+    let cbr_sink = ComponentId::from_raw(5);
+    let bus_id = ComponentId::from_raw(6);
+
+    let recovery = RecoveryPolicy::new(6, SimDuration::from_millis(150))
+        .with_reply_timeout(SimDuration::from_millis(1_200));
+    let mut client = ScriptedClient::new(
+        ep_client,
+        node(3),
+        SimDuration::from_millis(5),
+        chaos_script(cfg.n_items),
+    )
+    .with_format(cfg.wire_format)
+    .with_recovery(recovery);
+    if cfg.dedup {
+        client = client.with_exactly_once(1);
+    }
+    let c = sim.add_component("client", client);
+    debug_assert_eq!(c, client_app);
+
+    let mut server = SpaceServerAgent::new(ep_server, SimDuration::from_millis(30));
+    // The audit trail is the trial's ground truth.
+    server.space_mut().enable_audit();
+    sim.add_component("server", server);
+
+    sim.add_component(
+        "ep_client",
+        TpwireEndpoint::new(
+            node(1),
+            client_app,
+            bus_id,
+            EndpointCosts::symmetric(SimDuration::from_millis(5)),
+        ),
+    );
+    sim.add_component(
+        "ep_server",
+        TpwireEndpoint::new(
+            node(3),
+            server_app,
+            bus_id,
+            EndpointCosts::symmetric(SimDuration::from_millis(5)),
+        ),
+    );
+    // Light background traffic keeps the bus arbitrating between flows.
+    sim.add_component("cbr", BusCbrSource::new(bus_id, node(2), node(4), 20.0, 2));
+    sim.add_component("cbr_sink", BusCbrSink::new());
+    let mut bus = TpWireBus::new(bus_params, vec![node(1), node(2), node(3), node(4)]);
+    bus.attach(node(1), ep_client);
+    bus.attach(node(2), cbr_src);
+    bus.attach(node(3), ep_server);
+    bus.attach(node(4), cbr_sink);
+    let b = sim.add_component("bus", bus);
+    debug_assert_eq!(b, bus_id);
+    let fault_events = schedule.events().len();
+    sim.add_component("faults", FaultDriver::new(bus_id, schedule));
+
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let slice = SimDuration::from_secs(1);
+    while sim.now() < horizon {
+        let until = (sim.now() + slice).min(horizon);
+        sim.run_until(until);
+        let client: &ScriptedClient = sim.component(client_app).expect("registered");
+        if client.is_finished() {
+            break;
+        }
+    }
+
+    let client: &ScriptedClient = sim.component(client_app).expect("registered");
+    let server: &SpaceServerAgent = sim.component(server_app).expect("registered");
+    let bus_ref: &TpWireBus = sim.component(bus_id).expect("registered");
+
+    // ---- ground truth: the audit trail and the final space content ----
+    let mut written: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut taken: BTreeMap<u64, u64> = BTreeMap::new();
+    for record in server.space().audit() {
+        let Some(item) = item_of(&record.tuple) else {
+            continue;
+        };
+        match record.kind {
+            EventKind::Written => *written.entry(item).or_default() += 1,
+            EventKind::Taken => *taken.entry(item).or_default() += 1,
+            EventKind::Expired => {}
+        }
+    }
+    let mut leftover: BTreeMap<u64, u64> = BTreeMap::new();
+    for tuple in server.space().snapshot(sim.now()) {
+        if let Some(item) = item_of(&tuple) {
+            *leftover.entry(item).or_default() += 1;
+        }
+    }
+
+    // ---- the client's view ----
+    // Script layout: step 0 subscribe, steps 1..=K writes (item = step-1),
+    // steps K+1..=2K takes (item = step-K-1).
+    let k = cfg.n_items as usize;
+    let mut write_acked = vec![false; k];
+    let mut take_entry = vec![false; k];
+    let mut take_settled_empty = vec![false; k];
+    for record in client.records() {
+        if record.step == 0 {
+            continue;
+        }
+        if record.step <= k {
+            write_acked[record.step - 1] =
+                matches!(record.response, Some(tsbus_xmlwire::Response::WriteAck));
+        } else if record.step <= 2 * k {
+            let item = record.step - k - 1;
+            take_entry[item] = record.returned_entry();
+            take_settled_empty[item] = matches!(
+                record.response,
+                Some(tsbus_xmlwire::Response::Entry { tuple: None })
+            );
+        }
+    }
+    let mut events_written: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut events_taken: BTreeMap<u64, u64> = BTreeMap::new();
+    for (_, event) in client.notifications() {
+        let Some(item) = item_of(&event.tuple) else {
+            continue;
+        };
+        match event.kind {
+            EventKind::Written => *events_written.entry(item).or_default() += 1,
+            EventKind::Taken => *events_taken.entry(item).or_default() += 1,
+            EventKind::Expired => {}
+        }
+    }
+
+    // ---- the invariants ----
+    let mut violations = Vec::new();
+    for i in 0..cfg.n_items {
+        let w = written.get(&i).copied().unwrap_or(0);
+        let t = taken.get(&i).copied().unwrap_or(0);
+        let left = leftover.get(&i).copied().unwrap_or(0);
+        if w > 1 {
+            violations.push(Violation {
+                kind: ViolationKind::DuplicateApply,
+                item: i,
+                detail: format!("written {w} times"),
+            });
+        }
+        if t > 1 {
+            violations.push(Violation {
+                kind: ViolationKind::DoubleTake,
+                item: i,
+                detail: format!("taken {t} times"),
+            });
+        }
+        if w != t + left {
+            violations.push(Violation {
+                kind: ViolationKind::Conservation,
+                item: i,
+                detail: format!("written {w}, taken {t}, leftover {left}"),
+            });
+        }
+        let idx = i as usize;
+        if write_acked[idx] && w == 0 {
+            violations.push(Violation {
+                kind: ViolationKind::AckedWriteLost,
+                item: i,
+                detail: "client holds a write ack, space never saw the write".into(),
+            });
+        }
+        if write_acked[idx] && t >= 1 && !take_entry[idx] && take_settled_empty[idx] {
+            violations.push(Violation {
+                kind: ViolationKind::LostDelivery,
+                item: i,
+                detail: "space consumed the tuple but the take settled empty".into(),
+            });
+        }
+        let ev_w = events_written.get(&i).copied().unwrap_or(0);
+        let ev_t = events_taken.get(&i).copied().unwrap_or(0);
+        if ev_w > w || ev_t > t {
+            violations.push(Violation {
+                kind: ViolationKind::PhantomNotify,
+                item: i,
+                detail: format!(
+                    "client saw {ev_w} written / {ev_t} taken events, space generated {w} / {t}"
+                ),
+            });
+        }
+    }
+
+    let bus_stats = bus_ref.stats();
+    ChaosTrial {
+        seed,
+        violations,
+        finished: client.is_finished(),
+        writes_acked: write_acked.iter().filter(|&&a| a).count() as u64,
+        takes_with_entry: take_entry.iter().filter(|&&t| t).count() as u64,
+        fault_events,
+        dedup_replays: server.stats().dedup_replays,
+        reply_timeouts: client.reply_timeouts(),
+        stale_replies: client.stale_replies(),
+        bus_retries: bus_stats.retries,
+        bus_hard_failures: bus_stats.failures,
+        events_observed: client.notifications().len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_quiet_seed_runs_clean_and_reproducibly() {
+        let cfg = ChaosConfig::default();
+        let a = run_chaos_trial(&cfg, 11);
+        let b = run_chaos_trial(&cfg, 11);
+        assert_eq!(a.violations, b.violations, "trials replay from their seed");
+        assert_eq!(a.writes_acked, b.writes_acked);
+        assert_eq!(a.bus_retries, b.bus_retries);
+        assert!(
+            a.violations.is_empty(),
+            "dedup on: no violations, got {:?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn dedup_on_is_clean_across_a_seed_batch() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..12 {
+            let trial = run_chaos_trial(&cfg, seed);
+            assert!(
+                trial.violations.is_empty(),
+                "seed {seed} violated: {:?}",
+                trial.violations
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_off_eventually_violates() {
+        let cfg = ChaosConfig {
+            dedup: false,
+            ..ChaosConfig::default()
+        };
+        let mut total = 0usize;
+        for seed in 0..40 {
+            total += run_chaos_trial(&cfg, seed).violations.len();
+            if total > 0 {
+                return; // found the expected counterexample
+            }
+        }
+        panic!("40 faulty seeds without dedup produced no violation — the harness is toothless");
+    }
+}

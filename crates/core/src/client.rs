@@ -7,12 +7,15 @@
 //! traffic profile ("the client executes a write-entry operation on the
 //! space; later on, a take operation is executed") is one such script.
 
+use std::collections::{BTreeSet, HashSet};
+
 use bytes::Bytes;
 use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime};
 use tsbus_tpwire::NodeId;
+use tsbus_tuplespace::Template;
 use tsbus_xmlwire::{
-    request_to_wire, server_message_from_wire, Request, Response, ServerMessage, WireEvent,
-    WireFormat,
+    request_envelope_to_wire, request_to_wire, server_message_from_wire, Request, RequestEnvelope,
+    RequestId, Response, ServerMessage, WireEvent, WireFormat,
 };
 
 use crate::net::{NetDeliver, NetError, NetSend};
@@ -23,7 +26,9 @@ use crate::net::{NetDeliver, NetError, NetSend};
 /// A failure is a transport error ([`NetError`] or a server
 /// [`Response::Error`]) or, for read/take requests, an empty
 /// [`Response::Entry`] — the middleware-level "Out of Time" of the paper's
-/// lease-expiry scenario.
+/// lease-expiry scenario. With [`with_reply_timeout`](Self::with_reply_timeout)
+/// a silently lost reply also counts as a failure instead of hanging the
+/// client forever.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryPolicy {
     /// Total attempts allowed per request, including the first (so 1
@@ -32,17 +37,31 @@ pub struct RecoveryPolicy {
     /// Idle wait before each re-issue (the think time is charged again on
     /// top, like any send).
     pub retry_delay: SimDuration,
+    /// If set, an attempt whose reply has not arrived within this span of
+    /// its send is declared failed and re-issued. Without it a lost reply
+    /// (e.g. the server answered into a broken chain) blocks the script
+    /// forever.
+    pub reply_timeout: Option<SimDuration>,
 }
 
 impl RecoveryPolicy {
     /// Creates a policy allowing `max_attempts` total sends spaced by
-    /// `retry_delay`.
+    /// `retry_delay`, with no reply timeout.
     #[must_use]
     pub const fn new(max_attempts: u32, retry_delay: SimDuration) -> Self {
         Self {
             max_attempts,
             retry_delay,
+            reply_timeout: None,
         }
+    }
+
+    /// Returns a copy that declares an attempt failed when its reply has
+    /// not arrived within `timeout` (builder style).
+    #[must_use]
+    pub const fn with_reply_timeout(mut self, timeout: SimDuration) -> Self {
+        self.reply_timeout = Some(timeout);
+        self
     }
 }
 
@@ -160,8 +179,88 @@ impl OpRecord {
 struct StepTimer;
 
 /// Internal timer: the recovery delay elapsed — re-issue the open request.
+/// Stale copies (the op completed, or a newer attempt is out) are ignored
+/// by matching both coordinates, mirroring [`ReplyTimeout`].
 #[derive(Debug)]
-struct RetryTimer;
+struct RetryTimer {
+    op_index: usize,
+    attempt: u32,
+}
+
+/// Internal timer: the reply to a specific attempt of a specific operation
+/// is overdue. Stale copies (the op completed, or a newer attempt is out)
+/// are ignored by matching both coordinates.
+#[derive(Debug)]
+struct ReplyTimeout {
+    op_index: usize,
+    attempt: u32,
+}
+
+/// Internal timer: send the next lease-renewal heartbeat.
+#[derive(Debug)]
+struct RenewTimer;
+
+/// Periodic lease-renewal heartbeats (see
+/// [`ScriptedClient::with_renewal`]).
+#[derive(Debug, Clone)]
+struct Renewal {
+    template: Template,
+    lease_ns: Option<u64>,
+    period: SimDuration,
+}
+
+/// Client-side exactly-once state: request identities, the cumulative-ack
+/// watermark, and correlation of replies back to operations.
+#[derive(Debug)]
+struct ExactlyOnce {
+    client_id: u64,
+    /// Next fresh sequence number (1-based; retries reuse their seq).
+    next_seq: u64,
+    /// Cumulative watermark: every seq ≤ ack has its reply in hand.
+    ack: u64,
+    /// Settled seqs above the watermark (replies received out of order).
+    done: BTreeSet<u64>,
+    /// The seq of the open scripted request, while one is awaited.
+    open: Option<u64>,
+    /// Outstanding fire-and-forget renewal heartbeat seqs.
+    heartbeat_seqs: HashSet<u64>,
+    stale_replies: u64,
+    renewals_acked: u64,
+}
+
+impl ExactlyOnce {
+    fn new(client_id: u64) -> Self {
+        ExactlyOnce {
+            client_id,
+            next_seq: 1,
+            ack: 0,
+            done: BTreeSet::new(),
+            open: None,
+            heartbeat_seqs: HashSet::new(),
+            stale_replies: 0,
+            renewals_acked: 0,
+        }
+    }
+
+    fn fresh_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Records that the reply for `seq` is in hand, advancing the
+    /// watermark over any now-contiguous prefix. Returns whether the seq
+    /// was newly settled (false for duplicates of settled ops).
+    fn settle(&mut self, seq: u64) -> bool {
+        if seq <= self.ack || !self.done.insert(seq) {
+            return false;
+        }
+        while self.done.remove(&(self.ack + 1)) {
+            self.ack += 1;
+        }
+        true
+    }
+}
 
 /// A client that executes a fixed script of tuplespace operations against
 /// one server.
@@ -175,12 +274,15 @@ pub struct ScriptedClient {
     script: Vec<ClientStep>,
     format: WireFormat,
     recovery: Option<RecoveryPolicy>,
+    exactly_once: Option<ExactlyOnce>,
+    renewal: Option<Renewal>,
     next_step: usize,
     awaiting: bool,
     records: Vec<OpRecord>,
     /// Pushed notifications received, with their arrival instants.
     notifications: Vec<(SimTime, WireEvent)>,
     errors: Vec<String>,
+    reply_timeouts: u64,
     finished_at: Option<SimTime>,
 }
 
@@ -201,11 +303,14 @@ impl ScriptedClient {
             script,
             format: WireFormat::Xml,
             recovery: None,
+            exactly_once: None,
+            renewal: None,
             next_step: 0,
             awaiting: false,
             records: Vec::new(),
             notifications: Vec::new(),
             errors: Vec::new(),
+            reply_timeouts: 0,
             finished_at: None,
         }
     }
@@ -223,6 +328,41 @@ impl ScriptedClient {
     #[must_use]
     pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.recovery = Some(policy);
+        self
+    }
+
+    /// Enables exactly-once operation (builder style): every request is
+    /// stamped with a [`RequestId`] `(client_id, seq)` plus the cumulative
+    /// ack watermark, retries reuse the original seq, and replies are
+    /// correlated back by id — so an end-to-end re-issue after a lost
+    /// reply is deduplicated by the server instead of re-applied.
+    #[must_use]
+    pub fn with_exactly_once(mut self, client_id: u64) -> Self {
+        self.exactly_once = Some(ExactlyOnce::new(client_id));
+        self
+    }
+
+    /// Enables periodic lease-renewal heartbeats (builder style): every
+    /// `period` the client fire-and-forgets a [`Request::Renew`] for
+    /// `template` with `lease_ns`, keeping matching entries (e.g. its
+    /// discovery registration) alive while it runs. Heartbeats stop once
+    /// the script finishes, so a crash-stopped client's entries expire.
+    ///
+    /// Requires [`with_exactly_once`](Self::with_exactly_once): heartbeat
+    /// replies arrive outside the request/response rhythm and are
+    /// correlated by seq.
+    #[must_use]
+    pub fn with_renewal(
+        mut self,
+        template: Template,
+        lease_ns: Option<u64>,
+        period: SimDuration,
+    ) -> Self {
+        self.renewal = Some(Renewal {
+            template,
+            lease_ns,
+            period,
+        });
         self
     }
 
@@ -254,6 +394,60 @@ impl ScriptedClient {
     #[must_use]
     pub fn is_finished(&self) -> bool {
         self.finished_at.is_some()
+    }
+
+    /// Reply timeouts that fired (attempts declared failed because their
+    /// reply never arrived).
+    #[must_use]
+    pub fn reply_timeouts(&self) -> u64 {
+        self.reply_timeouts
+    }
+
+    /// Duplicate replies discarded by id correlation (exactly-once mode
+    /// only; always 0 otherwise).
+    #[must_use]
+    pub fn stale_replies(&self) -> u64 {
+        self.exactly_once.as_ref().map_or(0, |eo| eo.stale_replies)
+    }
+
+    /// Renewal heartbeats acknowledged by the server.
+    #[must_use]
+    pub fn renewals_acked(&self) -> u64 {
+        self.exactly_once.as_ref().map_or(0, |eo| eo.renewals_acked)
+    }
+
+    /// Encodes `request` for the wire: enveloped with its identity and the
+    /// current ack watermark in exactly-once mode, bare otherwise.
+    fn wire_payload(&self, request: &Request, seq: Option<u64>) -> Bytes {
+        match (&self.exactly_once, seq) {
+            (Some(eo), Some(seq)) => {
+                let envelope = RequestEnvelope::identified(
+                    RequestId {
+                        client: eo.client_id,
+                        seq,
+                    },
+                    eo.ack,
+                    request.clone(),
+                );
+                Bytes::from(request_envelope_to_wire(&envelope, self.format))
+            }
+            _ => Bytes::from(request_to_wire(request, self.format)),
+        }
+    }
+
+    /// Schedules the outgoing send of the open request (think time
+    /// charged) and arms its reply timeout if one is configured.
+    fn dispatch_open(&mut self, ctx: &mut Context<'_>, payload: Bytes, attempt: u32) {
+        let endpoint = self.endpoint;
+        let to = self.server;
+        ctx.schedule_in(self.think_time, endpoint, NetSend { to, payload });
+        if let Some(timeout) = self.recovery.and_then(|p| p.reply_timeout) {
+            let op_index = self.records.len() - 1;
+            ctx.schedule_self_in(
+                self.think_time + timeout,
+                ReplyTimeout { op_index, attempt },
+            );
+        }
     }
 
     fn advance(&mut self, ctx: &mut Context<'_>) {
@@ -288,10 +482,13 @@ impl ScriptedClient {
                         attempts: 1,
                         first_failure_at: None,
                     });
-                    let payload = Bytes::from(request_to_wire(&request, self.format));
-                    let endpoint = self.endpoint;
-                    let to = self.server;
-                    ctx.schedule_in(self.think_time, endpoint, NetSend { to, payload });
+                    let seq = self.exactly_once.as_mut().map(|eo| {
+                        let seq = eo.fresh_seq();
+                        eo.open = Some(seq);
+                        seq
+                    });
+                    let payload = self.wire_payload(&request, seq);
+                    self.dispatch_open(ctx, payload, 1);
                     return;
                 }
             }
@@ -317,20 +514,56 @@ impl ScriptedClient {
         }
         record.first_failure_at.get_or_insert(now);
         record.attempts += 1;
+        let attempt = record.attempts;
         ctx.trace(
             "recovery",
             format_args!(
                 "step {} failed, re-issuing (attempt {}/{})",
-                record.step, record.attempts, policy.max_attempts
+                record.step, attempt, policy.max_attempts
             ),
         );
-        ctx.schedule_self_in(policy.retry_delay, RetryTimer);
+        ctx.schedule_self_in(
+            policy.retry_delay,
+            RetryTimer {
+                op_index: self.records.len() - 1,
+                attempt,
+            },
+        );
         true
+    }
+
+    /// Sends one fire-and-forget renewal heartbeat and arms the next one.
+    fn send_heartbeat(&mut self, ctx: &mut Context<'_>) {
+        let Some(renewal) = self.renewal.clone() else {
+            return;
+        };
+        let eo = self
+            .exactly_once
+            .as_mut()
+            .expect("with_renewal requires with_exactly_once");
+        let seq = eo.fresh_seq();
+        eo.heartbeat_seqs.insert(seq);
+        let request = Request::Renew {
+            template: renewal.template,
+            lease_ns: renewal.lease_ns,
+        };
+        let payload = self.wire_payload(&request, Some(seq));
+        let endpoint = self.endpoint;
+        let to = self.server;
+        ctx.schedule_in(self.think_time, endpoint, NetSend { to, payload });
+        ctx.schedule_self_in(renewal.period, RenewTimer);
     }
 }
 
 impl Component for ScriptedClient {
     fn start(&mut self, ctx: &mut Context<'_>) {
+        debug_assert!(
+            self.renewal.is_none() || self.exactly_once.is_some(),
+            "with_renewal requires with_exactly_once"
+        );
+        if let Some(renewal) = &self.renewal {
+            ctx.schedule_self_in(renewal.period, RenewTimer);
+        }
         self.advance(ctx);
     }
 
@@ -343,15 +576,76 @@ impl Component for ScriptedClient {
             Err(m) => m,
         };
         let msg = match msg.downcast::<RetryTimer>() {
-            Ok(_) => {
+            Ok(retry) => {
+                // Only the attempt it was armed for counts; anything else
+                // means a reply landed (or another path recovered) first.
+                let current = self.awaiting
+                    && self.records.len() == retry.op_index + 1
+                    && self
+                        .records
+                        .last()
+                        .is_some_and(|r| r.attempts == retry.attempt && r.completed_at.is_none());
+                if !current {
+                    return;
+                }
+                let record = &self.records[retry.op_index];
+                let (request, attempt) = (record.request.clone(), record.attempts);
+                // A re-issue reuses the original seq: the server's
+                // duplicate cache recognizes it and replays rather than
+                // re-applies if the first attempt actually landed.
+                let seq = self.exactly_once.as_ref().and_then(|eo| eo.open);
+                let payload = self.wire_payload(&request, seq);
+                self.dispatch_open(ctx, payload, attempt);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<ReplyTimeout>() {
+            Ok(timeout) => {
+                // Only the open attempt it was armed for counts; anything
+                // else means the reply (or an error) beat the timer.
+                let current = self.awaiting
+                    && self.records.len() == timeout.op_index + 1
+                    && self
+                        .records
+                        .last()
+                        .is_some_and(|r| r.attempts == timeout.attempt && r.completed_at.is_none());
+                if !current {
+                    return;
+                }
+                self.reply_timeouts += 1;
+                ctx.trace(
+                    "recovery",
+                    format_args!(
+                        "reply overdue for step {} attempt {}",
+                        self.records[timeout.op_index].step, timeout.attempt
+                    ),
+                );
+                if self.try_recover(ctx, true) {
+                    return;
+                }
                 let record = self
                     .records
-                    .last()
-                    .expect("a retry timer implies an open record");
-                let payload = Bytes::from(request_to_wire(&record.request, self.format));
-                let endpoint = self.endpoint;
-                let to = self.server;
-                ctx.schedule_in(self.think_time, endpoint, NetSend { to, payload });
+                    .last_mut()
+                    .expect("awaiting implies an open record");
+                record.completed_at = Some(ctx.now());
+                record.response = Some(Response::Error {
+                    message: "reply timeout".into(),
+                });
+                self.awaiting = false;
+                if let Some(eo) = &mut self.exactly_once {
+                    eo.open = None;
+                }
+                self.advance(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RenewTimer>() {
+            Ok(_) => {
+                if self.finished_at.is_none() {
+                    self.send_heartbeat(ctx);
+                }
                 return;
             }
             Err(m) => m,
@@ -364,9 +658,51 @@ impl Component for ScriptedClient {
                         // request/response rhythm.
                         self.notifications.push((ctx.now(), event));
                     }
-                    Ok(ServerMessage::Response(response)) => {
+                    Ok(ServerMessage::Response { re, response }) => {
+                        // Exactly-once correlation: replies carrying an id
+                        // are routed by seq — heartbeat acks settle out of
+                        // band, duplicates of settled ops are discarded.
+                        if let Some(eo) = &mut self.exactly_once {
+                            let Some(id) = re else {
+                                // An uncorrelated reply (e.g. the server
+                                // answering a request it could not decode
+                                // after a stream desync) cannot be tied to
+                                // any operation. Acting on it — above all
+                                // re-issuing the open op under a FRESH
+                                // identity — is unsound: the original may
+                                // still arrive and apply, yielding a
+                                // duplicate. Drop it; the reply timeout
+                                // recovers with the same id.
+                                eo.stale_replies += 1;
+                                return;
+                            };
+                            if id.client != eo.client_id {
+                                return; // not ours
+                            }
+                            if eo.heartbeat_seqs.remove(&id.seq) {
+                                eo.settle(id.seq);
+                                eo.renewals_acked += 1;
+                                return;
+                            }
+                            if eo.open != Some(id.seq) {
+                                // A late reply to an op we already gave up
+                                // on settles it; a duplicate of a settled
+                                // op is stale.
+                                if !eo.settle(id.seq) {
+                                    eo.stale_replies += 1;
+                                }
+                                return;
+                            }
+                        }
                         if !self.awaiting {
                             return; // stray (e.g. a late timeout response)
+                        }
+                        // Whatever it says, this reply settles the open
+                        // attempt's identity: the client holds it now.
+                        if let Some(eo) = &mut self.exactly_once {
+                            if let Some(seq) = eo.open {
+                                eo.settle(seq);
+                            }
                         }
                         let failed = response_failed(
                             &self
@@ -377,6 +713,14 @@ impl Component for ScriptedClient {
                             &response,
                         );
                         if self.try_recover(ctx, failed) {
+                            // The failure was a *received* reply (empty
+                            // take, server error), so the re-issue is a new
+                            // logical operation and gets a fresh identity —
+                            // reusing the seq would only replay the cached
+                            // failure.
+                            if let Some(eo) = &mut self.exactly_once {
+                                eo.open = Some(eo.fresh_seq());
+                            }
                             return; // still awaiting the re-issued request
                         }
                         let record = self
@@ -386,12 +730,18 @@ impl Component for ScriptedClient {
                         record.completed_at = Some(ctx.now());
                         record.response = Some(response);
                         self.awaiting = false;
+                        if let Some(eo) = &mut self.exactly_once {
+                            eo.open = None;
+                        }
                         self.advance(ctx);
                     }
                     Err(e) => {
                         self.errors.push(format!("bad server message: {e}"));
                         if self.awaiting {
                             self.awaiting = false;
+                            if let Some(eo) = &mut self.exactly_once {
+                                eo.open = None;
+                            }
                             self.advance(ctx);
                         }
                     }
@@ -417,6 +767,9 @@ impl Component for ScriptedClient {
                     message: error.reason.clone(),
                 });
                 self.awaiting = false;
+                if let Some(eo) = &mut self.exactly_once {
+                    eo.open = None;
+                }
                 self.advance(ctx);
             }
         }
@@ -428,29 +781,36 @@ mod tests {
     use super::*;
     use tsbus_des::Simulator;
     use tsbus_tuplespace::{template, tuple, ValueType};
-    use tsbus_xmlwire::response_to_xml;
+    use tsbus_xmlwire::{correlated_response_to_xml, request_envelope_from_wire};
 
-    /// A zero-latency endpoint+server stub: echoes canned responses.
+    /// A zero-latency endpoint+server stub: echoes canned responses,
+    /// correlated when the request carried an identity. `drop_first`
+    /// swallows that many requests without answering (a lost reply).
     struct StubServer {
         client: Option<ComponentId>,
         responses: Vec<Response>,
-        seen: Vec<Request>,
+        seen: Vec<RequestEnvelope>,
+        drop_first: usize,
     }
 
     impl Component for StubServer {
         fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
             if let Ok(send) = msg.downcast::<NetSend>() {
-                let text = String::from_utf8_lossy(&send.payload).into_owned();
-                let request =
-                    tsbus_xmlwire::request_from_xml(&text).expect("client output decodes");
-                self.seen.push(request);
+                let (envelope, _) =
+                    request_envelope_from_wire(&send.payload).expect("client output decodes");
+                let re = envelope.id;
+                self.seen.push(envelope);
+                if self.drop_first > 0 {
+                    self.drop_first -= 1;
+                    return;
+                }
                 let response = self.responses.remove(0);
                 let client = self.client.expect("wired in test setup");
                 ctx.send(
                     client,
                     NetDeliver {
                         from: NodeId::new(3).expect("valid"),
-                        payload: Bytes::from(response_to_xml(&response)),
+                        payload: Bytes::from(correlated_response_to_xml(re, &response)),
                     },
                 );
             }
@@ -472,6 +832,7 @@ mod tests {
                     },
                 ],
                 seen: Vec::new(),
+                drop_first: 0,
             },
         );
         let script = vec![
@@ -516,6 +877,7 @@ mod tests {
                 client: Some(client_id),
                 responses: vec![Response::WriteAck],
                 seen: Vec::new(),
+                drop_first: 0,
             },
         );
         sim.add_component(
@@ -573,6 +935,7 @@ mod tests {
                     },
                 ],
                 seen: Vec::new(),
+                drop_first: 0,
             },
         );
         let script = vec![ClientStep::Request(Request::TakeIfExists {
@@ -619,6 +982,7 @@ mod tests {
                     Response::Entry { tuple: None },
                 ],
                 seen: Vec::new(),
+                drop_first: 0,
             },
         );
         let script = vec![ClientStep::Request(Request::TakeIfExists {
@@ -642,6 +1006,152 @@ mod tests {
         assert_eq!(
             record.recovery_outcome(),
             RecoveryOutcome::GaveUp { attempts: 2 }
+        );
+    }
+
+    #[test]
+    fn reply_timeout_reissues_a_lost_reply_with_the_same_id() {
+        let mut sim = Simulator::new();
+        let client_id = ComponentId::from_raw(1);
+        let stub = sim.add_component(
+            "stub",
+            StubServer {
+                client: Some(client_id),
+                responses: vec![Response::WriteAck],
+                seen: Vec::new(),
+                drop_first: 1, // the first reply vanishes on the wire
+            },
+        );
+        sim.add_component(
+            "client",
+            ScriptedClient::new(
+                stub,
+                NodeId::new(3).expect("valid"),
+                SimDuration::ZERO,
+                vec![ClientStep::Request(Request::Write {
+                    tuple: tuple!["w"],
+                    lease_ns: None,
+                })],
+            )
+            .with_exactly_once(7)
+            .with_recovery(
+                RecoveryPolicy::new(3, SimDuration::from_millis(10))
+                    .with_reply_timeout(SimDuration::from_millis(50)),
+            ),
+        );
+        sim.run(1000);
+        let client: &ScriptedClient = sim.component(client_id).expect("registered");
+        assert!(client.is_finished(), "the re-issue unblocked the script");
+        assert_eq!(client.reply_timeouts(), 1);
+        assert_eq!(
+            client.records()[0].recovery_outcome(),
+            RecoveryOutcome::Recovered {
+                attempts: 2,
+                // The failure is observed when the 50 ms timeout fires;
+                // the re-issue lands 10 ms (retry delay) later.
+                extra_time: SimDuration::from_millis(10),
+            }
+        );
+        let stub_ref: &StubServer = sim.component(stub).expect("registered");
+        let ids: Vec<_> = stub_ref.seen.iter().map(|e| e.id).collect();
+        let id = tsbus_xmlwire::RequestId { client: 7, seq: 1 };
+        assert_eq!(
+            ids,
+            vec![Some(id), Some(id)],
+            "a lost-reply re-issue reuses the identity so the server can dedup"
+        );
+    }
+
+    #[test]
+    fn received_failure_retries_get_fresh_identities_and_carry_the_ack() {
+        let mut sim = Simulator::new();
+        let client_id = ComponentId::from_raw(1);
+        let stub = sim.add_component(
+            "stub",
+            StubServer {
+                client: Some(client_id),
+                responses: vec![
+                    Response::Entry { tuple: None },
+                    Response::Entry {
+                        tuple: Some(tuple!["e", 1]),
+                    },
+                ],
+                seen: Vec::new(),
+                drop_first: 0,
+            },
+        );
+        sim.add_component(
+            "client",
+            ScriptedClient::new(
+                stub,
+                NodeId::new(3).expect("valid"),
+                SimDuration::ZERO,
+                vec![ClientStep::Request(Request::TakeIfExists {
+                    template: template!["e", ValueType::Int],
+                })],
+            )
+            .with_exactly_once(7)
+            .with_recovery(RecoveryPolicy::new(3, SimDuration::from_millis(10))),
+        );
+        sim.run(1000);
+        let client: &ScriptedClient = sim.component(client_id).expect("registered");
+        assert!(client.records()[0].returned_entry());
+        let stub_ref: &StubServer = sim.component(stub).expect("registered");
+        // The empty reply settled seq 1, so the retry is a NEW operation
+        // (seq 2) acking seq 1 — replaying seq 1 would only return the
+        // cached miss again.
+        assert_eq!(stub_ref.seen[0].id.map(|i| i.seq), Some(1));
+        assert_eq!(stub_ref.seen[0].ack, 0);
+        assert_eq!(stub_ref.seen[1].id.map(|i| i.seq), Some(2));
+        assert_eq!(stub_ref.seen[1].ack, 1);
+    }
+
+    #[test]
+    fn renewal_heartbeats_fire_out_of_band_and_correlate_by_seq() {
+        let mut sim = Simulator::new();
+        let client_id = ComponentId::from_raw(1);
+        let stub = sim.add_component(
+            "stub",
+            StubServer {
+                client: Some(client_id),
+                responses: vec![Response::Count { count: 1 }; 3],
+                seen: Vec::new(),
+                drop_first: 0,
+            },
+        );
+        sim.add_component(
+            "client",
+            ScriptedClient::new(
+                stub,
+                NodeId::new(3).expect("valid"),
+                SimDuration::ZERO,
+                vec![ClientStep::Delay(SimDuration::from_millis(100))],
+            )
+            .with_exactly_once(9)
+            .with_renewal(
+                template!["svc"],
+                Some(10_000_000),
+                SimDuration::from_millis(30),
+            ),
+        );
+        sim.run(1000);
+        let client: &ScriptedClient = sim.component(client_id).expect("registered");
+        assert!(client.is_finished());
+        assert_eq!(
+            client.renewals_acked(),
+            3,
+            "heartbeats at 30/60/90 ms; none after the script finished at 100 ms"
+        );
+        assert!(client.records().is_empty(), "heartbeats are not script ops");
+        let stub_ref: &StubServer = sim.component(stub).expect("registered");
+        assert!(stub_ref
+            .seen
+            .iter()
+            .all(|e| matches!(e.request, Request::Renew { .. })));
+        assert_eq!(
+            stub_ref.seen.iter().filter_map(|e| e.id).count(),
+            3,
+            "every heartbeat carries its own identity"
         );
     }
 }

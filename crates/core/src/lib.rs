@@ -31,7 +31,9 @@
 #![warn(missing_docs)]
 
 mod buscbr;
+pub mod chaos;
 mod client;
+mod dedup;
 mod endpoint;
 mod farm;
 mod net;
@@ -40,7 +42,9 @@ mod server;
 mod tcp;
 
 pub use buscbr::{BusCbrSink, BusCbrSource};
+pub use chaos::{run_chaos_trial, ChaosConfig, ChaosTrial, Violation, ViolationKind};
 pub use client::{ClientStep, OpRecord, RecoveryOutcome, RecoveryPolicy, ScriptedClient};
+pub use dedup::{Admission, DedupCache};
 pub use endpoint::{EndpointCosts, TpwireEndpoint};
 pub use farm::{run_farm, FarmConfig, FarmResult};
 pub use net::{MessageAssembler, NetDeliver, NetError, NetSend};

@@ -152,6 +152,13 @@ pub struct CaseStudyConfig {
     /// policy, and the result reports a [`RecoveryOutcome`] instead of a
     /// bare out-of-time.
     pub recovery: Option<RecoveryPolicy>,
+    /// Exactly-once operation: the client stamps every request with a
+    /// `(client, seq)` identity plus its cumulative ack watermark, and the
+    /// server deduplicates re-issues against its reply cache — so recovery
+    /// retries after a lost reply cannot double-apply. Costs identity
+    /// bytes on every message; `fig_fault_sweep --dedup` measures how
+    /// much.
+    pub exactly_once: bool,
 }
 
 impl CaseStudyConfig {
@@ -184,6 +191,7 @@ impl CaseStudyConfig {
             horizon: SimDuration::from_secs(3_600),
             wire_format: WireFormat::Xml,
             recovery: None,
+            exactly_once: false,
         }
     }
 
@@ -214,6 +222,14 @@ impl CaseStudyConfig {
         self.recovery = Some(policy);
         self
     }
+
+    /// Returns a copy with the exactly-once layer enabled (request
+    /// identities + server-side duplicate suppression).
+    #[must_use]
+    pub fn with_exactly_once(mut self) -> Self {
+        self.exactly_once = true;
+        self
+    }
 }
 
 /// Outcome of one case-study run.
@@ -240,6 +256,9 @@ pub struct CaseStudyResult {
     pub bus_transactions: u64,
     /// Lane-0 utilization over the run.
     pub bus_utilization: f64,
+    /// Stream payload bytes the bus fully relayed — the bytes-on-wire
+    /// cost axis of the exactly-once envelope (`fig_fault_sweep --dedup`).
+    pub bus_bytes_relayed: u64,
     /// Bus transactions that were re-sent (timeouts / corrupted frames).
     pub bus_retries: u64,
     /// Bus transactions abandoned after exhausting their retry budget.
@@ -250,6 +269,14 @@ pub struct CaseStudyResult {
     /// How the take fared under the configured [`RecoveryPolicy`]
     /// ([`RecoveryOutcome::FirstTry`] when recovery is off).
     pub take_recovery: RecoveryOutcome,
+    /// Duplicate requests the server answered from its reply cache
+    /// (exactly-once mode only; 0 otherwise).
+    pub dedup_replays: u64,
+    /// Client attempts declared failed because their reply never arrived
+    /// (requires a [`RecoveryPolicy::reply_timeout`]).
+    pub reply_timeouts: u64,
+    /// Duplicate replies the client discarded by id correlation.
+    pub stale_replies: u64,
 }
 
 /// The entry tuple the client writes: `("entry", <entry_bytes of data>)`.
@@ -343,6 +370,9 @@ pub fn run_case_study_with_faults_seeded(
     if let Some(policy) = cfg.recovery {
         client = client.with_recovery(policy);
     }
+    if cfg.exactly_once {
+        client = client.with_exactly_once(1);
+    }
     let c = sim.add_component("client", client);
     debug_assert_eq!(c, client_app);
     sim.add_component(
@@ -407,9 +437,12 @@ pub fn run_case_study_with_faults_seeded(
         .get(1)
         .map(super::client::OpRecord::recovery_outcome)
         .unwrap_or(RecoveryOutcome::FirstTry);
+    let reply_timeouts = client.reply_timeouts();
+    let stale_replies = client.stale_replies();
     let sink: &BusCbrSink = sim.component(cbr_sink).expect("registered");
     let bus_ref: &TpWireBus = sim.component(bus_id).expect("registered");
     let stats = bus_ref.stats();
+    let server: &SpaceServerAgent = sim.component(server_app).expect("registered");
     CaseStudyResult {
         finished,
         total_time,
@@ -420,10 +453,14 @@ pub fn run_case_study_with_faults_seeded(
         cbr_delivered_bytes: sink.bytes(),
         bus_transactions: stats.transactions,
         bus_utilization: bus_ref.lane_utilization(0, now),
+        bus_bytes_relayed: stats.bytes_relayed,
         bus_retries: stats.retries,
         bus_hard_failures: stats.failures,
         bus_dropped_deliveries: stats.dropped_deliveries,
         take_recovery,
+        dedup_replays: server.stats().dedup_replays,
+        reply_timeouts,
+        stale_replies,
     }
 }
 
@@ -441,6 +478,9 @@ pub fn run_case_study_tcp(cfg: &CaseStudyConfig, tcp: TcpParams) -> CaseStudyRes
         .with_format(cfg.wire_format);
     if let Some(policy) = cfg.recovery {
         client = client.with_recovery(policy);
+    }
+    if cfg.exactly_once {
+        client = client.with_exactly_once(1);
     }
     let c = sim.add_component("client", client);
     debug_assert_eq!(c, client_app);
@@ -487,6 +527,7 @@ pub fn run_case_study_tcp(cfg: &CaseStudyConfig, tcp: TcpParams) -> CaseStudyRes
         cbr_delivered_bytes: 0,
         bus_transactions: 0,
         bus_utilization: 0.0,
+        bus_bytes_relayed: 0,
         bus_retries: 0,
         bus_hard_failures: 0,
         bus_dropped_deliveries: 0,
@@ -494,6 +535,12 @@ pub fn run_case_study_tcp(cfg: &CaseStudyConfig, tcp: TcpParams) -> CaseStudyRes
             .get(1)
             .map(super::client::OpRecord::recovery_outcome)
             .unwrap_or(RecoveryOutcome::FirstTry),
+        dedup_replays: {
+            let server: &SpaceServerAgent = sim.component(server_app).expect("registered");
+            server.stats().dedup_replays
+        },
+        reply_timeouts: client.reply_timeouts(),
+        stale_replies: client.stale_replies(),
     }
 }
 
@@ -560,6 +607,7 @@ mod tests {
             horizon: SimDuration::from_secs(60),
             wire_format: WireFormat::Xml,
             recovery: None,
+            exactly_once: false,
         };
         let result = run_case_study(&cfg);
         assert!(result.finished);
@@ -583,6 +631,7 @@ mod tests {
             horizon: SimDuration::from_secs(2_000),
             wire_format: WireFormat::Xml,
             recovery: None,
+            exactly_once: false,
         };
         let idle = run_case_study(&base);
         let loaded = run_case_study(&base.with_cbr_rate(2.0));
@@ -614,6 +663,7 @@ mod tests {
             horizon: SimDuration::from_secs(2_000),
             wire_format: WireFormat::Xml,
             recovery: None,
+            exactly_once: false,
         };
         let one = run_case_study(&base);
         let two = run_case_study(
@@ -646,6 +696,7 @@ mod tests {
             horizon: SimDuration::from_secs(2_000),
             wire_format: WireFormat::Xml,
             recovery: None,
+            exactly_once: false,
         };
         let result = run_case_study(&cfg);
         assert!(result.finished, "the exchange itself completes");
@@ -671,6 +722,7 @@ mod tests {
             horizon: SimDuration::from_secs(2_000),
             wire_format: WireFormat::Xml,
             recovery: Some(RecoveryPolicy::new(2, SimDuration::from_secs(1))),
+            exactly_once: false,
         };
         let result = run_case_study(&cfg);
         assert!(result.finished);
@@ -703,6 +755,7 @@ mod tests {
             horizon: SimDuration::from_secs(60),
             wire_format: WireFormat::Xml,
             recovery: Some(RecoveryPolicy::new(4, SimDuration::from_secs(5))),
+            exactly_once: false,
         };
         let faults = FaultSchedule::new()
             .at(SimTime::from_secs(4), FaultKind::SlaveCrash(3))
@@ -736,6 +789,7 @@ mod tests {
         let bare = run_case_study_with_faults(
             &CaseStudyConfig {
                 recovery: None,
+                exactly_once: false,
                 ..cfg
             },
             &faults,
@@ -760,6 +814,7 @@ mod tests {
             horizon: SimDuration::from_secs(60),
             wire_format: WireFormat::Xml,
             recovery: Some(RecoveryPolicy::new(3, SimDuration::from_secs(1))),
+            exactly_once: false,
         };
         let result = run_case_study(&cfg);
         assert!(result.finished);
@@ -790,6 +845,7 @@ mod tests {
             horizon: SimDuration::from_secs(10),
             wire_format: WireFormat::Xml,
             recovery: None,
+            exactly_once: false,
         };
         let result = run_case_study_tcp(&cfg, TcpParams::ethernet_10mbps());
         assert!(result.finished);

@@ -17,9 +17,11 @@ use tsbus_des::{
 use tsbus_tpwire::NodeId;
 use tsbus_tuplespace::{Lease, Space, SubscriptionId, Template};
 use tsbus_xmlwire::{
-    event_to_wire, request_from_wire, response_to_wire, Request, Response, WireEvent, WireFormat,
+    correlated_response_to_wire, event_to_wire, request_envelope_from_wire, Request, RequestId,
+    Response, WireEvent, WireFormat,
 };
 
+use crate::dedup::{Admission, DedupCache};
 use crate::net::{NetDeliver, NetSend};
 
 /// Internal timer: service time for a request elapsed; apply it.
@@ -27,6 +29,8 @@ use crate::net::{NetDeliver, NetSend};
 struct Serviced {
     from: NodeId,
     format: WireFormat,
+    id: Option<RequestId>,
+    ack: u64,
     request: Request,
 }
 
@@ -46,6 +50,9 @@ struct Waiter {
     id: u64,
     from: NodeId,
     format: WireFormat,
+    /// The exactly-once identity of the parked request, if it carried one
+    /// (its eventual reply is cached for replay like any other).
+    request_id: Option<RequestId>,
     template: Template,
     take: bool,
     timer: Option<EventId>,
@@ -64,6 +71,17 @@ pub struct ServerStats {
     pub parked: u64,
     /// Waiters that timed out empty-handed.
     pub waiter_timeouts: u64,
+    /// Duplicate requests answered by replaying the cached reply (the
+    /// operation was *not* re-applied).
+    pub dedup_replays: u64,
+    /// Duplicates dropped because the original is still being serviced.
+    pub dedup_inflight_drops: u64,
+    /// Duplicates dropped because the client already acked the reply.
+    pub dedup_acked_drops: u64,
+    /// Entries whose lease a `Renew` request extended.
+    pub renewals: u64,
+    /// `Renew` requests that found no live matching entry.
+    pub renew_misses: u64,
 }
 
 /// The tuplespace server as a simulation component.
@@ -87,6 +105,8 @@ pub struct SpaceServerAgent {
     next_wire_sub: u64,
     /// The expiry sweep currently scheduled, if any.
     sweep_at: Option<SimTime>,
+    /// Exactly-once reply cache for identity-carrying requests.
+    dedup: DedupCache,
     stats: ServerStats,
 }
 
@@ -105,6 +125,7 @@ impl SpaceServerAgent {
             subscribers: HashMap::new(),
             next_wire_sub: 0,
             sweep_at: None,
+            dedup: DedupCache::new(),
             stats: ServerStats::default(),
         }
     }
@@ -138,17 +159,56 @@ impl SpaceServerAgent {
         ctx: &mut Context<'_>,
         to: NodeId,
         format: WireFormat,
+        re: Option<RequestId>,
         response: &Response,
     ) {
+        if let Some(id) = re {
+            self.dedup.complete(id, response);
+        }
         self.stats.responses += 1;
         let endpoint = self.endpoint;
-        let payload = Bytes::from(response_to_wire(response, format));
+        let payload = Bytes::from(correlated_response_to_wire(re, response, format));
         ctx.send(endpoint, NetSend { to, payload });
     }
 
     /// Applies a serviced request against the space, replying in the
-    /// client's own wire encoding.
-    fn apply(&mut self, ctx: &mut Context<'_>, from: NodeId, format: WireFormat, request: Request) {
+    /// client's own wire encoding. Identity-carrying requests pass through
+    /// the duplicate cache first: re-deliveries replay the cached reply
+    /// (or are dropped) instead of re-applying the operation.
+    fn apply(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        format: WireFormat,
+        id: Option<RequestId>,
+        ack: u64,
+        request: Request,
+    ) {
+        if let Some(request_id) = id {
+            match self.dedup.admit(request_id, ack) {
+                Admission::Fresh => {}
+                Admission::InFlight => {
+                    self.stats.dedup_inflight_drops += 1;
+                    return;
+                }
+                Admission::Replay(cached) => {
+                    self.stats.dedup_replays += 1;
+                    self.stats.responses += 1;
+                    let endpoint = self.endpoint;
+                    let payload = Bytes::from(correlated_response_to_wire(
+                        Some(request_id),
+                        &cached,
+                        format,
+                    ));
+                    ctx.send(endpoint, NetSend { to: from, payload });
+                    return;
+                }
+                Admission::Acked => {
+                    self.stats.dedup_acked_drops += 1;
+                    return;
+                }
+            }
+        }
         let now = ctx.now();
         match request {
             Request::Write { tuple, lease_ns } => {
@@ -157,7 +217,7 @@ impl SpaceServerAgent {
                     Some(ns) => Lease::for_duration(now, SimDuration::from_nanos(ns)),
                 };
                 self.space.write(tuple, lease, now);
-                self.reply(ctx, from, format, &Response::WriteAck);
+                self.reply(ctx, from, format, id, &Response::WriteAck);
                 self.wake_waiters(ctx);
             }
             Request::Read {
@@ -165,30 +225,54 @@ impl SpaceServerAgent {
                 timeout_ns,
             } => match self.space.read(&template, now) {
                 Some(tuple) => {
-                    self.reply(ctx, from, format, &Response::Entry { tuple: Some(tuple) });
+                    self.reply(
+                        ctx,
+                        from,
+                        format,
+                        id,
+                        &Response::Entry { tuple: Some(tuple) },
+                    );
                 }
-                None => self.park(ctx, from, format, template, false, timeout_ns),
+                None => self.park(ctx, from, format, id, template, false, timeout_ns),
             },
             Request::Take {
                 template,
                 timeout_ns,
             } => match self.space.take(&template, now) {
                 Some(tuple) => {
-                    self.reply(ctx, from, format, &Response::Entry { tuple: Some(tuple) });
+                    self.reply(
+                        ctx,
+                        from,
+                        format,
+                        id,
+                        &Response::Entry { tuple: Some(tuple) },
+                    );
                 }
-                None => self.park(ctx, from, format, template, true, timeout_ns),
+                None => self.park(ctx, from, format, id, template, true, timeout_ns),
             },
             Request::ReadIfExists { template } => {
                 let tuple = self.space.read(&template, now);
-                self.reply(ctx, from, format, &Response::Entry { tuple });
+                self.reply(ctx, from, format, id, &Response::Entry { tuple });
             }
             Request::TakeIfExists { template } => {
                 let tuple = self.space.take(&template, now);
-                self.reply(ctx, from, format, &Response::Entry { tuple });
+                self.reply(ctx, from, format, id, &Response::Entry { tuple });
             }
             Request::Count { template } => {
                 let count = self.space.count(&template, now) as u64;
-                self.reply(ctx, from, format, &Response::Count { count });
+                self.reply(ctx, from, format, id, &Response::Count { count });
+            }
+            Request::Renew { template, lease_ns } => {
+                let lease = match lease_ns {
+                    None => Lease::Forever,
+                    Some(ns) => Lease::for_duration(now, SimDuration::from_nanos(ns)),
+                };
+                let renewed = self.space.renew(&template, lease, now) as u64;
+                self.stats.renewals += renewed;
+                if renewed == 0 {
+                    self.stats.renew_misses += 1;
+                }
+                self.reply(ctx, from, format, id, &Response::Count { count: renewed });
             }
             Request::Subscribe { template, kinds } => {
                 let sub = self.space.subscribe(template, kinds);
@@ -199,26 +283,27 @@ impl SpaceServerAgent {
                     ctx,
                     from,
                     format,
+                    id,
                     &Response::SubscriptionAck { id: wire_id },
                 );
             }
-            Request::Unsubscribe { id } => {
+            Request::Unsubscribe { id: sub_id } => {
                 let found = self
                     .subscribers
                     .iter()
-                    .find(|(_, &(_, wire_id, _))| wire_id == id)
+                    .find(|(_, &(_, wire_id, _))| wire_id == sub_id)
                     .map(|(&sub, _)| sub);
                 match found {
                     Some(sub) => {
                         self.space.unsubscribe(sub);
                         self.subscribers.remove(&sub);
-                        self.reply(ctx, from, format, &Response::WriteAck);
+                        self.reply(ctx, from, format, id, &Response::WriteAck);
                     }
                     None => {
                         let response = Response::Error {
-                            message: format!("unknown subscription {id}"),
+                            message: format!("unknown subscription {sub_id}"),
                         };
-                        self.reply(ctx, from, format, &response);
+                        self.reply(ctx, from, format, id, &response);
                     }
                 }
             }
@@ -264,11 +349,13 @@ impl SpaceServerAgent {
         ctx.schedule_at(due, target, ExpirySweep);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn park(
         &mut self,
         ctx: &mut Context<'_>,
         from: NodeId,
         format: WireFormat,
+        request_id: Option<RequestId>,
         template: Template,
         take: bool,
         timeout_ns: Option<u64>,
@@ -283,6 +370,7 @@ impl SpaceServerAgent {
             id,
             from,
             format,
+            request_id,
             template,
             take,
             timer,
@@ -317,6 +405,7 @@ impl SpaceServerAgent {
                 ctx,
                 waiter.from,
                 waiter.format,
+                waiter.request_id,
                 &Response::Entry { tuple: Some(tuple) },
             );
         }
@@ -328,8 +417,8 @@ impl Component for SpaceServerAgent {
         let msg = match msg.downcast::<NetDeliver>() {
             Ok(deliver) => {
                 let NetDeliver { from, payload } = *deliver;
-                match request_from_wire(&payload) {
-                    Ok((request, format)) => {
+                match request_envelope_from_wire(&payload) {
+                    Ok((envelope, format)) => {
                         self.stats.requests += 1;
                         let cost =
                             self.service_time + self.per_byte.saturating_mul(payload.len() as u64);
@@ -338,7 +427,9 @@ impl Component for SpaceServerAgent {
                             Serviced {
                                 from,
                                 format,
-                                request,
+                                id: envelope.id,
+                                ack: envelope.ack,
+                                request: envelope.request,
                             },
                         );
                     }
@@ -347,7 +438,7 @@ impl Component for SpaceServerAgent {
                         let response = Response::Error {
                             message: format!("bad request: {e}"),
                         };
-                        self.reply(ctx, from, WireFormat::Xml, &response);
+                        self.reply(ctx, from, WireFormat::Xml, None, &response);
                     }
                 }
                 return;
@@ -359,9 +450,11 @@ impl Component for SpaceServerAgent {
                 let Serviced {
                     from,
                     format,
+                    id,
+                    ack,
                     request,
                 } = *serviced;
-                self.apply(ctx, from, format, request);
+                self.apply(ctx, from, format, id, ack, request);
                 return;
             }
             Err(m) => m,
@@ -376,6 +469,7 @@ impl Component for SpaceServerAgent {
                         ctx,
                         waiter.from,
                         waiter.format,
+                        waiter.request_id,
                         &Response::Entry { tuple: None },
                     );
                 }
@@ -608,6 +702,131 @@ mod tests {
         assert!(matches!(ep.replies[0].2, Response::Error { .. }));
         let srv: &SpaceServerAgent = sim.component(server).expect("registered");
         assert_eq!(srv.stats().decode_errors, 1);
+    }
+
+    #[test]
+    fn duplicate_identified_requests_replay_instead_of_reapplying() {
+        use tsbus_xmlwire::{request_envelope_to_xml, RequestEnvelope, RequestId};
+        let (mut sim, endpoint, server) = setup(SimDuration::ZERO);
+        let write = RequestEnvelope::identified(
+            RequestId { client: 1, seq: 1 },
+            0,
+            Request::Write {
+                tuple: tuple!["once"],
+                lease_ns: None,
+            },
+        );
+        // The same envelope arrives twice (an end-to-end re-issue after a
+        // lost reply).
+        for _ in 0..2 {
+            sim.with_context(|ctx| {
+                ctx.send(
+                    server,
+                    NetDeliver {
+                        from: node(1),
+                        payload: Bytes::from(request_envelope_to_xml(&write)),
+                    },
+                );
+            });
+        }
+        sim.run(100);
+        let srv: &SpaceServerAgent = sim.component(server).expect("registered");
+        assert_eq!(srv.space().stats().writes, 1, "applied exactly once");
+        assert_eq!(srv.stats().dedup_replays, 1);
+        let ep: &FakeEndpoint = sim.component(endpoint).expect("registered");
+        assert_eq!(ep.replies.len(), 2, "both deliveries are answered");
+        assert!(ep
+            .replies
+            .iter()
+            .all(|(_, _, r)| matches!(r, Response::WriteAck)));
+    }
+
+    #[test]
+    fn acked_requests_are_evicted_and_dropped() {
+        use tsbus_xmlwire::{request_envelope_to_xml, RequestEnvelope, RequestId};
+        let (mut sim, endpoint, server) = setup(SimDuration::ZERO);
+        let send = |sim: &mut Simulator, seq: u64, ack: u64, tuple_n: i64| {
+            let env = RequestEnvelope::identified(
+                RequestId { client: 1, seq },
+                ack,
+                Request::Write {
+                    tuple: tuple!["w", tuple_n],
+                    lease_ns: None,
+                },
+            );
+            sim.with_context(|ctx| {
+                ctx.send(
+                    server,
+                    NetDeliver {
+                        from: node(1),
+                        payload: Bytes::from(request_envelope_to_xml(&env)),
+                    },
+                );
+            });
+        };
+        send(&mut sim, 1, 0, 1);
+        sim.run(100);
+        // seq 2 acks seq 1; a late duplicate of seq 1 is then dropped.
+        send(&mut sim, 2, 1, 2);
+        sim.run(200);
+        send(&mut sim, 1, 1, 1);
+        sim.run(300);
+        let srv: &SpaceServerAgent = sim.component(server).expect("registered");
+        assert_eq!(srv.space().stats().writes, 2);
+        assert_eq!(srv.stats().dedup_acked_drops, 1);
+        let ep: &FakeEndpoint = sim.component(endpoint).expect("registered");
+        assert_eq!(ep.replies.len(), 2, "the acked duplicate gets no reply");
+    }
+
+    #[test]
+    fn renew_request_extends_leases_over_the_wire() {
+        let (mut sim, endpoint, server) = setup(SimDuration::ZERO);
+        deliver(
+            server,
+            &mut sim,
+            1,
+            &Request::Write {
+                tuple: tuple!["svc"],
+                lease_ns: Some(10_000_000_000), // 10 s
+            },
+        );
+        // At t=5 s the client renews for another 10 s; the take at t=12 s
+        // (past the original deadline) still finds the entry.
+        sim.with_context(|ctx| {
+            ctx.schedule_in(
+                SimDuration::from_secs(5),
+                server,
+                NetDeliver {
+                    from: node(1),
+                    payload: Bytes::from(request_to_xml(&Request::Renew {
+                        template: template!["svc"],
+                        lease_ns: Some(10_000_000_000),
+                    })),
+                },
+            );
+            ctx.schedule_in(
+                SimDuration::from_secs(12),
+                server,
+                NetDeliver {
+                    from: node(1),
+                    payload: Bytes::from(request_to_xml(&Request::TakeIfExists {
+                        template: template!["svc"],
+                    })),
+                },
+            );
+        });
+        sim.run(100);
+        let ep: &FakeEndpoint = sim.component(endpoint).expect("registered");
+        assert_eq!(ep.replies[1].2, Response::Count { count: 1 });
+        assert_eq!(
+            ep.replies[2].2,
+            Response::Entry {
+                tuple: Some(tuple!["svc"])
+            }
+        );
+        let srv: &SpaceServerAgent = sim.component(server).expect("registered");
+        assert_eq!(srv.stats().renewals, 1);
+        assert_eq!(srv.stats().renew_misses, 0);
     }
 
     #[test]

@@ -49,6 +49,20 @@ pub fn unregister(space: &mut Space, service: &str, provider: &str, now: SimTime
     space.take(&template, now).is_some()
 }
 
+/// Renews `provider`'s registration for `service`, extending its lease to
+/// `lease`. Returns whether a live registration was found — `false` means
+/// the registration already expired (or never existed) and the provider
+/// must [`register`] afresh. Periodic renewal is the heartbeat that keeps a
+/// live provider visible while a crashed one silently ages out.
+pub fn renew(space: &mut Space, service: &str, provider: &str, lease: Lease, now: SimTime) -> bool {
+    let template = Template::new(vec![
+        Pattern::Exact(Value::from(SERVICE_TAG)),
+        Pattern::Exact(Value::from(service)),
+        Pattern::Exact(Value::from(provider)),
+    ]);
+    space.renew(&template, lease, now) > 0
+}
+
 /// All providers currently registered for `service`, in registration order.
 pub fn lookup(space: &mut Space, service: &str, now: SimTime) -> Vec<String> {
     let template = Template::new(vec![
@@ -103,6 +117,52 @@ mod tests {
         register(&mut space, "fft", "node-7", Lease::Until(t(10)), t(0));
         assert_eq!(lookup(&mut space, "fft", t(9)).len(), 1);
         assert!(lookup(&mut space, "fft", t(10)).is_empty());
+    }
+
+    #[test]
+    fn renewing_provider_survives_expiry_sweep_stopped_one_disappears() {
+        let mut space = Space::new();
+        let period = tsbus_des::SimDuration::from_secs(10);
+        register(
+            &mut space,
+            "fft",
+            "alive",
+            Lease::for_duration(t(0), period),
+            t(0),
+        );
+        register(
+            &mut space,
+            "fft",
+            "crashed",
+            Lease::for_duration(t(0), period),
+            t(0),
+        );
+        // "alive" heartbeats every 5 s; "crashed" stops after t=0.
+        for beat in [5u64, 10, 15, 20] {
+            let renewed = renew(
+                &mut space,
+                "fft",
+                "alive",
+                Lease::for_duration(t(beat), period),
+                t(beat),
+            );
+            assert!(renewed, "live provider renews at t={beat}");
+        }
+        space.expire(t(21));
+        assert_eq!(
+            lookup(&mut space, "fft", t(21)),
+            vec!["alive"],
+            "the renewing provider survives; the silent one aged out at t=10"
+        );
+        assert!(lookup(&mut space, "fft", t(30)).is_empty());
+    }
+
+    #[test]
+    fn renew_fails_once_the_registration_expired() {
+        let mut space = Space::new();
+        register(&mut space, "svc", "p", Lease::Until(t(10)), t(0));
+        assert!(!renew(&mut space, "svc", "p", Lease::Until(t(100)), t(15)));
+        assert!(lookup(&mut space, "svc", t(15)).is_empty());
     }
 
     #[test]

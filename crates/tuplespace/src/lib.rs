@@ -46,7 +46,9 @@ mod txn;
 mod value;
 
 pub use live::{SpaceServer, Transaction, WaitTimedOut};
-pub use space::{EntryId, EventKind, Lease, Notification, Space, SpaceStats, SubscriptionId};
+pub use space::{
+    AuditRecord, EntryId, EventKind, Lease, Notification, Space, SpaceStats, SubscriptionId,
+};
 pub use template::{IntoPattern, Pattern, Template};
 pub use tuple::Tuple;
 pub use txn::{TxnId, UnknownTxn};

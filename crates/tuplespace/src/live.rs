@@ -8,6 +8,7 @@
 //! provides (`take` that waits for a match, with optional timeout) and
 //! channel-based notify (crossbeam channels).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -40,19 +41,21 @@ struct Shared {
 
 struct State {
     space: Space,
-    subscribers: Vec<(SubscriptionId, Sender<Notification>)>,
+    subscribers: HashMap<SubscriptionId, Sender<Notification>>,
 }
 
 impl State {
-    /// Routes pending notifications to their subscribers' channels.
+    /// Routes pending notifications to their subscribers' channels. A send
+    /// into a dropped receiver unsubscribes that subscription outright, so
+    /// the space stops producing (and we stop routing) events for it.
     fn pump(&mut self) {
         for event in self.space.drain_notifications() {
-            if let Some((_, tx)) = self
-                .subscribers
-                .iter()
-                .find(|(id, _)| *id == event.subscription)
-            {
-                let _ = tx.send(event); // a dropped receiver just unsubscribed
+            let id = event.subscription;
+            if let Some(tx) = self.subscribers.get(&id) {
+                if tx.send(event).is_err() {
+                    self.subscribers.remove(&id);
+                    self.space.unsubscribe(id);
+                }
             }
         }
     }
@@ -93,7 +96,7 @@ impl SpaceServer {
             shared: Arc::new(Shared {
                 space: Mutex::new(State {
                     space: Space::new(),
-                    subscribers: Vec::new(),
+                    subscribers: HashMap::new(),
                 }),
                 changed: Condvar::new(),
                 epoch: Instant::now(),
@@ -265,7 +268,7 @@ impl SpaceServer {
         let (tx, rx) = unbounded();
         let mut state = self.shared.space.lock();
         let id = state.space.subscribe(template, kinds);
-        state.subscribers.push((id, tx));
+        state.subscribers.insert(id, tx);
         rx
     }
 
@@ -491,6 +494,20 @@ mod tests {
         let n = rx.recv_timeout(Duration::from_secs(1)).expect("notified");
         assert_eq!(n.tuple, tuple!["evt", 1]);
         assert!(rx.try_recv().is_err(), "non-matching write not notified");
+    }
+
+    #[test]
+    fn dropped_subscriber_is_pruned_and_unsubscribed() {
+        let server = SpaceServer::new();
+        let rx = server.subscribe(template!["evt", ValueType::Int], [EventKind::Written]);
+        server.write(tuple!["evt", 1], None);
+        assert!(rx.recv_timeout(Duration::from_secs(1)).is_ok());
+        drop(rx);
+        // The next pump that hits the dead channel removes both the channel
+        // and the space subscription, so later events are never produced.
+        server.write(tuple!["evt", 2], None);
+        let state = server.shared.space.lock();
+        assert!(state.subscribers.is_empty(), "dead subscriber pruned");
     }
 
     #[test]

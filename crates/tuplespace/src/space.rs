@@ -127,6 +127,24 @@ pub struct SpaceStats {
     pub misses: u64,
     /// Entries that expired before being taken.
     pub expirations: u64,
+    /// Entries whose lease was extended by a renewal.
+    pub renewals: u64,
+}
+
+/// One line of a space's audit trail (see [`Space::enable_audit`]): the
+/// ground-truth history of entry lifecycle events, independent of any
+/// subscription. Chaos harnesses compare delivered notifications and
+/// client-observed results against this record.
+#[derive(Debug, Clone)]
+pub struct AuditRecord {
+    /// What happened.
+    pub kind: EventKind,
+    /// The entry involved.
+    pub entry: EntryId,
+    /// The tuple involved.
+    pub tuple: Tuple,
+    /// When it happened.
+    pub at: SimTime,
 }
 
 /// A tuplespace: an unstructured, associatively-addressed, leased tuple
@@ -162,6 +180,7 @@ pub struct Space {
     next_subscription: u64,
     stats: SpaceStats,
     txns: TxnRegistry,
+    audit: Option<Vec<AuditRecord>>,
 }
 
 impl Space {
@@ -188,6 +207,50 @@ impl Space {
     #[must_use]
     pub fn stats(&self) -> SpaceStats {
         self.stats
+    }
+
+    /// Turns on the audit trail: from now on every Written/Taken/Expired
+    /// event is appended to a history retrievable via [`audit`](Space::audit),
+    /// independent of subscriptions. Off by default (it grows unboundedly).
+    pub fn enable_audit(&mut self) {
+        self.audit.get_or_insert_with(Vec::new);
+    }
+
+    /// The audit trail recorded since [`enable_audit`](Space::enable_audit);
+    /// empty if auditing was never enabled.
+    #[must_use]
+    pub fn audit(&self) -> &[AuditRecord] {
+        self.audit.as_deref().unwrap_or(&[])
+    }
+
+    /// Read-only snapshot of the tuples alive at `now`, without running
+    /// the expiry sweep or touching any other state — for auditing and
+    /// invariant checks over a shared reference.
+    #[must_use]
+    pub fn snapshot(&self, now: SimTime) -> Vec<Tuple> {
+        self.entries
+            .values()
+            .filter(|entry| entry.lease.is_alive(now))
+            .map(|entry| entry.tuple.clone())
+            .collect()
+    }
+
+    /// Extends the lease of every live entry matching `template` to
+    /// `lease`; returns how many entries were renewed. The heartbeat
+    /// primitive behind crash-stop service de-registration: a live provider
+    /// periodically renews its registration entries, a crashed one stops
+    /// and its entries expire on their own.
+    pub fn renew(&mut self, template: &Template, lease: Lease, now: SimTime) -> usize {
+        self.expire(now);
+        let mut renewed = 0;
+        for entry in self.entries.values_mut() {
+            if template.matches(&entry.tuple) {
+                entry.lease = lease;
+                renewed += 1;
+            }
+        }
+        self.stats.renewals += renewed as u64;
+        renewed
     }
 
     /// Writes a tuple with the given lease; returns its entry id.
@@ -433,6 +496,14 @@ impl Space {
     }
 
     fn notify_all_at(&mut self, kind: EventKind, entry: EntryId, tuple: &Tuple, at: SimTime) {
+        if let Some(trail) = &mut self.audit {
+            trail.push(AuditRecord {
+                kind,
+                entry,
+                tuple: tuple.clone(),
+                at,
+            });
+        }
         for sub in &self.subscriptions {
             if sub.kinds.contains(&kind) && sub.template.matches(tuple) {
                 self.pending.push(Notification {
@@ -593,6 +664,60 @@ mod tests {
         assert_eq!(s.reads, 1);
         assert_eq!(s.takes, 1);
         assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn renew_extends_matching_leases_only() {
+        let mut space = Space::new();
+        space.write(tuple!["svc", 1], Lease::Until(t(10)), t(0));
+        space.write(tuple!["svc", 2], Lease::Until(t(10)), t(0));
+        space.write(tuple!["other"], Lease::Until(t(10)), t(0));
+        let renewed = space.renew(&template!["svc", ValueType::Int], Lease::Until(t(30)), t(5));
+        assert_eq!(renewed, 2);
+        assert_eq!(space.stats().renewals, 2);
+        // Un-renewed entry expires at its original deadline; renewed survive.
+        assert_eq!(space.len(t(15)), 2);
+        assert_eq!(space.len(t(30)), 0);
+    }
+
+    #[test]
+    fn renew_skips_already_expired_entries() {
+        let mut space = Space::new();
+        space.write(tuple!["late"], Lease::Until(t(5)), t(0));
+        let renewed = space.renew(&template!["late"], Lease::Until(t(100)), t(6));
+        assert_eq!(renewed, 0, "an expired entry cannot be resurrected");
+        assert_eq!(space.stats().expirations, 1);
+    }
+
+    #[test]
+    fn audit_trail_records_lifecycle_independent_of_subscriptions() {
+        let mut space = Space::new();
+        space.enable_audit();
+        space.write(tuple!["a", 1], Lease::Until(t(10)), t(0));
+        space.write(tuple!["a", 2], Lease::Forever, t(0));
+        let _ = space.take(&template!["a", 2], t(1));
+        space.expire(t(11));
+        let trail = space.audit();
+        assert_eq!(trail.len(), 4);
+        assert_eq!(trail[0].kind, EventKind::Written);
+        assert_eq!(trail[1].kind, EventKind::Written);
+        assert_eq!(trail[2].kind, EventKind::Taken);
+        assert_eq!(trail[3].kind, EventKind::Expired);
+        let mut space2 = Space::new();
+        space2.write(tuple!["x"], Lease::Forever, t(0));
+        assert!(space2.audit().is_empty(), "audit off by default");
+    }
+
+    #[test]
+    fn audit_trail_includes_expiry_at_deadline() {
+        let mut space = Space::new();
+        space.enable_audit();
+        space.write(tuple!["ttl"], Lease::Until(t(10)), t(0));
+        space.expire(t(12));
+        let trail = space.audit();
+        assert_eq!(trail.len(), 2);
+        assert_eq!(trail[1].kind, EventKind::Expired);
+        assert_eq!(trail[1].at, t(10), "stamped at the lease deadline");
     }
 
     #[test]

@@ -12,11 +12,19 @@
 
 use tsbus_tuplespace::{EventKind, Pattern, Template, Tuple, Value, ValueType};
 
-use crate::codec::{Request, Response, ServerMessage, WireEvent};
+use crate::codec::{Request, RequestEnvelope, RequestId, Response, ServerMessage, WireEvent};
 use crate::DecodeWireError;
 
 /// First byte of every binary protocol message.
 pub const BINARY_MAGIC: u8 = 0xB5;
+
+/// Message tag of an identity-carrying request envelope (`client`, `seq`,
+/// `ack`, then the inner request body).
+const TAG_REQUEST_ENVELOPE: u8 = 0x10;
+
+/// Message tag of an identity-echoing response envelope (`client`, `seq`,
+/// then the inner response body).
+const TAG_RESPONSE_ENVELOPE: u8 = 0x90;
 
 fn shape(message: impl Into<String>) -> DecodeWireError {
     DecodeWireError::Shape(message.into())
@@ -231,43 +239,40 @@ fn kind_from_tag(tag: u8) -> Result<EventKind, DecodeWireError> {
 // Requests / responses / events
 // ---------------------------------------------------------------------
 
-/// Encodes a request to the compact binary wire form.
-#[must_use]
-pub fn request_to_binary(request: &Request) -> Vec<u8> {
-    let mut out = vec![BINARY_MAGIC];
+fn put_request_body(out: &mut Vec<u8>, request: &Request) {
     match request {
         Request::Write { tuple, lease_ns } => {
             out.push(0);
-            put_opt_u64(&mut out, *lease_ns);
-            put_tuple(&mut out, tuple);
+            put_opt_u64(out, *lease_ns);
+            put_tuple(out, tuple);
         }
         Request::Read {
             template,
             timeout_ns,
         } => {
             out.push(1);
-            put_opt_u64(&mut out, *timeout_ns);
-            put_template(&mut out, template);
+            put_opt_u64(out, *timeout_ns);
+            put_template(out, template);
         }
         Request::Take {
             template,
             timeout_ns,
         } => {
             out.push(2);
-            put_opt_u64(&mut out, *timeout_ns);
-            put_template(&mut out, template);
+            put_opt_u64(out, *timeout_ns);
+            put_template(out, template);
         }
         Request::ReadIfExists { template } => {
             out.push(3);
-            put_template(&mut out, template);
+            put_template(out, template);
         }
         Request::TakeIfExists { template } => {
             out.push(4);
-            put_template(&mut out, template);
+            put_template(out, template);
         }
         Request::Count { template } => {
             out.push(5);
-            put_template(&mut out, template);
+            put_template(out, template);
         }
         Request::Subscribe { template, kinds } => {
             out.push(6);
@@ -275,56 +280,51 @@ pub fn request_to_binary(request: &Request) -> Vec<u8> {
             for &k in kinds {
                 out.push(kind_tag(k));
             }
-            put_template(&mut out, template);
+            put_template(out, template);
         }
         Request::Unsubscribe { id } => {
             out.push(7);
             out.extend_from_slice(&id.to_le_bytes());
         }
+        Request::Renew { template, lease_ns } => {
+            out.push(8);
+            put_opt_u64(out, *lease_ns);
+            put_template(out, template);
+        }
     }
-    out
 }
 
-/// Decodes a binary request.
-///
-/// # Errors
-///
-/// Returns [`DecodeWireError::Shape`] on bad magic, tags or truncation.
-pub fn request_from_binary(bytes: &[u8]) -> Result<Request, DecodeWireError> {
-    let mut r = Reader { bytes, pos: 0 };
-    if r.u8()? != BINARY_MAGIC {
-        return Err(shape("missing binary protocol magic"));
-    }
-    let request = match r.u8()? {
+fn get_request_body(r: &mut Reader<'_>) -> Result<Request, DecodeWireError> {
+    Ok(match r.u8()? {
         0 => {
-            let lease_ns = get_opt_u64(&mut r)?;
+            let lease_ns = get_opt_u64(r)?;
             Request::Write {
-                tuple: get_tuple(&mut r)?,
+                tuple: get_tuple(r)?,
                 lease_ns,
             }
         }
         1 => {
-            let timeout_ns = get_opt_u64(&mut r)?;
+            let timeout_ns = get_opt_u64(r)?;
             Request::Read {
-                template: get_template(&mut r)?,
+                template: get_template(r)?,
                 timeout_ns,
             }
         }
         2 => {
-            let timeout_ns = get_opt_u64(&mut r)?;
+            let timeout_ns = get_opt_u64(r)?;
             Request::Take {
-                template: get_template(&mut r)?,
+                template: get_template(r)?,
                 timeout_ns,
             }
         }
         3 => Request::ReadIfExists {
-            template: get_template(&mut r)?,
+            template: get_template(r)?,
         },
         4 => Request::TakeIfExists {
-            template: get_template(&mut r)?,
+            template: get_template(r)?,
         },
         5 => Request::Count {
-            template: get_template(&mut r)?,
+            template: get_template(r)?,
         },
         6 => {
             let n = r.u8()?;
@@ -333,21 +333,83 @@ pub fn request_from_binary(bytes: &[u8]) -> Result<Request, DecodeWireError> {
                 kinds.push(kind_from_tag(r.u8()?)?);
             }
             Request::Subscribe {
-                template: get_template(&mut r)?,
+                template: get_template(r)?,
                 kinds,
             }
         }
         7 => Request::Unsubscribe { id: r.u64()? },
+        8 => {
+            let lease_ns = get_opt_u64(r)?;
+            Request::Renew {
+                template: get_template(r)?,
+                lease_ns,
+            }
+        }
         tag => return Err(shape(format!("unknown request tag {tag}"))),
-    };
-    r.done()?;
-    Ok(request)
+    })
 }
 
-/// Encodes a response to the compact binary wire form.
+/// Encodes a request to the compact binary wire form.
 #[must_use]
-pub fn response_to_binary(response: &Response) -> Vec<u8> {
+pub fn request_to_binary(request: &Request) -> Vec<u8> {
     let mut out = vec![BINARY_MAGIC];
+    put_request_body(&mut out, request);
+    out
+}
+
+/// Encodes a request envelope to the compact binary wire form. Like the
+/// XML side, an id-less envelope is byte-identical to its bare request.
+#[must_use]
+pub fn request_envelope_to_binary(envelope: &RequestEnvelope) -> Vec<u8> {
+    let mut out = vec![BINARY_MAGIC];
+    if let Some(id) = envelope.id {
+        out.push(TAG_REQUEST_ENVELOPE);
+        out.extend_from_slice(&id.client.to_le_bytes());
+        out.extend_from_slice(&id.seq.to_le_bytes());
+        out.extend_from_slice(&envelope.ack.to_le_bytes());
+    }
+    put_request_body(&mut out, &envelope.request);
+    out
+}
+
+/// Decodes a binary request (envelope identity, if present, is dropped).
+///
+/// # Errors
+///
+/// Returns [`DecodeWireError::Shape`] on bad magic, tags or truncation.
+pub fn request_from_binary(bytes: &[u8]) -> Result<Request, DecodeWireError> {
+    request_envelope_from_binary(bytes).map(|envelope| envelope.request)
+}
+
+/// Decodes a binary request envelope; a bare (legacy) request decodes with
+/// `id: None`.
+///
+/// # Errors
+///
+/// Returns [`DecodeWireError::Shape`] on bad magic, tags or truncation.
+pub fn request_envelope_from_binary(bytes: &[u8]) -> Result<RequestEnvelope, DecodeWireError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.u8()? != BINARY_MAGIC {
+        return Err(shape("missing binary protocol magic"));
+    }
+    let envelope = if bytes.get(1) == Some(&TAG_REQUEST_ENVELOPE) {
+        let _ = r.u8()?;
+        let client = r.u64()?;
+        let seq = r.u64()?;
+        let ack = r.u64()?;
+        RequestEnvelope {
+            id: Some(RequestId { client, seq }),
+            ack,
+            request: get_request_body(&mut r)?,
+        }
+    } else {
+        RequestEnvelope::bare(get_request_body(&mut r)?)
+    };
+    r.done()?;
+    Ok(envelope)
+}
+
+fn put_response_body(out: &mut Vec<u8>, response: &Response) {
     match response {
         Response::WriteAck => out.push(0x80),
         Response::Entry { tuple } => {
@@ -356,7 +418,7 @@ pub fn response_to_binary(response: &Response) -> Vec<u8> {
                 None => out.push(0),
                 Some(t) => {
                     out.push(1);
-                    put_tuple(&mut out, t);
+                    put_tuple(out, t);
                 }
             }
         }
@@ -366,13 +428,53 @@ pub fn response_to_binary(response: &Response) -> Vec<u8> {
         }
         Response::Error { message } => {
             out.push(0x83);
-            put_bytes(&mut out, message.as_bytes());
+            put_bytes(out, message.as_bytes());
         }
         Response::SubscriptionAck { id } => {
             out.push(0x84);
             out.extend_from_slice(&id.to_le_bytes());
         }
     }
+}
+
+fn get_response_body(r: &mut Reader<'_>) -> Result<Response, DecodeWireError> {
+    Ok(match r.u8()? {
+        0x80 => Response::WriteAck,
+        0x81 => Response::Entry {
+            tuple: match r.u8()? {
+                0 => None,
+                1 => Some(get_tuple(r)?),
+                tag => return Err(shape(format!("bad option tag {tag}"))),
+            },
+        },
+        0x82 => Response::Count { count: r.u64()? },
+        0x83 => Response::Error {
+            message: r.string()?,
+        },
+        0x84 => Response::SubscriptionAck { id: r.u64()? },
+        tag => return Err(shape(format!("unknown response tag {tag}"))),
+    })
+}
+
+/// Encodes a response to the compact binary wire form.
+#[must_use]
+pub fn response_to_binary(response: &Response) -> Vec<u8> {
+    let mut out = vec![BINARY_MAGIC];
+    put_response_body(&mut out, response);
+    out
+}
+
+/// Encodes a response with its echoed request identity. An uncorrelated
+/// response is byte-identical to the plain form.
+#[must_use]
+pub fn correlated_response_to_binary(re: Option<RequestId>, response: &Response) -> Vec<u8> {
+    let mut out = vec![BINARY_MAGIC];
+    if let Some(id) = re {
+        out.push(TAG_RESPONSE_ENVELOPE);
+        out.extend_from_slice(&id.client.to_le_bytes());
+        out.extend_from_slice(&id.seq.to_le_bytes());
+    }
+    put_response_body(&mut out, response);
     out
 }
 
@@ -396,21 +498,18 @@ pub fn server_message_from_binary(bytes: &[u8]) -> Result<ServerMessage, DecodeW
     if r.u8()? != BINARY_MAGIC {
         return Err(shape("missing binary protocol magic"));
     }
-    let message = match r.u8()? {
-        0x80 => ServerMessage::Response(Response::WriteAck),
-        0x81 => ServerMessage::Response(Response::Entry {
-            tuple: match r.u8()? {
-                0 => None,
-                1 => Some(get_tuple(&mut r)?),
-                tag => return Err(shape(format!("bad option tag {tag}"))),
-            },
-        }),
-        0x82 => ServerMessage::Response(Response::Count { count: r.u64()? }),
-        0x83 => ServerMessage::Response(Response::Error {
-            message: r.string()?,
-        }),
-        0x84 => ServerMessage::Response(Response::SubscriptionAck { id: r.u64()? }),
-        0xC0 => {
+    let message = match bytes.get(1) {
+        Some(&TAG_RESPONSE_ENVELOPE) => {
+            let _ = r.u8()?;
+            let client = r.u64()?;
+            let seq = r.u64()?;
+            ServerMessage::Response {
+                re: Some(RequestId { client, seq }),
+                response: get_response_body(&mut r)?,
+            }
+        }
+        Some(&0xC0) => {
+            let _ = r.u8()?;
             let subscription = r.u64()?;
             let kind = kind_from_tag(r.u8()?)?;
             ServerMessage::Event(WireEvent {
@@ -419,7 +518,10 @@ pub fn server_message_from_binary(bytes: &[u8]) -> Result<ServerMessage, DecodeW
                 tuple: get_tuple(&mut r)?,
             })
         }
-        tag => return Err(shape(format!("unknown server-message tag {tag}"))),
+        _ => ServerMessage::Response {
+            re: None,
+            response: get_response_body(&mut r)?,
+        },
     };
     r.done()?;
     Ok(message)
@@ -445,12 +547,27 @@ pub enum WireFormat {
 ///
 /// Returns [`DecodeWireError`] if neither format decodes.
 pub fn request_from_wire(bytes: &[u8]) -> Result<(Request, WireFormat), DecodeWireError> {
+    request_envelope_from_wire(bytes).map(|(envelope, format)| (envelope.request, format))
+}
+
+/// Decodes a request envelope in either format, dispatching on the first
+/// byte; bare (legacy) requests decode with `id: None`.
+///
+/// # Errors
+///
+/// Returns [`DecodeWireError`] if neither format decodes.
+pub fn request_envelope_from_wire(
+    bytes: &[u8],
+) -> Result<(RequestEnvelope, WireFormat), DecodeWireError> {
     if bytes.first() == Some(&BINARY_MAGIC) {
-        Ok((request_from_binary(bytes)?, WireFormat::Binary))
+        Ok((request_envelope_from_binary(bytes)?, WireFormat::Binary))
     } else {
         let text = std::str::from_utf8(bytes)
             .map_err(|_| shape("request is neither binary nor UTF-8 XML"))?;
-        Ok((crate::codec::request_from_xml(text)?, WireFormat::Xml))
+        Ok((
+            crate::codec::request_envelope_from_xml(text)?,
+            WireFormat::Xml,
+        ))
     }
 }
 
@@ -478,12 +595,35 @@ pub fn request_to_wire(request: &Request, format: WireFormat) -> Vec<u8> {
     }
 }
 
+/// Encodes a request envelope in the chosen format.
+#[must_use]
+pub fn request_envelope_to_wire(envelope: &RequestEnvelope, format: WireFormat) -> Vec<u8> {
+    match format {
+        WireFormat::Xml => crate::codec::request_envelope_to_xml(envelope).into_bytes(),
+        WireFormat::Binary => request_envelope_to_binary(envelope),
+    }
+}
+
 /// Encodes a response in the chosen format.
 #[must_use]
 pub fn response_to_wire(response: &Response, format: WireFormat) -> Vec<u8> {
     match format {
         WireFormat::Xml => crate::codec::response_to_xml(response).into_bytes(),
         WireFormat::Binary => response_to_binary(response),
+    }
+}
+
+/// Encodes a response with its echoed request identity in the chosen
+/// format.
+#[must_use]
+pub fn correlated_response_to_wire(
+    re: Option<RequestId>,
+    response: &Response,
+    format: WireFormat,
+) -> Vec<u8> {
+    match format {
+        WireFormat::Xml => crate::codec::correlated_response_to_xml(re, response).into_bytes(),
+        WireFormat::Binary => correlated_response_to_binary(re, response),
     }
 }
 
@@ -533,6 +673,14 @@ mod tests {
                 kinds: vec![EventKind::Written, EventKind::Expired],
             },
             Request::Unsubscribe { id: 9 },
+            Request::Renew {
+                template: template!["svc", ValueType::Str],
+                lease_ns: Some(10_000_000_000),
+            },
+            Request::Renew {
+                template: template!["svc"],
+                lease_ns: None,
+            },
         ]
     }
 
@@ -547,19 +695,23 @@ mod tests {
         }
     }
 
+    fn uncorrelated(response: Response) -> ServerMessage {
+        ServerMessage::Response { re: None, response }
+    }
+
     #[test]
     fn responses_and_events_roundtrip_binary() {
         let messages = vec![
-            ServerMessage::Response(Response::WriteAck),
-            ServerMessage::Response(Response::Entry {
+            uncorrelated(Response::WriteAck),
+            uncorrelated(Response::Entry {
                 tuple: Some(tuple!["x", 1]),
             }),
-            ServerMessage::Response(Response::Entry { tuple: None }),
-            ServerMessage::Response(Response::Count { count: 7 }),
-            ServerMessage::Response(Response::Error {
+            uncorrelated(Response::Entry { tuple: None }),
+            uncorrelated(Response::Count { count: 7 }),
+            uncorrelated(Response::Error {
                 message: "nope <>&".into(),
             }),
-            ServerMessage::Response(Response::SubscriptionAck { id: 3 }),
+            uncorrelated(Response::SubscriptionAck { id: 3 }),
             ServerMessage::Event(WireEvent {
                 subscription: 3,
                 kind: EventKind::Taken,
@@ -568,7 +720,7 @@ mod tests {
         ];
         for message in messages {
             let bytes = match &message {
-                ServerMessage::Response(r) => response_to_binary(r),
+                ServerMessage::Response { response, .. } => response_to_binary(response),
                 ServerMessage::Event(e) => event_to_binary(e),
             };
             assert_eq!(
@@ -576,6 +728,48 @@ mod tests {
                 message
             );
         }
+    }
+
+    #[test]
+    fn request_envelopes_roundtrip_binary() {
+        let id = RequestId {
+            client: 7,
+            seq: u64::MAX,
+        };
+        for request in sample_requests() {
+            let enveloped = RequestEnvelope::identified(id, 12, request.clone());
+            let bytes = request_envelope_to_binary(&enveloped);
+            assert_eq!(
+                request_envelope_from_binary(&bytes).expect("own encoding decodes"),
+                enveloped
+            );
+            // Bare envelopes stay byte-identical to the legacy form.
+            let bare = RequestEnvelope::bare(request.clone());
+            assert_eq!(
+                request_envelope_to_binary(&bare),
+                request_to_binary(&request)
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_responses_roundtrip_binary() {
+        let id = RequestId { client: 2, seq: 5 };
+        let resp = Response::Entry {
+            tuple: Some(tuple!["y", 9]),
+        };
+        let bytes = correlated_response_to_binary(Some(id), &resp);
+        assert_eq!(
+            server_message_from_binary(&bytes).expect("decodes"),
+            ServerMessage::Response {
+                re: Some(id),
+                response: resp.clone()
+            }
+        );
+        assert_eq!(
+            correlated_response_to_binary(None, &resp),
+            response_to_binary(&resp)
+        );
     }
 
     #[test]

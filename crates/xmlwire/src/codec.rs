@@ -9,6 +9,65 @@ use tsbus_tuplespace::{EventKind, Pattern, Template, Tuple, Value, ValueType};
 use crate::dom::XmlElement;
 use crate::parser::{parse, ParseXmlError};
 
+/// A client-assigned identity for one logical operation: `(client, seq)`.
+///
+/// A client re-issuing an operation (because the reply was lost) sends the
+/// *same* id, so the server can recognise the duplicate and replay its
+/// cached reply instead of applying the operation twice — the cornerstone
+/// of exactly-once semantics over the lossy bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId {
+    /// The issuing client (its node id, or any stable unique number).
+    pub client: u64,
+    /// Monotonic per-client sequence number; retries reuse it.
+    pub seq: u64,
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.client, self.seq)
+    }
+}
+
+/// A request plus its optional exactly-once identity.
+///
+/// `id: None` encodes byte-identically to a bare [`Request`] (the pre-
+/// identity wire form), so legacy peers interoperate and the ablation
+/// campaigns can measure the identity overhead. `ack` is the client's
+/// cumulative acknowledgement: every sequence number `<= ack` has had its
+/// reply delivered, so the server may evict those cache entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestEnvelope {
+    /// Exactly-once identity; `None` = legacy at-least-once request.
+    pub id: Option<RequestId>,
+    /// Cumulative ack watermark (meaningful only with `id`).
+    pub ack: u64,
+    /// The operation itself.
+    pub request: Request,
+}
+
+impl RequestEnvelope {
+    /// Wraps a request with no identity (legacy wire form).
+    #[must_use]
+    pub fn bare(request: Request) -> Self {
+        RequestEnvelope {
+            id: None,
+            ack: 0,
+            request,
+        }
+    }
+
+    /// Wraps a request with an exactly-once identity and ack watermark.
+    #[must_use]
+    pub fn identified(id: RequestId, ack: u64, request: Request) -> Self {
+        RequestEnvelope {
+            id: Some(id),
+            ack,
+            request,
+        }
+    }
+}
+
 /// A client → server operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -60,6 +119,15 @@ pub enum Request {
     Unsubscribe {
         /// The id from the [`Response::SubscriptionAck`].
         id: u64,
+    },
+    /// Extend the lease of every live entry matching a template — the
+    /// heartbeat behind crash-stop de-registration: live providers renew
+    /// their registration entries periodically, dead ones age out.
+    Renew {
+        /// The template selecting the entries to renew.
+        template: Template,
+        /// New lease length in nanoseconds from now; `None` = forever.
+        lease_ns: Option<u64>,
     },
 }
 
@@ -168,8 +236,15 @@ pub fn decode_event(el: &XmlElement) -> Result<WireEvent, DecodeWireError> {
 /// an unsolicited notification.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServerMessage {
-    /// A reply to the client's request.
-    Response(Response),
+    /// A reply to the client's request. `re` echoes the [`RequestId`] the
+    /// request carried (if any), so the client can correlate a reply with
+    /// its outstanding operation and discard stale duplicates.
+    Response {
+        /// The request identity this reply answers, echoed back.
+        re: Option<RequestId>,
+        /// The reply itself.
+        response: Response,
+    },
     /// A pushed notification.
     Event(WireEvent),
 }
@@ -183,7 +258,28 @@ pub fn server_message_from_xml(text: &str) -> Result<ServerMessage, DecodeWireEr
     let el = parse(text)?;
     match el.name() {
         "event" => Ok(ServerMessage::Event(decode_event(&el)?)),
-        _ => Ok(ServerMessage::Response(decode_response(&el)?)),
+        _ => Ok(ServerMessage::Response {
+            re: decode_request_id_attrs(&el)?,
+            response: decode_response(&el)?,
+        }),
+    }
+}
+
+/// Reads the optional `client`/`seq` identity attributes off an element
+/// (both present → an id; neither → `None`; one alone is malformed).
+fn decode_request_id_attrs(el: &XmlElement) -> Result<Option<RequestId>, DecodeWireError> {
+    let parse_attr = |name: &str| -> Result<Option<u64>, DecodeWireError> {
+        el.attr(name)
+            .map(|raw| {
+                raw.parse::<u64>()
+                    .map_err(|e| shape(format!("bad {name} {raw:?}: {e}")))
+            })
+            .transpose()
+    };
+    match (parse_attr("client")?, parse_attr("seq")?) {
+        (Some(client), Some(seq)) => Ok(Some(RequestId { client, seq })),
+        (None, None) => Ok(None),
+        _ => Err(shape("client/seq attributes must appear together")),
     }
 }
 
@@ -403,7 +499,85 @@ pub fn encode_request(request: &Request) -> XmlElement {
         Request::Unsubscribe { id } => XmlElement::new("op")
             .with_attr("type", "unsubscribe")
             .with_attr("sub", id.to_string()),
+        Request::Renew { template, lease_ns } => {
+            let mut el = XmlElement::new("op").with_attr("type", "renew");
+            if let Some(ns) = lease_ns {
+                el = el.with_attr("lease-ns", ns.to_string());
+            }
+            el.with_child(encode_template(template))
+        }
     }
+}
+
+/// Encodes a request envelope: the `<op>` document, with the identity
+/// (`client`/`seq`/`ack` attributes) when present. An id-less envelope
+/// encodes byte-identically to its bare request.
+#[must_use]
+pub fn encode_request_envelope(envelope: &RequestEnvelope) -> XmlElement {
+    let mut el = encode_request(&envelope.request);
+    if let Some(id) = envelope.id {
+        el = el
+            .with_attr("client", id.client.to_string())
+            .with_attr("seq", id.seq.to_string())
+            .with_attr("ack", envelope.ack.to_string());
+    }
+    el
+}
+
+/// Serializes a request envelope to its XML text.
+#[must_use]
+pub fn request_envelope_to_xml(envelope: &RequestEnvelope) -> String {
+    encode_request_envelope(envelope).to_xml()
+}
+
+/// Decodes an `<op>` element together with its optional identity
+/// attributes.
+///
+/// # Errors
+///
+/// Returns [`DecodeWireError::Shape`] on structural problems.
+pub fn decode_request_envelope(el: &XmlElement) -> Result<RequestEnvelope, DecodeWireError> {
+    let id = decode_request_id_attrs(el)?;
+    let ack = match el.attr("ack") {
+        Some(raw) => raw
+            .parse::<u64>()
+            .map_err(|e| shape(format!("bad ack {raw:?}: {e}")))?,
+        None => 0,
+    };
+    Ok(RequestEnvelope {
+        id,
+        ack,
+        request: decode_request(el)?,
+    })
+}
+
+/// Parses a request-envelope document.
+///
+/// # Errors
+///
+/// Returns [`DecodeWireError`] on malformed XML or protocol shape.
+pub fn request_envelope_from_xml(text: &str) -> Result<RequestEnvelope, DecodeWireError> {
+    let el = parse(text)?;
+    decode_request_envelope(&el)
+}
+
+/// Encodes a response with its echoed request identity (if any). An
+/// uncorrelated response encodes byte-identically to the plain form.
+#[must_use]
+pub fn encode_correlated_response(re: Option<RequestId>, response: &Response) -> XmlElement {
+    let mut el = encode_response(response);
+    if let Some(id) = re {
+        el = el
+            .with_attr("client", id.client.to_string())
+            .with_attr("seq", id.seq.to_string());
+    }
+    el
+}
+
+/// Serializes a correlated response to its XML text.
+#[must_use]
+pub fn correlated_response_to_xml(re: Option<RequestId>, response: &Response) -> String {
+    encode_correlated_response(re, response).to_xml()
 }
 
 fn op_with_template(kind: &str, template: &Template, timeout_ns: Option<u64>) -> XmlElement {
@@ -508,6 +682,10 @@ pub fn decode_request(el: &XmlElement) -> Result<Request, DecodeWireError> {
                     .map_err(|e| shape(format!("bad sub id: {e}")))?,
             })
         }
+        "renew" => Ok(Request::Renew {
+            template: template()?,
+            lease_ns: parse_u64("lease-ns")?,
+        }),
         other => Err(shape(format!("unknown op type {other:?}"))),
     }
 }
@@ -742,13 +920,82 @@ mod tests {
         let text = event_to_xml(&event);
         match server_message_from_xml(&text).expect("decodes") {
             ServerMessage::Event(back) => assert_eq!(back, event),
-            ServerMessage::Response(_) => panic!("events must dispatch as events"),
+            ServerMessage::Response { .. } => panic!("events must dispatch as events"),
         }
-        // Plain responses still dispatch as responses.
+        // Plain responses still dispatch as responses (with no identity).
         match server_message_from_xml(&response_to_xml(&Response::WriteAck)).expect("decodes") {
-            ServerMessage::Response(Response::WriteAck) => {}
+            ServerMessage::Response {
+                re: None,
+                response: Response::WriteAck,
+            } => {}
             other => panic!("expected WriteAck, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn renew_request_roundtrips() {
+        for req in [
+            Request::Renew {
+                template: template!["svc", ValueType::Str],
+                lease_ns: Some(10_000_000_000),
+            },
+            Request::Renew {
+                template: template!["svc"],
+                lease_ns: None,
+            },
+        ] {
+            let xml = request_to_xml(&req);
+            assert_eq!(request_from_xml(&xml).expect("decodes"), req, "via {xml}");
+        }
+    }
+
+    #[test]
+    fn request_envelope_roundtrips_and_bare_form_is_unchanged() {
+        let req = Request::Take {
+            template: template!["e", ValueType::Int],
+            timeout_ns: None,
+        };
+        let id = RequestId { client: 7, seq: 3 };
+        let enveloped = RequestEnvelope::identified(id, 2, req.clone());
+        let xml = request_envelope_to_xml(&enveloped);
+        assert!(xml.contains("client=\"7\"") && xml.contains("seq=\"3\""));
+        assert_eq!(request_envelope_from_xml(&xml).expect("decodes"), enveloped);
+
+        let bare = RequestEnvelope::bare(req.clone());
+        assert_eq!(
+            request_envelope_to_xml(&bare),
+            request_to_xml(&req),
+            "an id-less envelope is byte-identical to the legacy form"
+        );
+        let back = request_envelope_from_xml(&request_to_xml(&req)).expect("decodes");
+        assert_eq!(back, bare);
+    }
+
+    #[test]
+    fn correlated_responses_echo_the_request_id() {
+        let id = RequestId { client: 9, seq: 42 };
+        let resp = Response::Entry {
+            tuple: Some(tuple!["x", 1]),
+        };
+        let xml = correlated_response_to_xml(Some(id), &resp);
+        match server_message_from_xml(&xml).expect("decodes") {
+            ServerMessage::Response { re, response } => {
+                assert_eq!(re, Some(id));
+                assert_eq!(response, resp);
+            }
+            other => panic!("expected response, got {other:?}"),
+        }
+        assert_eq!(
+            correlated_response_to_xml(None, &resp),
+            response_to_xml(&resp),
+            "uncorrelated responses keep the legacy form"
+        );
+    }
+
+    #[test]
+    fn lone_identity_attributes_are_rejected() {
+        let err = server_message_from_xml("<resp type=\"ack\" client=\"1\"/>").expect_err("bad");
+        assert!(err.to_string().contains("together"), "{err}");
     }
 
     #[test]

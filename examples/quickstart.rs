@@ -91,6 +91,7 @@ fn over_the_bus() {
         horizon: SimDuration::from_secs(10),
         wire_format: tsbus_xmlwire::WireFormat::Xml,
         recovery: None,
+        exactly_once: false,
     };
     let result = run_case_study(&cfg);
     println!(

@@ -21,6 +21,7 @@ fn fast_cfg() -> CaseStudyConfig {
         horizon: SimDuration::from_secs(30),
         wire_format: tsbus_xmlwire::WireFormat::Xml,
         recovery: None,
+        exactly_once: false,
     }
 }
 
