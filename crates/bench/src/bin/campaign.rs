@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run -p tsbus-bench --release --bin campaign -- \
-//!     [--threads N] [--seeds N] [--seed S] [--cache-dir DIR]
+//!     [--threads N] [--seeds N] [--seed S] [--cache-dir DIR] \
+//!     [--obs-snapshot FILE]
 //! ```
 //!
 //! Runs every sweep-style figure as a `tsbus-lab` campaign over one
@@ -19,15 +20,22 @@
 //! JSONL store: a re-run skips everything unchanged, and the full
 //! long-format results are also exported through the ASCII/CSV/JSONL
 //! emitters under `<cache-dir>/exports/`.
+//!
+//! With `--obs-snapshot FILE` the run finishes by capturing the unified
+//! observability registry of one fixed-seed reference case study and
+//! writing its textual snapshot to `FILE`. Because every simulation is
+//! single-threaded and seed-pinned, that file is byte-identical across
+//! `--threads` settings — CI diffs two captures to prove it.
 
 use std::time::Instant;
 use tsbus_bench::dedup_cost::{dedup_axis_from_env, run_dedup_cost_sweep};
 use tsbus_bench::workload::{burst_channel, patient_policy, run_stream_workload};
 use tsbus_bench::{fmt_secs, render_table};
-use tsbus_core::{run_case_study, CaseStudyConfig};
+use tsbus_core::{run_case_study, run_case_study_observed, CaseStudyConfig};
+use tsbus_faults::FaultSchedule;
 use tsbus_lab::{
-    run_campaign, AsciiEmitter, Campaign, CampaignReport, CsvEmitter, Emitter, ExecOpts, Grid,
-    GridPoint, JsonlEmitter, Metrics,
+    run_campaign, snapshot_to_metrics, AsciiEmitter, Campaign, CampaignReport, CsvEmitter, Emitter,
+    ExecOpts, Grid, GridPoint, JsonlEmitter, Metrics,
 };
 use tsbus_tpwire::Wiring;
 
@@ -109,7 +117,11 @@ fn main() {
         if let Some(t) = result.middleware_time {
             m = m.f64("middleware_time", t.as_secs_f64());
         }
-        m
+        m.u64("space_writes", result.space_writes)
+            .u64("space_takes", result.space_takes)
+            .u64("space_misses", result.space_misses)
+            .u64("space_expirations", result.space_expirations)
+            .u64("trace_dropped", result.trace_dropped)
     })
     .expect("result store I/O");
     println!("(1) CBR load sweep — middleware time vs background traffic (lease = 160 s)");
@@ -254,6 +266,30 @@ fn main() {
     let report = run_dedup_cost_sweep("campaign_dedup_cost", &dedup_modes, &opts, master_seed);
     export(&report, &opts);
     footer(&report);
+
+    // ---- optional: reference registry capture for determinism checks ----
+    if let Some(path) = &args.obs_snapshot {
+        let (result, snapshot) = run_case_study_observed(
+            &CaseStudyConfig::table4_reference().with_cbr_rate(0.3),
+            &FaultSchedule::new(),
+            master_seed,
+        );
+        if result.trace_dropped > 0 {
+            println!(
+                "warning: reference capture dropped {} trace events",
+                result.trace_dropped
+            );
+        }
+        if let Err(e) = std::fs::write(path, snapshot.to_text()) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            println!(
+                "[obs] wrote {} metrics to {}",
+                snapshot_to_metrics(&snapshot).names().len(),
+                path.display()
+            );
+        }
+    }
 
     println!(
         "Figure set regenerated in {:.2} s wall-clock.",

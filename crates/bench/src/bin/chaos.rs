@@ -43,6 +43,7 @@ fn to_metrics(t: &ChaosTrial) -> Metrics {
         .u64("bus_retries", t.bus_retries)
         .u64("bus_hard_failures", t.bus_hard_failures)
         .u64("events_observed", t.events_observed)
+        .u64("trace_dropped", t.trace_dropped)
         .str("detail", &detail)
 }
 
@@ -57,6 +58,7 @@ struct BatchOutcome {
     timeouts: u64,
     retries: u64,
     hard_failures: u64,
+    trace_dropped: u64,
 }
 
 fn run_batch(name: &str, dedup: bool, seeds: &[u64], args: &LabArgs) -> BatchOutcome {
@@ -82,6 +84,7 @@ fn run_batch(name: &str, dedup: bool, seeds: &[u64], args: &LabArgs) -> BatchOut
         timeouts: 0,
         retries: 0,
         hard_failures: 0,
+        trace_dropped: 0,
     };
     for PointResult { point, reps, .. } in &report.points {
         let m = &reps[0];
@@ -96,9 +99,19 @@ fn run_batch(name: &str, dedup: bool, seeds: &[u64], args: &LabArgs) -> BatchOut
         out.timeouts += m.get_i64("reply_timeouts") as u64;
         out.retries += m.get_i64("bus_retries") as u64;
         out.hard_failures += m.get_i64("bus_hard_failures") as u64;
+        out.trace_dropped += m.get_i64("trace_dropped") as u64;
     }
     if out.violated_seeds == 0 {
         println!("  all {} seeds clean", out.seeds);
+    }
+    // The harness arms only unbounded tracers; a drop would mean the audit
+    // trail the invariant checks read was incomplete. Silent in the normal
+    // case so batch output stays byte-identical across thread counts.
+    if out.trace_dropped > 0 {
+        println!(
+            "  warning: {} trace events dropped — audit evidence incomplete",
+            out.trace_dropped
+        );
     }
     out
 }

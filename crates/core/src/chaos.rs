@@ -142,6 +142,10 @@ pub struct ChaosTrial {
     pub bus_hard_failures: u64,
     /// Notify events the client received.
     pub events_observed: u64,
+    /// Trace events evicted from bounded tracer rings during the trial.
+    /// The chaos harness arms only unbounded tracers, so a nonzero value
+    /// means the audit evidence the violation checks rely on is incomplete.
+    pub trace_dropped: u64,
 }
 
 /// splitmix64 — the fault/channel derivation stream. Self-contained so a
@@ -471,6 +475,10 @@ pub fn run_chaos_trial(cfg: &ChaosConfig, seed: u64) -> ChaosTrial {
         bus_retries: bus_stats.retries,
         bus_hard_failures: bus_stats.failures,
         events_observed: client.notifications().len() as u64,
+        trace_dropped: server.space().audit_trace().dropped()
+            + bus_ref.obs().trace_dropped()
+            + server.trace().dropped()
+            + client.trace().dropped(),
     }
 }
 

@@ -11,6 +11,7 @@ use std::collections::{BTreeSet, HashSet};
 
 use bytes::Bytes;
 use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime};
+use tsbus_obs::{CounterId, Registry, Snapshot, TraceEvent, Tracer};
 use tsbus_tpwire::NodeId;
 use tsbus_tuplespace::Template;
 use tsbus_xmlwire::{
@@ -209,6 +210,29 @@ struct Renewal {
     period: SimDuration,
 }
 
+/// Registry handles and the typed trace stream of one client.
+#[derive(Debug)]
+struct ClientInstruments {
+    registry: Registry,
+    reply_timeouts: CounterId,
+    stale_replies: CounterId,
+    renewals_acked: CounterId,
+    tracer: Tracer<TraceEvent>,
+}
+
+impl Default for ClientInstruments {
+    fn default() -> Self {
+        let mut registry = Registry::new();
+        ClientInstruments {
+            reply_timeouts: registry.counter("recovery/reply_timeouts"),
+            stale_replies: registry.counter("reply/stale"),
+            renewals_acked: registry.counter("lease/renewals_acked"),
+            registry,
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
 /// Client-side exactly-once state: request identities, the cumulative-ack
 /// watermark, and correlation of replies back to operations.
 #[derive(Debug)]
@@ -224,8 +248,6 @@ struct ExactlyOnce {
     open: Option<u64>,
     /// Outstanding fire-and-forget renewal heartbeat seqs.
     heartbeat_seqs: HashSet<u64>,
-    stale_replies: u64,
-    renewals_acked: u64,
 }
 
 impl ExactlyOnce {
@@ -237,8 +259,6 @@ impl ExactlyOnce {
             done: BTreeSet::new(),
             open: None,
             heartbeat_seqs: HashSet::new(),
-            stale_replies: 0,
-            renewals_acked: 0,
         }
     }
 
@@ -282,7 +302,7 @@ pub struct ScriptedClient {
     /// Pushed notifications received, with their arrival instants.
     notifications: Vec<(SimTime, WireEvent)>,
     errors: Vec<String>,
-    reply_timeouts: u64,
+    obs: ClientInstruments,
     finished_at: Option<SimTime>,
 }
 
@@ -310,7 +330,7 @@ impl ScriptedClient {
             records: Vec::new(),
             notifications: Vec::new(),
             errors: Vec::new(),
-            reply_timeouts: 0,
+            obs: ClientInstruments::default(),
             finished_at: None,
         }
     }
@@ -400,20 +420,38 @@ impl ScriptedClient {
     /// reply never arrived).
     #[must_use]
     pub fn reply_timeouts(&self) -> u64 {
-        self.reply_timeouts
+        self.obs.registry.count(self.obs.reply_timeouts)
     }
 
     /// Duplicate replies discarded by id correlation (exactly-once mode
     /// only; always 0 otherwise).
     #[must_use]
     pub fn stale_replies(&self) -> u64 {
-        self.exactly_once.as_ref().map_or(0, |eo| eo.stale_replies)
+        self.obs.registry.count(self.obs.stale_replies)
     }
 
     /// Renewal heartbeats acknowledged by the server.
     #[must_use]
     pub fn renewals_acked(&self) -> u64 {
-        self.exactly_once.as_ref().map_or(0, |eo| eo.renewals_acked)
+        self.obs.registry.count(self.obs.renewals_acked)
+    }
+
+    /// Captures the client's metrics registry at instant `now` (paths
+    /// under `recovery/`, `reply/`, `lease/`).
+    #[must_use]
+    pub fn metrics(&self, now: SimTime) -> Snapshot {
+        self.obs.registry.snapshot(now)
+    }
+
+    /// Arms (or replaces) the typed trace stream: recovery probes.
+    pub fn set_tracer(&mut self, tracer: Tracer<TraceEvent>) {
+        self.obs.tracer = tracer;
+    }
+
+    /// The typed trace stream.
+    #[must_use]
+    pub fn trace(&self) -> &Tracer<TraceEvent> {
+        &self.obs.tracer
     }
 
     /// Encodes `request` for the wire: enveloped with its identity and the
@@ -515,13 +553,10 @@ impl ScriptedClient {
         record.first_failure_at.get_or_insert(now);
         record.attempts += 1;
         let attempt = record.attempts;
-        ctx.trace(
-            "recovery",
-            format_args!(
-                "step {} failed, re-issuing (attempt {}/{})",
-                record.step, attempt, policy.max_attempts
-            ),
-        );
+        self.obs.tracer.emit(TraceEvent::Recovery {
+            at: now,
+            resolved: false,
+        });
         ctx.schedule_self_in(
             policy.retry_delay,
             RetryTimer {
@@ -613,14 +648,7 @@ impl Component for ScriptedClient {
                 if !current {
                     return;
                 }
-                self.reply_timeouts += 1;
-                ctx.trace(
-                    "recovery",
-                    format_args!(
-                        "reply overdue for step {} attempt {}",
-                        self.records[timeout.op_index].step, timeout.attempt
-                    ),
-                );
+                self.obs.registry.inc(self.obs.reply_timeouts);
                 if self.try_recover(ctx, true) {
                     return;
                 }
@@ -673,7 +701,7 @@ impl Component for ScriptedClient {
                                 // still arrive and apply, yielding a
                                 // duplicate. Drop it; the reply timeout
                                 // recovers with the same id.
-                                eo.stale_replies += 1;
+                                self.obs.registry.inc(self.obs.stale_replies);
                                 return;
                             };
                             if id.client != eo.client_id {
@@ -681,7 +709,7 @@ impl Component for ScriptedClient {
                             }
                             if eo.heartbeat_seqs.remove(&id.seq) {
                                 eo.settle(id.seq);
-                                eo.renewals_acked += 1;
+                                self.obs.registry.inc(self.obs.renewals_acked);
                                 return;
                             }
                             if eo.open != Some(id.seq) {
@@ -689,7 +717,7 @@ impl Component for ScriptedClient {
                                 // on settles it; a duplicate of a settled
                                 // op is stale.
                                 if !eo.settle(id.seq) {
-                                    eo.stale_replies += 1;
+                                    self.obs.registry.inc(self.obs.stale_replies);
                                 }
                                 return;
                             }
@@ -729,6 +757,12 @@ impl Component for ScriptedClient {
                             .expect("awaiting implies an open record");
                         record.completed_at = Some(ctx.now());
                         record.response = Some(response);
+                        if record.attempts > 1 && !failed {
+                            self.obs.tracer.emit(TraceEvent::Recovery {
+                                at: ctx.now(),
+                                resolved: true,
+                            });
+                        }
                         self.awaiting = false;
                         if let Some(eo) = &mut self.exactly_once {
                             eo.open = None;

@@ -50,8 +50,8 @@ pub use farm::{run_farm, FarmConfig, FarmResult};
 pub use net::{MessageAssembler, NetDeliver, NetError, NetSend};
 pub use scenario::{
     case_study_entry, case_study_script, case_study_template, run_case_study,
-    run_case_study_seeded, run_case_study_tcp, run_validation, CaseStudyConfig, CaseStudyResult,
-    ValidationConfig, ValidationResult,
+    run_case_study_observed, run_case_study_seeded, run_case_study_tcp, run_validation,
+    CaseStudyConfig, CaseStudyResult, ValidationConfig, ValidationResult,
 };
 pub use server::{ServerStats, SpaceServerAgent};
 pub use tcp::{build_tcp_star, Switch, TcpEndpoint, TcpParams, ACK_BYTES, SEGMENT_OVERHEAD};

@@ -3,6 +3,7 @@
 
 use tsbus_des::{ComponentId, SimDuration, SimTime, Simulator};
 use tsbus_faults::{FaultDriver, FaultSchedule};
+use tsbus_obs::Snapshot;
 use tsbus_tpwire::{analytic, BusParams, NodeId, TpWireBus};
 use tsbus_tuplespace::{Pattern, Template, Tuple, Value, ValueType};
 use tsbus_xmlwire::{Request, WireFormat};
@@ -277,6 +278,18 @@ pub struct CaseStudyResult {
     pub reply_timeouts: u64,
     /// Duplicate replies the client discarded by id correlation.
     pub stale_replies: u64,
+    /// Tuples written into the server's space.
+    pub space_writes: u64,
+    /// Tuples taken out of the server's space.
+    pub space_takes: u64,
+    /// Space reads/takes that found no matching live entry.
+    pub space_misses: u64,
+    /// Space entries that expired before being taken.
+    pub space_expirations: u64,
+    /// Typed trace events evicted from bounded tracer rings anywhere in
+    /// the stack (bus, server, client, space audit). 0 unless a bounded
+    /// tracer was armed and overflowed.
+    pub trace_dropped: u64,
 }
 
 /// The entry tuple the client writes: `("entry", <entry_bytes of data>)`.
@@ -352,6 +365,21 @@ pub fn run_case_study_with_faults_seeded(
     faults: &FaultSchedule,
     seed: u64,
 ) -> CaseStudyResult {
+    run_case_study_observed(cfg, faults, seed).0
+}
+
+/// Runs the case study and also returns the unified registry snapshot of
+/// the whole stack at the instant the run stopped: every layer's metrics
+/// merged under component prefixes (`bus/0/…`, `server/…`, `space/…`,
+/// `client/…`). The snapshot is a pure function of `(cfg, faults, seed)`
+/// — byte-identical across processes and thread counts — which is what
+/// the CI determinism smoke test locks in.
+#[must_use]
+pub fn run_case_study_observed(
+    cfg: &CaseStudyConfig,
+    faults: &FaultSchedule,
+    seed: u64,
+) -> (CaseStudyResult, Snapshot) {
     let mut sim = Simulator::with_seed(seed);
     // Id layout (registration order below must match):
     //   0 client app, 1 server app, 2 client endpoint, 3 server endpoint,
@@ -443,7 +471,19 @@ pub fn run_case_study_with_faults_seeded(
     let bus_ref: &TpWireBus = sim.component(bus_id).expect("registered");
     let stats = bus_ref.stats();
     let server: &SpaceServerAgent = sim.component(server_app).expect("registered");
-    CaseStudyResult {
+    let space_stats = server.space().stats();
+    let trace_dropped = bus_ref.obs().trace_dropped()
+        + server.trace().dropped()
+        + client.trace().dropped()
+        + server.space().audit_trace().dropped();
+    let snapshot = bus_ref
+        .obs()
+        .snapshot(now)
+        .prefixed("bus/0")
+        .merge(server.metrics(now).prefixed("server"))
+        .merge(server.space().metrics(now).prefixed("space"))
+        .merge(client.metrics(now).prefixed("client"));
+    let result = CaseStudyResult {
         finished,
         total_time,
         middleware_time,
@@ -461,7 +501,13 @@ pub fn run_case_study_with_faults_seeded(
         dedup_replays: server.stats().dedup_replays,
         reply_timeouts,
         stale_replies,
-    }
+        space_writes: space_stats.writes,
+        space_takes: space_stats.takes,
+        space_misses: space_stats.misses,
+        space_expirations: space_stats.expirations,
+        trace_dropped,
+    };
+    (result, snapshot)
 }
 
 /// Runs the same client/server exchange over the §4.3 TCP/Ethernet
@@ -508,6 +554,10 @@ pub fn run_case_study_tcp(cfg: &CaseStudyConfig, tcp: TcpParams) -> CaseStudyRes
     let records = client.records();
     let write_latency = records.first().and_then(super::client::OpRecord::latency);
     let take_latency = records.get(1).and_then(super::client::OpRecord::latency);
+    let space_stats = {
+        let server: &SpaceServerAgent = sim.component(server_app).expect("registered");
+        server.space().stats()
+    };
     CaseStudyResult {
         finished,
         total_time: client
@@ -541,6 +591,11 @@ pub fn run_case_study_tcp(cfg: &CaseStudyConfig, tcp: TcpParams) -> CaseStudyRes
         },
         reply_timeouts: client.reply_timeouts(),
         stale_replies: client.stale_replies(),
+        space_writes: space_stats.writes,
+        space_takes: space_stats.takes,
+        space_misses: space_stats.misses,
+        space_expirations: space_stats.expirations,
+        trace_dropped: client.trace().dropped(),
     }
 }
 
@@ -827,6 +882,43 @@ mod tests {
         assert_eq!(result.bus_retries, replay.bus_retries);
         assert_eq!(result.bus_transactions, replay.bus_transactions);
         assert_eq!(result.total_time, replay.total_time);
+    }
+
+    #[test]
+    fn observed_run_exposes_the_unified_snapshot() {
+        let cfg = CaseStudyConfig {
+            bus: BusParams::theseus_default(),
+            entry_bytes: 64,
+            lease: SimDuration::from_secs(160),
+            cbr_rate: 0.0,
+            cbr_packet: 1,
+            take_delay: SimDuration::ZERO,
+            client_think: SimDuration::ZERO,
+            server_service: SimDuration::ZERO,
+            client_endpoint: EndpointCosts::free(),
+            server_endpoint: EndpointCosts::free(),
+            horizon: SimDuration::from_secs(60),
+            wire_format: WireFormat::Xml,
+            recovery: None,
+            exactly_once: false,
+        };
+        let (result, snap) = run_case_study_observed(&cfg, &FaultSchedule::new(), 7);
+        assert!(result.finished);
+        // One registry, every layer under its prefix, agreeing with the
+        // legacy stats views.
+        assert_eq!(snap.count("bus/0/txn/total"), result.bus_transactions);
+        assert_eq!(snap.count("space/op/writes"), result.space_writes);
+        assert_eq!(snap.count("space/op/takes"), result.space_takes);
+        assert!(
+            snap.count("server/req/total") >= 2,
+            "write + take at minimum"
+        );
+        assert_eq!(result.space_writes, 1, "the case study writes one entry");
+        assert_eq!(result.space_takes, 1, "and takes it back");
+        assert_eq!(result.trace_dropped, 0, "no tracer armed, nothing drops");
+        // The snapshot is a pure function of (cfg, faults, seed).
+        let (_, again) = run_case_study_observed(&cfg, &FaultSchedule::new(), 7);
+        assert_eq!(snap.to_text(), again.to_text());
     }
 
     #[test]

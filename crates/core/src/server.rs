@@ -14,6 +14,7 @@ use bytes::Bytes;
 use tsbus_des::{
     Component, ComponentId, Context, EventId, Message, MessageExt, SimDuration, SimTime,
 };
+use tsbus_obs::{CounterId, DedupDecision, Registry, Snapshot, TraceEvent, Tracer, TupleOpKind};
 use tsbus_tpwire::NodeId;
 use tsbus_tuplespace::{Lease, Space, SubscriptionId, Template};
 use tsbus_xmlwire::{
@@ -58,7 +59,9 @@ struct Waiter {
     timer: Option<EventId>,
 }
 
-/// Request/response counters of a server agent.
+/// Request/response counters of a server agent — a point-in-time view
+/// assembled from the agent's metrics [`Registry`] (paths under `req/`,
+/// `resp/`, `waiter/`, `dedup/` and `lease/`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Requests decoded.
@@ -84,6 +87,65 @@ pub struct ServerStats {
     pub renew_misses: u64,
 }
 
+/// Registry handles and the typed trace stream of one server agent.
+#[derive(Debug)]
+struct ServerInstruments {
+    registry: Registry,
+    requests: CounterId,
+    responses: CounterId,
+    decode_errors: CounterId,
+    parked: CounterId,
+    waiter_timeouts: CounterId,
+    dedup_replays: CounterId,
+    dedup_inflight_drops: CounterId,
+    dedup_acked_drops: CounterId,
+    renewals: CounterId,
+    renew_misses: CounterId,
+    tracer: Tracer<TraceEvent>,
+}
+
+impl Default for ServerInstruments {
+    fn default() -> Self {
+        let mut registry = Registry::new();
+        ServerInstruments {
+            requests: registry.counter("req/total"),
+            decode_errors: registry.counter("req/decode_errors"),
+            responses: registry.counter("resp/total"),
+            parked: registry.counter("waiter/parked"),
+            waiter_timeouts: registry.counter("waiter/timeouts"),
+            dedup_replays: registry.counter("dedup/replays"),
+            dedup_inflight_drops: registry.counter("dedup/inflight_drops"),
+            dedup_acked_drops: registry.counter("dedup/acked_drops"),
+            renewals: registry.counter("lease/renewals"),
+            renew_misses: registry.counter("lease/renew_misses"),
+            registry,
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
+impl ServerInstruments {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.registry.count(self.requests),
+            responses: self.registry.count(self.responses),
+            decode_errors: self.registry.count(self.decode_errors),
+            parked: self.registry.count(self.parked),
+            waiter_timeouts: self.registry.count(self.waiter_timeouts),
+            dedup_replays: self.registry.count(self.dedup_replays),
+            dedup_inflight_drops: self.registry.count(self.dedup_inflight_drops),
+            dedup_acked_drops: self.registry.count(self.dedup_acked_drops),
+            renewals: self.registry.count(self.renewals),
+            renew_misses: self.registry.count(self.renew_misses),
+        }
+    }
+
+    fn dedup(&mut self, at: SimTime, id: CounterId, decision: DedupDecision) {
+        self.registry.inc(id);
+        self.tracer.emit(TraceEvent::Dedup { at, decision });
+    }
+}
+
 /// The tuplespace server as a simulation component.
 ///
 /// Wire it behind a transport endpoint: the endpoint delivers [`NetDeliver`]
@@ -107,7 +169,7 @@ pub struct SpaceServerAgent {
     sweep_at: Option<SimTime>,
     /// Exactly-once reply cache for identity-carrying requests.
     dedup: DedupCache,
-    stats: ServerStats,
+    obs: ServerInstruments,
 }
 
 impl SpaceServerAgent {
@@ -126,7 +188,7 @@ impl SpaceServerAgent {
             next_wire_sub: 0,
             sweep_at: None,
             dedup: DedupCache::new(),
-            stats: ServerStats::default(),
+            obs: ServerInstruments::default(),
         }
     }
 
@@ -151,7 +213,28 @@ impl SpaceServerAgent {
     /// Request/response counters.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        self.obs.stats()
+    }
+
+    /// Captures the agent's own metrics registry at instant `now` (paths
+    /// under `req/`, `resp/`, `waiter/`, `dedup/`, `lease/`). The owned
+    /// [`Space`]'s registry is captured separately via
+    /// [`Space::metrics`](tsbus_tuplespace::Space::metrics).
+    #[must_use]
+    pub fn metrics(&self, now: SimTime) -> Snapshot {
+        self.obs.registry.snapshot(now)
+    }
+
+    /// Arms (or replaces) the typed trace stream: dedup decisions, lease
+    /// renewal batches and served tuple operations.
+    pub fn set_tracer(&mut self, tracer: Tracer<TraceEvent>) {
+        self.obs.tracer = tracer;
+    }
+
+    /// The typed trace stream.
+    #[must_use]
+    pub fn trace(&self) -> &Tracer<TraceEvent> {
+        &self.obs.tracer
     }
 
     fn reply(
@@ -165,7 +248,7 @@ impl SpaceServerAgent {
         if let Some(id) = re {
             self.dedup.complete(id, response);
         }
-        self.stats.responses += 1;
+        self.obs.registry.inc(self.obs.responses);
         let endpoint = self.endpoint;
         let payload = Bytes::from(correlated_response_to_wire(re, response, format));
         ctx.send(endpoint, NetSend { to, payload });
@@ -188,12 +271,14 @@ impl SpaceServerAgent {
             match self.dedup.admit(request_id, ack) {
                 Admission::Fresh => {}
                 Admission::InFlight => {
-                    self.stats.dedup_inflight_drops += 1;
+                    let id = self.obs.dedup_inflight_drops;
+                    self.obs.dedup(ctx.now(), id, DedupDecision::InflightDrop);
                     return;
                 }
                 Admission::Replay(cached) => {
-                    self.stats.dedup_replays += 1;
-                    self.stats.responses += 1;
+                    let id = self.obs.dedup_replays;
+                    self.obs.dedup(ctx.now(), id, DedupDecision::Replay);
+                    self.obs.registry.inc(self.obs.responses);
                     let endpoint = self.endpoint;
                     let payload = Bytes::from(correlated_response_to_wire(
                         Some(request_id),
@@ -204,7 +289,8 @@ impl SpaceServerAgent {
                     return;
                 }
                 Admission::Acked => {
-                    self.stats.dedup_acked_drops += 1;
+                    let id = self.obs.dedup_acked_drops;
+                    self.obs.dedup(ctx.now(), id, DedupDecision::AckedDrop);
                     return;
                 }
             }
@@ -217,6 +303,11 @@ impl SpaceServerAgent {
                     Some(ns) => Lease::for_duration(now, SimDuration::from_nanos(ns)),
                 };
                 self.space.write(tuple, lease, now);
+                self.obs.tracer.emit(TraceEvent::TupleOp {
+                    at: now,
+                    op: TupleOpKind::Write,
+                    hit: true,
+                });
                 self.reply(ctx, from, format, id, &Response::WriteAck);
                 self.wake_waiters(ctx);
             }
@@ -225,6 +316,11 @@ impl SpaceServerAgent {
                 timeout_ns,
             } => match self.space.read(&template, now) {
                 Some(tuple) => {
+                    self.obs.tracer.emit(TraceEvent::TupleOp {
+                        at: now,
+                        op: TupleOpKind::Read,
+                        hit: true,
+                    });
                     self.reply(
                         ctx,
                         from,
@@ -240,6 +336,11 @@ impl SpaceServerAgent {
                 timeout_ns,
             } => match self.space.take(&template, now) {
                 Some(tuple) => {
+                    self.obs.tracer.emit(TraceEvent::TupleOp {
+                        at: now,
+                        op: TupleOpKind::Take,
+                        hit: true,
+                    });
                     self.reply(
                         ctx,
                         from,
@@ -252,10 +353,20 @@ impl SpaceServerAgent {
             },
             Request::ReadIfExists { template } => {
                 let tuple = self.space.read(&template, now);
+                self.obs.tracer.emit(TraceEvent::TupleOp {
+                    at: now,
+                    op: TupleOpKind::Read,
+                    hit: tuple.is_some(),
+                });
                 self.reply(ctx, from, format, id, &Response::Entry { tuple });
             }
             Request::TakeIfExists { template } => {
                 let tuple = self.space.take(&template, now);
+                self.obs.tracer.emit(TraceEvent::TupleOp {
+                    at: now,
+                    op: TupleOpKind::Take,
+                    hit: tuple.is_some(),
+                });
                 self.reply(ctx, from, format, id, &Response::Entry { tuple });
             }
             Request::Count { template } => {
@@ -268,10 +379,15 @@ impl SpaceServerAgent {
                     Some(ns) => Lease::for_duration(now, SimDuration::from_nanos(ns)),
                 };
                 let renewed = self.space.renew(&template, lease, now) as u64;
-                self.stats.renewals += renewed;
+                self.obs.registry.add(self.obs.renewals, renewed);
                 if renewed == 0 {
-                    self.stats.renew_misses += 1;
+                    self.obs.registry.inc(self.obs.renew_misses);
                 }
+                self.obs.tracer.emit(TraceEvent::Lease {
+                    at: now,
+                    renewed,
+                    missed: u64::from(renewed == 0),
+                });
                 self.reply(ctx, from, format, id, &Response::Count { count: renewed });
             }
             Request::Subscribe { template, kinds } => {
@@ -360,7 +476,7 @@ impl SpaceServerAgent {
         take: bool,
         timeout_ns: Option<u64>,
     ) {
-        self.stats.parked += 1;
+        self.obs.registry.inc(self.obs.parked);
         let id = self.next_waiter;
         self.next_waiter += 1;
         let timer = timeout_ns.map(|ns| {
@@ -419,7 +535,7 @@ impl Component for SpaceServerAgent {
                 let NetDeliver { from, payload } = *deliver;
                 match request_envelope_from_wire(&payload) {
                     Ok((envelope, format)) => {
-                        self.stats.requests += 1;
+                        self.obs.registry.inc(self.obs.requests);
                         let cost =
                             self.service_time + self.per_byte.saturating_mul(payload.len() as u64);
                         ctx.schedule_self_in(
@@ -434,7 +550,7 @@ impl Component for SpaceServerAgent {
                         );
                     }
                     Err(e) => {
-                        self.stats.decode_errors += 1;
+                        self.obs.registry.inc(self.obs.decode_errors);
                         let response = Response::Error {
                             message: format!("bad request: {e}"),
                         };
@@ -464,7 +580,7 @@ impl Component for SpaceServerAgent {
                 let id = timeout.waiter;
                 if let Some(pos) = self.waiters.iter().position(|w| w.id == id) {
                     let waiter = self.waiters.remove(pos).expect("position just found");
-                    self.stats.waiter_timeouts += 1;
+                    self.obs.registry.inc(self.obs.waiter_timeouts);
                     self.reply(
                         ctx,
                         waiter.from,
@@ -827,6 +943,55 @@ mod tests {
         let srv: &SpaceServerAgent = sim.component(server).expect("registered");
         assert_eq!(srv.stats().renewals, 1);
         assert_eq!(srv.stats().renew_misses, 0);
+    }
+
+    #[test]
+    fn registry_snapshot_mirrors_stats_and_tracer_sees_dedup() {
+        use tsbus_obs::{DedupDecision, TraceEvent, Tracer};
+        use tsbus_xmlwire::{request_envelope_to_xml, RequestEnvelope, RequestId};
+        let (mut sim, _endpoint, server) = setup(SimDuration::ZERO);
+        sim.component_mut::<SpaceServerAgent>(server)
+            .expect("registered")
+            .set_tracer(Tracer::unbounded());
+        let write = RequestEnvelope::identified(
+            RequestId { client: 1, seq: 1 },
+            0,
+            Request::Write {
+                tuple: tuple!["once"],
+                lease_ns: None,
+            },
+        );
+        for _ in 0..2 {
+            sim.with_context(|ctx| {
+                ctx.send(
+                    server,
+                    NetDeliver {
+                        from: node(1),
+                        payload: Bytes::from(request_envelope_to_xml(&write)),
+                    },
+                );
+            });
+        }
+        sim.run(100);
+        let srv: &SpaceServerAgent = sim.component(server).expect("registered");
+        let stats = srv.stats();
+        let snap = srv.metrics(sim.now());
+        assert_eq!(snap.count("req/total"), stats.requests);
+        assert_eq!(snap.count("resp/total"), stats.responses);
+        assert_eq!(snap.count("dedup/replays"), stats.dedup_replays);
+        assert_eq!(stats.dedup_replays, 1);
+        assert!(srv.trace().events().any(|e| matches!(
+            e,
+            TraceEvent::Dedup {
+                decision: DedupDecision::Replay,
+                ..
+            }
+        )));
+        assert!(srv
+            .trace()
+            .events()
+            .any(|e| matches!(e, TraceEvent::TupleOp { .. })));
+        assert_eq!(srv.trace().dropped(), 0);
     }
 
     #[test]

@@ -43,6 +43,12 @@ impl Counter {
         self.count = self.count.saturating_add(n);
     }
 
+    /// Removes `n`, saturating at zero — for compensating adjustments such
+    /// as a transaction abort reinstating an entry that was counted taken.
+    pub fn subtract(&mut self, n: u64) {
+        self.count = self.count.saturating_sub(n);
+    }
+
     /// The current count.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -66,7 +72,7 @@ impl Counter {
 /// assert_eq!(latency.min(), Some(1.0));
 /// assert_eq!(latency.max(), Some(4.0));
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Summary {
     n: u64,
     mean: f64,
@@ -141,6 +147,27 @@ impl Summary {
     #[must_use]
     pub fn max(&self) -> Option<f64> {
         (self.n > 0).then_some(self.max)
+    }
+
+    /// Folds another summary into this one (Chan's parallel combine of
+    /// Welford states). Count, min and max combine exactly; mean and
+    /// variance match a single-pass computation up to floating-point
+    /// rounding.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.n = n;
     }
 }
 
@@ -236,7 +263,7 @@ impl TimeWeighted {
 /// assert_eq!(h.overflow(), 1);
 /// assert!(h.quantile(0.5).expect("non-empty") <= 2.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     low: f64,
     high: f64,
@@ -303,6 +330,43 @@ impl Histogram {
     #[must_use]
     pub fn bins(&self) -> &[u64] {
         &self.bins
+    }
+
+    /// The lower bound of the binned range.
+    #[must_use]
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// The (exclusive) upper bound of the binned range.
+    #[must_use]
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// Folds another histogram into this one, bin by bin. Exact: counts
+    /// are integers, so merging is associative and commutative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms do not share the same range and bin count.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.low == other.low && self.high == other.high && self.bins.len() == other.bins.len(),
+            "histogram merge requires identical shape: [{}, {})×{} vs [{}, {})×{}",
+            self.low,
+            self.high,
+            self.bins.len(),
+            other.low,
+            other.high,
+            other.bins.len(),
+        );
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            *mine += theirs;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
     }
 
     /// An estimate of the `q`-quantile (bin upper edge of the bin containing
@@ -541,6 +605,75 @@ mod tests {
         assert_eq!(h.overflow(), 1);
         assert_eq!(h.count(), 3);
         assert_eq!(h.quantile(0.0).map(|q| q <= 0.0), Some(true));
+    }
+
+    #[test]
+    fn summary_merge_matches_single_pass() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut whole = Summary::new();
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for (i, &x) in data.iter().enumerate() {
+            whole.record(x);
+            if i < 3 {
+                left.record(x);
+            } else {
+                right.record(x);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.len(), whole.len());
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_with_empty_is_identity() {
+        let mut s = Summary::new();
+        s.record(2.0);
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut empty = Summary::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        let mut whole = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.5, 3.3, 9.9, 12.0] {
+            a.record(x);
+            whole.record(x);
+        }
+        for x in [1.5, 7.7, 20.0] {
+            b.record(x);
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shape")]
+    fn histogram_merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let b = Histogram::new(0.0, 10.0, 6);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn counter_subtract_saturates() {
+        let mut c = Counter::new();
+        c.add(2);
+        c.subtract(1);
+        assert_eq!(c.count(), 1);
+        c.subtract(5);
+        assert_eq!(c.count(), 0);
     }
 
     #[test]

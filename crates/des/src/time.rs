@@ -224,6 +224,12 @@ impl SimDuration {
         SimDuration(self.0.saturating_mul(rhs))
     }
 
+    /// Subtraction saturating at [`SimDuration::ZERO`].
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
     /// Multiplies by a non-negative float factor, rounding to the nearest
     /// nanosecond.
     ///

@@ -15,7 +15,7 @@
 //!   with fixed or exponential backoff measured in bit periods.
 //! * [`FaultSchedule`] / [`FaultDriver`] / [`FaultCommand`] — timed fault
 //!   events (slave crash/revive/reset, daisy-chain break/heal) delivered to
-//!   a target component by a small driver [`Component`].
+//!   a target component by a small driver [`Component`](tsbus_des::Component).
 //! * [`LinkFaults`] — the packet-link fault matrix (loss, jitter,
 //!   duplication, bounded reordering) used by `tsbus-netsim`.
 //!

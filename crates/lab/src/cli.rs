@@ -26,6 +26,10 @@ pub struct LabArgs {
     pub seed: Option<u64>,
     /// `--cache-dir`, when given.
     pub cache_dir: Option<PathBuf>,
+    /// `--obs-snapshot`, when given: write the binary's reference
+    /// registry snapshot (rendered with `Snapshot::to_text`) to this
+    /// file after the campaign finishes.
+    pub obs_snapshot: Option<PathBuf>,
 }
 
 impl LabArgs {
@@ -67,6 +71,9 @@ impl LabArgs {
                     );
                 }
                 "--cache-dir" => out.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+                "--obs-snapshot" => {
+                    out.obs_snapshot = Some(PathBuf::from(value("--obs-snapshot")?));
+                }
                 "--help" | "-h" => return Err(USAGE.to_owned()),
                 other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
             }
@@ -96,8 +103,7 @@ impl LabArgs {
     }
 }
 
-const USAGE: &str =
-    "usage: <campaign-binary> [--threads N] [--seeds N] [--seed S] [--cache-dir DIR]";
+const USAGE: &str = "usage: <campaign-binary> [--threads N] [--seeds N] [--seed S] [--cache-dir DIR] [--obs-snapshot FILE]";
 
 #[cfg(test)]
 mod tests {
@@ -114,6 +120,7 @@ mod tests {
         assert_eq!(args.seeds, 1);
         assert_eq!(args.seed, None);
         assert_eq!(args.cache_dir, None);
+        assert_eq!(args.obs_snapshot, None);
     }
 
     #[test]
@@ -127,6 +134,8 @@ mod tests {
             "99",
             "--cache-dir",
             "/tmp/x",
+            "--obs-snapshot",
+            "/tmp/x/snap.txt",
         ])
         .unwrap();
         assert_eq!(args.threads, 4);
@@ -135,6 +144,10 @@ mod tests {
         assert_eq!(
             args.cache_dir.as_deref(),
             Some(std::path::Path::new("/tmp/x"))
+        );
+        assert_eq!(
+            args.obs_snapshot.as_deref(),
+            Some(std::path::Path::new("/tmp/x/snap.txt"))
         );
         let opts = args.exec_opts();
         assert_eq!(opts.threads, 4);

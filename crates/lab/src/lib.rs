@@ -63,6 +63,6 @@ pub mod stats;
 pub use cli::LabArgs;
 pub use emit::{fmt_secs, render_table, AsciiEmitter, CsvEmitter, Emitter, JsonlEmitter};
 pub use grid::{AxisValue, Grid, GridPoint};
-pub use metrics::Metrics;
+pub use metrics::{snapshot_to_metrics, Metrics};
 pub use run::{run_campaign, Campaign, CampaignReport, ExecOpts, PointResult, RunCtx};
 pub use stats::Summary;

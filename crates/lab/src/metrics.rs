@@ -155,6 +155,24 @@ impl Metrics {
     }
 }
 
+/// Flattens a registry [`Snapshot`](tsbus_obs::Snapshot) into a
+/// [`Metrics`] record, one entry per flattened metric path in the
+/// snapshot's deterministic order. Exact integers stay `u64`; derived
+/// scalars (gauges, means, percentiles) become `f64`. This is the bridge
+/// that lets a campaign cache, emit, and summarise a whole-stack registry
+/// capture the same way it handles hand-picked per-run metrics.
+#[must_use]
+pub fn snapshot_to_metrics(snapshot: &tsbus_obs::Snapshot) -> Metrics {
+    let mut out = Metrics::new();
+    for (path, value) in snapshot.flatten() {
+        out = match value {
+            tsbus_obs::FlatValue::U64(v) => out.u64(&path, v),
+            tsbus_obs::FlatValue::F64(v) => out.f64(&path, v),
+        };
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +210,19 @@ mod tests {
     #[should_panic(expected = "no metric")]
     fn missing_metric_panics() {
         let _ = Metrics::new().get_f64("absent");
+    }
+
+    #[test]
+    fn snapshot_bridge_keeps_order_and_integer_exactness() {
+        let mut reg = tsbus_obs::Registry::new();
+        let txns = reg.counter("txn/total");
+        reg.add(txns, 3);
+        let depth = reg.gauge("queue/depth");
+        reg.set_gauge(depth, 1.5);
+        let m = snapshot_to_metrics(&reg.snapshot(tsbus_des::SimTime::ZERO));
+        assert_eq!(m.get_i64("txn/total"), 3);
+        assert!((m.get_f64("queue/depth") - 1.5).abs() < f64::EPSILON);
+        assert_eq!(m.names(), ["queue/depth", "txn/total"]);
     }
 
     #[test]

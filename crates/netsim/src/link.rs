@@ -3,9 +3,9 @@
 
 use std::collections::VecDeque;
 
-use tsbus_des::stats::{Counter, Utilization};
 use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime};
 use tsbus_faults::LinkFaults;
+use tsbus_obs::{CounterId, LinkEffect, Registry, Snapshot, TraceEvent, Tracer, UtilizationId};
 
 use crate::packet::{Deliver, Packet, Transmit};
 
@@ -52,17 +52,12 @@ impl LinkSpec {
     }
 }
 
-/// Per-direction state: a FIFO of waiting packets and a busy flag.
+/// Per-direction transmitter state: a FIFO of waiting packets and a busy
+/// flag. All counting lives in the link's registry.
 #[derive(Debug)]
 struct Direction {
     queue: VecDeque<Packet>,
     busy: bool,
-    utilization: Utilization,
-    forwarded: Counter,
-    dropped: Counter,
-    lost: Counter,
-    duplicated: Counter,
-    reordered: Counter,
 }
 
 impl Direction {
@@ -70,12 +65,30 @@ impl Direction {
         Direction {
             queue: VecDeque::new(),
             busy: false,
-            utilization: Utilization::new(SimTime::ZERO),
-            forwarded: Counter::new(),
-            dropped: Counter::new(),
-            lost: Counter::new(),
-            duplicated: Counter::new(),
-            reordered: Counter::new(),
+        }
+    }
+}
+
+/// Registry handles for one direction's instruments.
+#[derive(Debug)]
+struct DirInstruments {
+    forwarded: CounterId,
+    dropped: CounterId,
+    lost: CounterId,
+    duplicated: CounterId,
+    reordered: CounterId,
+    utilization: UtilizationId,
+}
+
+impl DirInstruments {
+    fn new(registry: &mut Registry, prefix: &str) -> Self {
+        DirInstruments {
+            forwarded: registry.counter(&format!("{prefix}/forwarded")),
+            dropped: registry.counter(&format!("{prefix}/dropped")),
+            lost: registry.counter(&format!("{prefix}/lost")),
+            duplicated: registry.counter(&format!("{prefix}/duplicated")),
+            reordered: registry.counter(&format!("{prefix}/reordered")),
+            utilization: registry.utilization(&format!("{prefix}/utilization"), SimTime::ZERO),
         }
     }
 }
@@ -122,18 +135,29 @@ pub struct Link {
     endpoint_b: ComponentId,
     directions: [Direction; 2],
     faults: [LinkFaults; 2],
+    registry: Registry,
+    obs: [DirInstruments; 2],
+    tracer: Tracer<TraceEvent>,
 }
 
 impl Link {
     /// Creates a link between `endpoint_a` and `endpoint_b`.
     #[must_use]
     pub fn new(spec: LinkSpec, endpoint_a: ComponentId, endpoint_b: ComponentId) -> Self {
+        let mut registry = Registry::new();
+        let obs = [
+            DirInstruments::new(&mut registry, "a2b"),
+            DirInstruments::new(&mut registry, "b2a"),
+        ];
         Link {
             spec,
             endpoint_a,
             endpoint_b,
             directions: [Direction::new(), Direction::new()],
             faults: [LinkFaults::NONE; 2],
+            registry,
+            obs,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -180,15 +204,34 @@ impl Link {
     /// Panics if `dir > 1`.
     #[must_use]
     pub fn stats(&self, dir: usize, now: SimTime) -> LinkStats {
-        let d = &self.directions[dir];
+        let d = &self.obs[dir];
         LinkStats {
-            forwarded: d.forwarded.count(),
-            dropped: d.dropped.count(),
-            lost: d.lost.count(),
-            duplicated: d.duplicated.count(),
-            reordered: d.reordered.count(),
-            utilization: d.utilization.fraction_busy(now),
+            forwarded: self.registry.count(d.forwarded),
+            dropped: self.registry.count(d.dropped),
+            lost: self.registry.count(d.lost),
+            duplicated: self.registry.count(d.duplicated),
+            reordered: self.registry.count(d.reordered),
+            utilization: self.registry.fraction_busy(d.utilization, now),
         }
+    }
+
+    /// Captures the link's registry (paths under `a2b/` and `b2a/`) at
+    /// instant `now`.
+    #[must_use]
+    pub fn snapshot(&self, now: SimTime) -> Snapshot {
+        self.registry.snapshot(now)
+    }
+
+    /// Replaces the typed trace collector (e.g. with a bounded ring to
+    /// record fault effects).
+    pub fn set_tracer(&mut self, tracer: Tracer<TraceEvent>) {
+        self.tracer = tracer;
+    }
+
+    /// The recorded [`TraceEvent::Link`] events, oldest first.
+    #[must_use]
+    pub fn trace(&self) -> &Tracer<TraceEvent> {
+        &self.tracer
     }
 
     fn dir_of(&self, from: ComponentId) -> Option<usize> {
@@ -212,7 +255,7 @@ impl Link {
     fn start_transmission(&mut self, ctx: &mut Context<'_>, dir: usize, packet: Packet) {
         let tx_time = self.spec.serialization_delay(packet.size_bytes);
         self.directions[dir].busy = true;
-        self.directions[dir].utilization.set_busy(ctx.now());
+        self.registry.set_busy(self.obs[dir].utilization, ctx.now());
         ctx.schedule_self_in(tx_time, TxDone { dir, packet });
     }
 
@@ -227,8 +270,12 @@ impl Link {
             return;
         }
         if faults.loss() > 0.0 && ctx.rng().chance(faults.loss()) {
-            self.directions[dir].lost.increment();
-            ctx.trace("fault-loss", format_args!("seq={}", packet.seq));
+            self.registry.inc(self.obs[dir].lost);
+            self.tracer.emit(TraceEvent::Link {
+                at: ctx.now(),
+                effect: LinkEffect::Loss,
+                seq: packet.seq,
+            });
             return;
         }
         let mut delay = self.spec.delay;
@@ -237,13 +284,21 @@ impl Link {
             delay += SimDuration::from_nanos(extra);
         }
         if faults.reorder() > 0.0 && ctx.rng().chance(faults.reorder()) {
-            self.directions[dir].reordered.increment();
-            ctx.trace("fault-reorder", format_args!("seq={}", packet.seq));
+            self.registry.inc(self.obs[dir].reordered);
+            self.tracer.emit(TraceEvent::Link {
+                at: ctx.now(),
+                effect: LinkEffect::Reorder,
+                seq: packet.seq,
+            });
             delay += faults.reorder_hold;
         }
         if faults.duplicate() > 0.0 && ctx.rng().chance(faults.duplicate()) {
-            self.directions[dir].duplicated.increment();
-            ctx.trace("fault-dup", format_args!("seq={}", packet.seq));
+            self.registry.inc(self.obs[dir].duplicated);
+            self.tracer.emit(TraceEvent::Link {
+                at: ctx.now(),
+                effect: LinkEffect::Duplicate,
+                seq: packet.seq,
+            });
             ctx.schedule_in(
                 delay,
                 receiver,
@@ -266,8 +321,12 @@ impl Component for Link {
                 };
                 if self.directions[dir].busy {
                     if self.directions[dir].queue.len() >= self.spec.queue_limit {
-                        self.directions[dir].dropped.increment();
-                        ctx.trace("drop", format_args!("seq={}", packet.seq));
+                        self.registry.inc(self.obs[dir].dropped);
+                        self.tracer.emit(TraceEvent::Link {
+                            at: ctx.now(),
+                            effect: LinkEffect::QueueDrop,
+                            seq: packet.seq,
+                        });
                     } else {
                         self.directions[dir].queue.push_back(packet);
                     }
@@ -282,13 +341,13 @@ impl Component for Link {
             .downcast::<TxDone>()
             .expect("links receive only Transmit and TxDone");
         let TxDone { dir, packet } = *done;
-        self.directions[dir].forwarded.increment();
+        self.registry.inc(self.obs[dir].forwarded);
         self.deliver(ctx, dir, packet);
         match self.directions[dir].queue.pop_front() {
             Some(next) => self.start_transmission(ctx, dir, next),
             None => {
                 self.directions[dir].busy = false;
-                self.directions[dir].utilization.set_idle(ctx.now());
+                self.registry.set_idle(self.obs[dir].utilization, ctx.now());
             }
         }
     }

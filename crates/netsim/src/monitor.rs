@@ -3,12 +3,15 @@
 //! A [`FlowMonitor`] sits in place of a plain [`Sink`](crate::Sink) and
 //! keys its statistics by source endpoint, so one component can account
 //! for many concurrent flows (and still forwards nothing — it is a
-//! terminal sink).
+//! terminal sink). Counting goes through one [`Registry`] with per-flow
+//! scoped paths (`flow/<id>/packets`, `flow/<id>/latency`, ...);
+//! [`FlowStats`] is assembled from the registry on demand.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use tsbus_des::stats::Summary;
 use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimTime};
+use tsbus_obs::{CounterId, Registry, Snapshot, SummaryId};
 
 use crate::packet::Deliver;
 
@@ -33,8 +36,6 @@ pub struct FlowStats {
     /// First-time arrivals that came in below an already-seen sequence
     /// number (overtaken by later packets on a reordering link).
     pub out_of_order: u64,
-    /// Every sequence number delivered at least once.
-    seen: HashSet<u64>,
 }
 
 impl FlowStats {
@@ -59,6 +60,38 @@ impl FlowStats {
     }
 }
 
+/// Registry handles plus sequencing state for one flow.
+#[derive(Debug)]
+struct FlowState {
+    packets: CounterId,
+    bytes: CounterId,
+    latency: SummaryId,
+    duplicates: CounterId,
+    out_of_order: CounterId,
+    first_arrival: Option<SimTime>,
+    last_arrival: Option<SimTime>,
+    max_seq: u64,
+    /// Every sequence number delivered at least once.
+    seen: HashSet<u64>,
+}
+
+impl FlowState {
+    fn new(registry: &mut Registry, src: ComponentId) -> Self {
+        let prefix = format!("flow/{}", src.index());
+        FlowState {
+            packets: registry.counter(&format!("{prefix}/packets")),
+            bytes: registry.counter(&format!("{prefix}/bytes")),
+            latency: registry.summary(&format!("{prefix}/latency")),
+            duplicates: registry.counter(&format!("{prefix}/duplicates")),
+            out_of_order: registry.counter(&format!("{prefix}/out_of_order")),
+            first_arrival: None,
+            last_arrival: None,
+            max_seq: 0,
+            seen: HashSet::new(),
+        }
+    }
+}
+
 /// A terminal sink that accounts deliveries per source endpoint.
 ///
 /// # Examples
@@ -71,7 +104,8 @@ impl FlowStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct FlowMonitor {
-    flows: HashMap<ComponentId, FlowStats>,
+    registry: Registry,
+    flows: BTreeMap<ComponentId, FlowState>,
 }
 
 impl FlowMonitor {
@@ -81,28 +115,57 @@ impl FlowMonitor {
         Self::default()
     }
 
-    /// Statistics per source endpoint.
+    fn assemble(&self, state: &FlowState) -> FlowStats {
+        FlowStats {
+            packets: self.registry.count(state.packets),
+            bytes: self.registry.count(state.bytes),
+            latency: self.registry.summary_value(state.latency),
+            first_arrival: state.first_arrival,
+            last_arrival: state.last_arrival,
+            max_seq: state.max_seq,
+            duplicates: self.registry.count(state.duplicates),
+            out_of_order: self.registry.count(state.out_of_order),
+        }
+    }
+
+    /// Statistics per source endpoint, in id order.
     #[must_use]
-    pub fn flows(&self) -> &HashMap<ComponentId, FlowStats> {
-        &self.flows
+    pub fn flows(&self) -> Vec<(ComponentId, FlowStats)> {
+        self.flows
+            .iter()
+            .map(|(&src, state)| (src, self.assemble(state)))
+            .collect()
     }
 
     /// Statistics for one source, if it has delivered anything.
     #[must_use]
-    pub fn flow(&self, src: ComponentId) -> Option<&FlowStats> {
-        self.flows.get(&src)
+    pub fn flow(&self, src: ComponentId) -> Option<FlowStats> {
+        self.flows.get(&src).map(|state| self.assemble(state))
     }
 
     /// Total packets across all flows.
     #[must_use]
     pub fn total_packets(&self) -> u64 {
-        self.flows.values().map(|f| f.packets).sum()
+        self.flows
+            .values()
+            .map(|f| self.registry.count(f.packets))
+            .sum()
     }
 
     /// Total wire bytes across all flows.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.flows.values().map(|f| f.bytes).sum()
+        self.flows
+            .values()
+            .map(|f| self.registry.count(f.bytes))
+            .sum()
+    }
+
+    /// Captures the monitor's registry (paths under `flow/<id>/`) at
+    /// instant `now`.
+    #[must_use]
+    pub fn snapshot(&self, now: SimTime) -> Snapshot {
+        self.registry.snapshot(now)
     }
 }
 
@@ -113,17 +176,23 @@ impl Component for FlowMonitor {
         };
         let packet = deliver.packet;
         let now = ctx.now();
-        let flow = self.flows.entry(packet.src).or_default();
-        flow.packets += 1;
-        flow.bytes += u64::from(packet.size_bytes);
-        flow.latency
-            .record(now.saturating_duration_since(packet.sent_at).as_secs_f64());
+        let registry = &mut self.registry;
+        let flow = self
+            .flows
+            .entry(packet.src)
+            .or_insert_with(|| FlowState::new(registry, packet.src));
+        registry.inc(flow.packets);
+        registry.add(flow.bytes, u64::from(packet.size_bytes));
+        registry.observe(
+            flow.latency,
+            now.saturating_duration_since(packet.sent_at).as_secs_f64(),
+        );
         flow.first_arrival.get_or_insert(now);
         flow.last_arrival = Some(now);
         if !flow.seen.insert(packet.seq) {
-            flow.duplicates += 1;
+            registry.inc(flow.duplicates);
         } else if packet.seq < flow.max_seq {
-            flow.out_of_order += 1;
+            registry.inc(flow.out_of_order);
         }
         flow.max_seq = flow.max_seq.max(packet.seq);
     }
@@ -160,6 +229,12 @@ mod tests {
         assert_eq!(m.total_packets(), a.packets + b.packets);
         assert_eq!(m.total_bytes(), a.bytes + b.bytes);
         assert_eq!(a.missing(), 0, "lossless link drops nothing");
+        // The registry snapshot carries the same counts under flow paths.
+        let snap = m.snapshot(sim.now());
+        assert_eq!(
+            snap.count(&format!("flow/{}/packets", src_a.index())),
+            a.packets
+        );
     }
 
     #[test]

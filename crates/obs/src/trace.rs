@@ -1,0 +1,418 @@
+//! Typed trace events and the bounded ring that collects them.
+//!
+//! [`Tracer`] replaces the stringly-typed per-component records that used
+//! to go through `tsbus_des::trace::TraceLog` (which remains the kernel's
+//! own scheduling trace). A tracer is generic over its event type: the
+//! cross-layer [`TraceEvent`] taxonomy covers bus, middleware and link
+//! activity, while layers with richer payloads (the tuplespace audit, for
+//! one) instantiate `Tracer` with their own event type.
+
+use std::collections::VecDeque;
+
+use tsbus_des::SimTime;
+use tsbus_faults::{FaultKind, FrameClass};
+
+/// Which protocol class a bus frame (and hence a retry) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// Selection, pointer, system-register and other command frames.
+    Control,
+    /// Stream-read data frames.
+    StreamRead,
+    /// Stream-write data frames.
+    StreamWrite,
+}
+
+impl From<FrameClass> for RetryClass {
+    fn from(class: FrameClass) -> RetryClass {
+        match class {
+            FrameClass::Control => RetryClass::Control,
+            FrameClass::StreamRead => RetryClass::StreamRead,
+            FrameClass::StreamWrite => RetryClass::StreamWrite,
+        }
+    }
+}
+
+/// What the server's duplicate-suppression layer decided about a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DedupDecision {
+    /// A completed request arrived again; the cached reply was replayed.
+    Replay,
+    /// A request arrived while its first copy was still being served.
+    InflightDrop,
+    /// A request arrived after its reply had been acknowledged.
+    AckedDrop,
+}
+
+/// A tuplespace operation, as seen by the client/server middleware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TupleOpKind {
+    /// A tuple was written.
+    Write,
+    /// A tuple was read (copied, not removed).
+    Read,
+    /// A tuple was taken (removed).
+    Take,
+    /// A lease expired and the entry was reaped.
+    Expire,
+}
+
+/// A fault effect applied by a point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEffect {
+    /// The packet was destroyed on the wire.
+    Loss,
+    /// A second copy of the packet was delivered.
+    Duplicate,
+    /// The packet was held back and overtaken.
+    Reorder,
+    /// The packet was discarded by the drop-tail queue.
+    QueueDrop,
+}
+
+/// One structured trace event, spanning every simulation layer.
+///
+/// Variants carry only primitive fields, so events are `Copy` and a
+/// tracer ring never allocates per event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A frame-level bus transaction completed.
+    Frame {
+        /// Completion instant.
+        at: SimTime,
+        /// Addressed node.
+        node: u8,
+        /// Protocol class of the frame.
+        class: RetryClass,
+        /// Whether the transaction succeeded (vs. entered retry/failure).
+        ok: bool,
+    },
+    /// The bus master scheduled a retry.
+    Retry {
+        /// Retry instant.
+        at: SimTime,
+        /// Addressed node.
+        node: u8,
+        /// Protocol class being retried.
+        class: RetryClass,
+    },
+    /// The retry policy backed off before reissuing.
+    Backoff {
+        /// Backoff start instant.
+        at: SimTime,
+        /// Backoff length in bit periods.
+        bits: u64,
+    },
+    /// The master gave up on a transaction.
+    TxnFailed {
+        /// Failure instant.
+        at: SimTime,
+        /// Addressed node.
+        node: u8,
+    },
+    /// An injected fault command was applied.
+    Fault {
+        /// Application instant.
+        at: SimTime,
+        /// What was injected.
+        kind: FaultKind,
+    },
+    /// A notification could not be delivered (no attachment).
+    DeliveryDropped {
+        /// Drop instant.
+        at: SimTime,
+        /// Target node.
+        node: u8,
+    },
+    /// A link applied a fault effect to a packet.
+    Link {
+        /// Effect instant.
+        at: SimTime,
+        /// What happened to the packet.
+        effect: LinkEffect,
+        /// The packet's sequence number.
+        seq: u64,
+    },
+    /// A tuplespace operation was served.
+    TupleOp {
+        /// Service instant.
+        at: SimTime,
+        /// Which operation.
+        op: TupleOpKind,
+        /// Whether a matching tuple was found (writes are always `true`).
+        hit: bool,
+    },
+    /// The server's exactly-once layer made a dedup decision.
+    Dedup {
+        /// Decision instant.
+        at: SimTime,
+        /// What was decided.
+        decision: DedupDecision,
+    },
+    /// A lease-renewal batch was processed.
+    Lease {
+        /// Processing instant.
+        at: SimTime,
+        /// Entries successfully renewed.
+        renewed: u64,
+        /// Renewal targets that no longer existed.
+        missed: u64,
+    },
+    /// A client ran its reply-loss recovery probe.
+    Recovery {
+        /// Probe instant.
+        at: SimTime,
+        /// Whether the probe resolved the in-doubt operation.
+        resolved: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The instant the event was recorded at.
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Frame { at, .. }
+            | TraceEvent::Retry { at, .. }
+            | TraceEvent::Backoff { at, .. }
+            | TraceEvent::TxnFailed { at, .. }
+            | TraceEvent::Fault { at, .. }
+            | TraceEvent::DeliveryDropped { at, .. }
+            | TraceEvent::Link { at, .. }
+            | TraceEvent::TupleOp { at, .. }
+            | TraceEvent::Dedup { at, .. }
+            | TraceEvent::Lease { at, .. }
+            | TraceEvent::Recovery { at, .. } => *at,
+        }
+    }
+}
+
+/// A typed trace collector: disabled (free), bounded (ring, oldest events
+/// drop and are counted), or unbounded (nothing ever drops — required when
+/// downstream auditing must see every event).
+///
+/// # Examples
+///
+/// ```
+/// use tsbus_obs::{TraceEvent, Tracer};
+/// use tsbus_des::SimTime;
+///
+/// let mut tracer = Tracer::bounded(2);
+/// for bits in [1, 2, 3] {
+///     tracer.emit(TraceEvent::Backoff { at: SimTime::ZERO, bits });
+/// }
+/// assert_eq!(tracer.len(), 2);
+/// assert_eq!(tracer.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer<E> {
+    events: VecDeque<E>,
+    capacity: Option<usize>,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl<E> Tracer<E> {
+    /// A tracer that records nothing; [`emit`](Tracer::emit) is a no-op.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Tracer {
+            events: VecDeque::new(),
+            capacity: None,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// A ring keeping the most recent `capacity` events; older events are
+    /// evicted and counted in [`dropped`](Tracer::dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "a bounded tracer needs capacity");
+        Tracer {
+            events: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// A tracer that keeps every event. Use for audit streams whose
+    /// consumers (e.g. the chaos invariant checker) must never observe a
+    /// gap; [`dropped`](Tracer::dropped) stays zero by construction.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Tracer {
+            events: VecDeque::new(),
+            capacity: None,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event (no-op when disabled).
+    pub fn emit(&mut self, event: E) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(capacity) = self.capacity {
+            if self.events.len() == capacity {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(event);
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &E> {
+        self.events.iter()
+    }
+
+    /// Number of events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted from a bounded ring since creation (or the last
+    /// [`clear`](Tracer::clear)).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Discards all held events and resets the dropped count.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+impl<E> Default for Tracer<E> {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.emit(TraceEvent::TxnFailed {
+            at: SimTime::ZERO,
+            node: 1,
+        });
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn bounded_ring_evicts_oldest_and_counts() {
+        let mut t = Tracer::bounded(3);
+        for bits in 0..5u64 {
+            t.emit(TraceEvent::Backoff {
+                at: SimTime::from_nanos(bits),
+                bits,
+            });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let first = t.events().next().expect("non-empty");
+        assert_eq!(first.at(), SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn unbounded_tracer_never_drops() {
+        let mut t = Tracer::unbounded();
+        for i in 0..10_000u64 {
+            t.emit(TraceEvent::Backoff {
+                at: SimTime::ZERO,
+                bits: i,
+            });
+        }
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut t = Tracer::bounded(1);
+        t.emit(TraceEvent::Recovery {
+            at: SimTime::ZERO,
+            resolved: true,
+        });
+        t.emit(TraceEvent::Recovery {
+            at: SimTime::ZERO,
+            resolved: false,
+        });
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn every_variant_reports_its_instant() {
+        let at = SimTime::from_micros(3);
+        let events = [
+            TraceEvent::Frame {
+                at,
+                node: 1,
+                class: RetryClass::Control,
+                ok: true,
+            },
+            TraceEvent::Retry {
+                at,
+                node: 1,
+                class: RetryClass::StreamRead,
+            },
+            TraceEvent::Fault {
+                at,
+                kind: FaultKind::ChainHeal,
+            },
+            TraceEvent::TupleOp {
+                at,
+                op: TupleOpKind::Take,
+                hit: false,
+            },
+            TraceEvent::Dedup {
+                at,
+                decision: DedupDecision::Replay,
+            },
+            TraceEvent::Lease {
+                at,
+                renewed: 2,
+                missed: 0,
+            },
+            TraceEvent::Link {
+                at,
+                effect: LinkEffect::Loss,
+                seq: 7,
+            },
+        ];
+        for e in events {
+            assert_eq!(e.at(), at);
+        }
+    }
+}

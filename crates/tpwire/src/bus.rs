@@ -40,11 +40,11 @@
 use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
-use tsbus_des::stats::BusyTime;
 use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimTime};
 use tsbus_faults::{FaultCommand, FaultKind, FrameClass, GilbertElliott};
 
 use crate::frame::{Command, RxFrame, RxType, TxFrame};
+use crate::instrument::{BusInstruments, BusStats};
 use crate::node::{AddressSpace, NodeId};
 use crate::slave::{SlaveDevice, STREAM_ADDR};
 use crate::wiring::BusParams;
@@ -154,42 +154,6 @@ pub struct StreamFailed {
     pub reason: String,
 }
 
-/// Aggregate bus statistics.
-///
-/// Equality is derived so two same-seed runs can be compared byte for byte
-/// (the determinism contract of the fault-injection layer).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct BusStats {
-    /// Completed transactions (including polls; excluding retries).
-    pub transactions: u64,
-    /// Re-sent transactions (timeout or corrupted frame), all classes.
-    pub retries: u64,
-    /// Retries of control frames (selection, pointers, commands, polls).
-    pub control_retries: u64,
-    /// Retries of stream-FIFO reads (including DMA read bursts).
-    pub stream_read_retries: u64,
-    /// Retries of stream-FIFO writes (including DMA write bursts).
-    pub stream_write_retries: u64,
-    /// Retries that waited out a backoff delay before resending.
-    pub backoff_events: u64,
-    /// Total bit periods spent waiting in retry backoff.
-    pub backoff_bits: u64,
-    /// Transactions abandoned after exhausting retries.
-    pub failures: u64,
-    /// Keep-alive/discovery polls issued.
-    pub polls: u64,
-    /// Stream payload bytes fully relayed to their destination.
-    pub bytes_relayed: u64,
-    /// Stream messages fully relayed.
-    pub messages_relayed: u64,
-    /// Stream messages abandoned.
-    pub messages_failed: u64,
-    /// Deliveries dropped because the destination had no attachment.
-    pub dropped_deliveries: u64,
-    /// Fault commands applied (crash/revive/reset/break/heal).
-    pub faults_injected: u64,
-}
-
 /// Where a relay job's bytes come from.
 #[derive(Debug)]
 enum JobSource {
@@ -284,7 +248,8 @@ struct Lane {
     /// Master's belief that the selected node's pointer sits at the stream
     /// FIFO (conservative: cleared on every selection change).
     ptr_at_stream: bool,
-    busy_time: BusyTime,
+    /// Open busy interval start (closed into the instruments' per-lane
+    /// busy-time accumulator when the lane idles).
     busy_since: Option<SimTime>,
 }
 
@@ -378,7 +343,7 @@ pub struct TpWireBus {
     poll_cursor: usize,
     next_poll_due: SimTime,
     poll_timer_armed: bool,
-    stats: BusStats,
+    obs: BusInstruments,
     /// Gilbert-Elliott burst error channel, when configured.
     burst: Option<GilbertElliott>,
     /// Fault state: crashed (unresponsive) slaves, by chain position.
@@ -418,7 +383,6 @@ impl TpWireBus {
                 in_flight: None,
                 selected: None,
                 ptr_at_stream: false,
-                busy_time: BusyTime::new(),
                 busy_since: None,
             })
             .collect();
@@ -440,7 +404,7 @@ impl TpWireBus {
             poll_cursor: 0,
             next_poll_due: SimTime::ZERO,
             poll_timer_armed: false,
-            stats: BusStats::default(),
+            obs: BusInstruments::new(usize::from(params.wiring.lanes())),
             burst: params.burst_error.map(GilbertElliott::new),
             crashed,
             break_after: None,
@@ -484,10 +448,22 @@ impl TpWireBus {
         self.positions.get(&node.raw()).map(|&pos| &self.chain[pos])
     }
 
-    /// Aggregate statistics so far.
+    /// Aggregate statistics so far, read back from the registry.
     #[must_use]
-    pub fn stats(&self) -> &BusStats {
-        &self.stats
+    pub fn stats(&self) -> BusStats {
+        self.obs.stats()
+    }
+
+    /// The bus's instrument set (registry and typed trace ring).
+    #[must_use]
+    pub fn obs(&self) -> &BusInstruments {
+        &self.obs
+    }
+
+    /// Mutable access to the instrument set, e.g. to arm the tracer with
+    /// [`BusInstruments::set_tracer`].
+    pub fn obs_mut(&mut self) -> &mut BusInstruments {
+        &mut self.obs
     }
 
     /// Fraction of time the given lane's transmitter was busy in
@@ -502,7 +478,7 @@ impl TpWireBus {
             Some(since) => now.saturating_duration_since(since),
             None => tsbus_des::SimDuration::ZERO,
         };
-        let busy = self.lanes[lane].busy_time.total() + extra;
+        let busy = self.obs.lane_busy_total(lane) + extra;
         let window = now.as_secs_f64();
         if window <= 0.0 {
             0.0
@@ -522,7 +498,11 @@ impl TpWireBus {
         if let Some(component) = self.attachment_of(endpoint) {
             ctx.send(component, msg);
         } else {
-            self.stats.dropped_deliveries += 1;
+            let node = match endpoint {
+                StreamEndpoint::Master => DST_MASTER,
+                StreamEndpoint::Slave(node) => node.raw(),
+            };
+            self.obs.delivery_dropped(ctx.now(), node);
         }
     }
 
@@ -560,14 +540,12 @@ impl TpWireBus {
         1.0 - (1.0 - p.frame_error_rate) * (1.0 - burst_rate)
     }
 
-    /// Books one retry in the aggregate and per-class counters.
-    fn note_retry(&mut self, class: FrameClass) {
-        self.stats.retries += 1;
-        match class {
-            FrameClass::Control => self.stats.control_retries += 1,
-            FrameClass::StreamRead => self.stats.stream_read_retries += 1,
-            FrameClass::StreamWrite => self.stats.stream_write_retries += 1,
-        }
+    /// The node the master believes is selected on `lane` (the broadcast
+    /// id when no selection is held — e.g. a failed select itself).
+    fn lane_node(&self, lane_idx: usize) -> u8 {
+        self.lanes[lane_idx]
+            .selected
+            .map_or(NodeId::BROADCAST.raw(), |(node, _)| node)
     }
 
     /// The retry class of an ordinary frame.
@@ -592,7 +570,7 @@ impl TpWireBus {
     /// an already in-flight completion keeps its pre-computed outcome,
     /// modeling command latency in a real fault-injection rig.
     fn apply_fault(&mut self, ctx: &mut Context<'_>, kind: FaultKind) {
-        self.stats.faults_injected += 1;
+        self.obs.fault(ctx.now(), kind);
         let position_of = |positions: &HashMap<u8, usize>, node: u8| -> usize {
             *positions
                 .get(&node)
@@ -602,27 +580,22 @@ impl TpWireBus {
             FaultKind::SlaveCrash(node) => {
                 let pos = position_of(&self.positions, node);
                 self.crashed[pos] = true;
-                ctx.trace("fault", format_args!("slave {node} (pos {pos}) crashed"));
             }
             FaultKind::SlaveRevive(node) => {
                 let pos = position_of(&self.positions, node);
                 self.crashed[pos] = false;
-                ctx.trace("fault", format_args!("slave {node} (pos {pos}) revived"));
             }
             FaultKind::SlaveReset(node) => {
                 let pos = position_of(&self.positions, node);
                 let now = ctx.now();
                 let params = self.params;
                 self.chain[pos].force_reset(now, &params);
-                ctx.trace("fault", format_args!("slave {node} (pos {pos}) hard reset"));
             }
             FaultKind::ChainBreak { after } => {
                 self.break_after = Some(after.min(self.chain.len()));
-                ctx.trace("fault", format_args!("chain severed after {after} devices"));
             }
             FaultKind::ChainHeal => {
                 self.break_after = None;
-                ctx.trace("fault", "chain healed");
             }
         }
     }
@@ -814,7 +787,8 @@ impl TpWireBus {
             // Write verification / read block re-request costs one extra
             // ordinary transaction.
             total += p.transaction_time(hops);
-            self.note_retry(Self::class_of_burst(&kind));
+            let node = self.chain[pos].node().raw();
+            self.obs.retry(now, node, Self::class_of_burst(&kind));
         }
         let arrival = now + total;
         // Every other reachable slave on this port sees the burst pass
@@ -869,24 +843,29 @@ impl TpWireBus {
         let frame = match in_flight.kind {
             InFlightKind::Frame(frame) => frame,
             kind @ (InFlightKind::DmaWrite { .. } | InFlightKind::DmaRead { .. }) => {
+                let pos = match &kind {
+                    InFlightKind::DmaWrite { pos, .. } | InFlightKind::DmaRead { pos, .. } => *pos,
+                    InFlightKind::Frame(_) => unreachable!(),
+                };
+                let node = self.chain[pos].node().raw();
                 match outcome {
                     Outcome::BurstOk(block) => {
                         // Arming (3 transactions) + the burst itself.
-                        self.stats.transactions += 4;
+                        self.obs
+                            .txn_ok(ctx.now(), node, Self::class_of_burst(&kind), 4);
                         self.advance_burst(ctx, lane_idx, &kind, Some(block));
                     }
                     Outcome::NoReply => {
                         let class = Self::class_of_burst(&kind);
                         let retry = self.params.retry.for_class(class);
                         if in_flight.attempts < retry.max_retries {
-                            self.note_retry(class);
+                            self.obs.retry(ctx.now(), node, class);
                             let attempts = in_flight.attempts + 1;
                             let delay_bits = retry.backoff.delay_bits(u32::from(attempts));
                             if delay_bits == 0 {
                                 self.issue_burst(ctx, lane_idx, kind, attempts);
                             } else {
-                                self.stats.backoff_events += 1;
-                                self.stats.backoff_bits += delay_bits;
+                                self.obs.backoff(ctx.now(), delay_bits);
                                 ctx.schedule_self_in(
                                     self.params.bits64_to_time(delay_bits),
                                     RetryBurst {
@@ -897,7 +876,7 @@ impl TpWireBus {
                                 );
                             }
                         } else {
-                            self.stats.failures += 1;
+                            self.obs.txn_failed(ctx.now(), node);
                             self.lanes[lane_idx].selected = None;
                             self.lanes[lane_idx].ptr_at_stream = false;
                             self.advance_burst(ctx, lane_idx, &kind, None);
@@ -912,7 +891,9 @@ impl TpWireBus {
         };
         match outcome {
             Outcome::Ok(rx) => {
-                self.stats.transactions += 1;
+                let node = self.lane_node(lane_idx);
+                self.obs
+                    .txn_ok(ctx.now(), node, Self::class_of_frame(&frame), 1);
                 if rx.int {
                     self.int_seen = true;
                 }
@@ -934,24 +915,26 @@ impl TpWireBus {
                 // acknowledge instead. Reads fall through to the retry arm
                 // below — the alternating-bit FIFO port makes retried
                 // stream reads idempotent.
-                self.stats.transactions += 1;
+                let node = self.lane_node(lane_idx);
+                let class = Self::class_of_frame(&frame);
+                self.obs.txn_ok(ctx.now(), node, class, 1);
                 // The lost RX still cost the wire time.
-                self.note_retry(Self::class_of_frame(&frame));
+                self.obs.retry(ctx.now(), node, class);
                 let synthetic = RxFrame::new(false, RxType::Status, 0);
                 self.advance_activity(ctx, lane_idx, frame, Some(synthetic));
             }
             Outcome::NoReply | Outcome::BadRx => {
+                let node = self.lane_node(lane_idx);
                 let class = Self::class_of_frame(&frame);
                 let retry = self.params.retry.for_class(class);
                 if in_flight.attempts < retry.max_retries {
-                    self.note_retry(class);
+                    self.obs.retry(ctx.now(), node, class);
                     let attempts = in_flight.attempts + 1;
                     let delay_bits = retry.backoff.delay_bits(u32::from(attempts));
                     if delay_bits == 0 {
                         self.issue(ctx, lane_idx, frame, attempts);
                     } else {
-                        self.stats.backoff_events += 1;
-                        self.stats.backoff_bits += delay_bits;
+                        self.obs.backoff(ctx.now(), delay_bits);
                         ctx.schedule_self_in(
                             self.params.bits64_to_time(delay_bits),
                             RetryFrame {
@@ -962,7 +945,7 @@ impl TpWireBus {
                         );
                     }
                 } else {
-                    self.stats.failures += 1;
+                    self.obs.txn_failed(ctx.now(), node);
                     // Whatever the master believed about this lane's
                     // selection may be stale (e.g. the slave reset).
                     self.lanes[lane_idx].selected = None;
@@ -1473,7 +1456,7 @@ impl TpWireBus {
             self.release_owner(p, lane_idx);
         }
         if job.discard {
-            self.stats.messages_failed += 1;
+            self.obs.message_failed();
             let failed = StreamFailed {
                 from: job.from,
                 to: None,
@@ -1481,8 +1464,7 @@ impl TpWireBus {
             };
             self.notify(ctx, job.from, failed);
         } else {
-            self.stats.bytes_relayed += job.total as u64;
-            self.stats.messages_relayed += 1;
+            self.obs.message_relayed(job.total as u64);
             if job.total == 0 {
                 // Empty payloads never pass through the write loop, so the
                 // destination still deserves its (empty) delivery event.
@@ -1510,7 +1492,7 @@ impl TpWireBus {
         if let Some(p) = job.dst_pos {
             self.release_owner(p, lane_idx);
         }
-        self.stats.messages_failed += 1;
+        self.obs.message_failed();
         let failed = StreamFailed {
             from: job.from,
             to: Some(job.to),
@@ -1618,7 +1600,7 @@ impl TpWireBus {
         // Nothing to do: close this lane's busy interval, arm the timer.
         if let Some(since) = self.lanes[lane_idx].busy_since.take() {
             let span = ctx.now().saturating_duration_since(since);
-            self.lanes[lane_idx].busy_time.add(span);
+            self.obs.lane_busy(lane_idx, span);
         }
         if !self.poll_timer_armed {
             self.poll_timer_armed = true;
@@ -1643,7 +1625,7 @@ impl TpWireBus {
     }
 
     fn start_poll(&mut self, ctx: &mut Context<'_>, lane_idx: usize, pos: usize) {
-        self.stats.polls += 1;
+        self.obs.poll();
         // Each poll consumes the INT latch; a still-pending slave re-raises
         // it on the next RX frame that passes it.
         self.int_seen = false;

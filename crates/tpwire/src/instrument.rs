@@ -1,0 +1,314 @@
+//! Bus instrumentation: the [`TpWireBus`](crate::TpWireBus) master's
+//! metrics registry and typed trace emission, split out of the bus state
+//! machine.
+//!
+//! All counting the bus does goes through [`BusInstruments`]: one
+//! [`Registry`] holding the scoped instruments (`txn/total`,
+//! `retry/control`, `lane/0/busy`, ...) plus a [`Tracer`] of
+//! [`TraceEvent`]s. The legacy [`BusStats`] struct survives as a by-value
+//! view assembled from the registry — there is exactly one counting path.
+
+use tsbus_des::{SimDuration, SimTime};
+use tsbus_faults::{FaultKind, FrameClass};
+use tsbus_obs::{BusyId, CounterId, Registry, Snapshot, TraceEvent, Tracer};
+
+/// Aggregate bus statistics, read back from the registry.
+///
+/// Equality is derived so two same-seed runs can be compared byte for byte
+/// (the determinism contract of the fault-injection layer).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Completed transactions (including polls; excluding retries).
+    pub transactions: u64,
+    /// Re-sent transactions (timeout or corrupted frame), all classes.
+    pub retries: u64,
+    /// Retries of control frames (selection, pointers, commands, polls).
+    pub control_retries: u64,
+    /// Retries of stream-FIFO reads (including DMA read bursts).
+    pub stream_read_retries: u64,
+    /// Retries of stream-FIFO writes (including DMA write bursts).
+    pub stream_write_retries: u64,
+    /// Retries that waited out a backoff delay before resending.
+    pub backoff_events: u64,
+    /// Total bit periods spent waiting in retry backoff.
+    pub backoff_bits: u64,
+    /// Transactions abandoned after exhausting retries.
+    pub failures: u64,
+    /// Keep-alive/discovery polls issued.
+    pub polls: u64,
+    /// Stream payload bytes fully relayed to their destination.
+    pub bytes_relayed: u64,
+    /// Stream messages fully relayed.
+    pub messages_relayed: u64,
+    /// Stream messages abandoned.
+    pub messages_failed: u64,
+    /// Deliveries dropped because the destination had no attachment.
+    pub dropped_deliveries: u64,
+    /// Fault commands applied (crash/revive/reset/break/heal).
+    pub faults_injected: u64,
+}
+
+/// The bus master's instrument set: registry handles for every counter the
+/// bus maintains, per-lane busy-time accumulators, and the typed trace
+/// ring.
+#[derive(Debug)]
+pub struct BusInstruments {
+    registry: Registry,
+    tracer: Tracer<TraceEvent>,
+    txn_total: CounterId,
+    txn_failures: CounterId,
+    retry_total: CounterId,
+    retry_control: CounterId,
+    retry_stream_read: CounterId,
+    retry_stream_write: CounterId,
+    backoff_events: CounterId,
+    backoff_bits: CounterId,
+    poll_total: CounterId,
+    relay_bytes: CounterId,
+    relay_messages: CounterId,
+    relay_failed: CounterId,
+    notify_dropped: CounterId,
+    fault_injected: CounterId,
+    lane_busy: Vec<BusyId>,
+}
+
+impl BusInstruments {
+    /// Creates the instrument set for a bus with `lanes` wire lanes.
+    /// Tracing starts disabled; arm it with
+    /// [`set_tracer`](BusInstruments::set_tracer).
+    #[must_use]
+    pub fn new(lanes: usize) -> Self {
+        let mut registry = Registry::new();
+        let txn_total = registry.counter("txn/total");
+        let txn_failures = registry.counter("txn/failures");
+        let retry_total = registry.counter("retry/total");
+        let retry_control = registry.counter("retry/control");
+        let retry_stream_read = registry.counter("retry/stream_read");
+        let retry_stream_write = registry.counter("retry/stream_write");
+        let backoff_events = registry.counter("backoff/events");
+        let backoff_bits = registry.counter("backoff/bits");
+        let poll_total = registry.counter("poll/total");
+        let relay_bytes = registry.counter("relay/bytes");
+        let relay_messages = registry.counter("relay/messages");
+        let relay_failed = registry.counter("relay/failed");
+        let notify_dropped = registry.counter("notify/dropped");
+        let fault_injected = registry.counter("fault/injected");
+        let lane_busy = (0..lanes)
+            .map(|i| registry.busy_time(&format!("lane/{i}/busy")))
+            .collect();
+        BusInstruments {
+            registry,
+            tracer: Tracer::disabled(),
+            txn_total,
+            txn_failures,
+            retry_total,
+            retry_control,
+            retry_stream_read,
+            retry_stream_write,
+            backoff_events,
+            backoff_bits,
+            poll_total,
+            relay_bytes,
+            relay_messages,
+            relay_failed,
+            notify_dropped,
+            fault_injected,
+            lane_busy,
+        }
+    }
+
+    /// Replaces the trace collector (e.g. with a bounded ring to start
+    /// recording).
+    pub fn set_tracer(&mut self, tracer: Tracer<TraceEvent>) {
+        self.tracer = tracer;
+    }
+
+    /// The recorded trace events, oldest first.
+    pub fn trace(&self) -> &Tracer<TraceEvent> {
+        &self.tracer
+    }
+
+    /// Events evicted from a bounded trace ring so far.
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.dropped()
+    }
+
+    /// The underlying registry (read-only; all updates go through the
+    /// semantic methods).
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Captures the registry at `now`.
+    #[must_use]
+    pub fn snapshot(&self, now: SimTime) -> Snapshot {
+        self.registry.snapshot(now)
+    }
+
+    /// The legacy aggregate view, assembled from the registry.
+    #[must_use]
+    pub fn stats(&self) -> BusStats {
+        BusStats {
+            transactions: self.registry.count(self.txn_total),
+            retries: self.registry.count(self.retry_total),
+            control_retries: self.registry.count(self.retry_control),
+            stream_read_retries: self.registry.count(self.retry_stream_read),
+            stream_write_retries: self.registry.count(self.retry_stream_write),
+            backoff_events: self.registry.count(self.backoff_events),
+            backoff_bits: self.registry.count(self.backoff_bits),
+            failures: self.registry.count(self.txn_failures),
+            polls: self.registry.count(self.poll_total),
+            bytes_relayed: self.registry.count(self.relay_bytes),
+            messages_relayed: self.registry.count(self.relay_messages),
+            messages_failed: self.registry.count(self.relay_failed),
+            dropped_deliveries: self.registry.count(self.notify_dropped),
+            faults_injected: self.registry.count(self.fault_injected),
+        }
+    }
+
+    /// Books `n` completed transactions and emits one `Frame` event for
+    /// the logical transaction they conclude (a DMA burst folds its arming
+    /// transactions into `n`).
+    pub fn txn_ok(&mut self, at: SimTime, node: u8, class: FrameClass, n: u64) {
+        self.registry.add(self.txn_total, n);
+        self.tracer.emit(TraceEvent::Frame {
+            at,
+            node,
+            class: class.into(),
+            ok: true,
+        });
+    }
+
+    /// Books one retry in the aggregate and per-class counters.
+    pub fn retry(&mut self, at: SimTime, node: u8, class: FrameClass) {
+        self.registry.inc(self.retry_total);
+        let per_class = match class {
+            FrameClass::Control => self.retry_control,
+            FrameClass::StreamRead => self.retry_stream_read,
+            FrameClass::StreamWrite => self.retry_stream_write,
+        };
+        self.registry.inc(per_class);
+        self.tracer.emit(TraceEvent::Retry {
+            at,
+            node,
+            class: class.into(),
+        });
+    }
+
+    /// Books one backoff wait of `bits` bit periods.
+    pub fn backoff(&mut self, at: SimTime, bits: u64) {
+        self.registry.inc(self.backoff_events);
+        self.registry.add(self.backoff_bits, bits);
+        self.tracer.emit(TraceEvent::Backoff { at, bits });
+    }
+
+    /// Books a transaction abandoned after exhausting retries.
+    pub fn txn_failed(&mut self, at: SimTime, node: u8) {
+        self.registry.inc(self.txn_failures);
+        self.tracer.emit(TraceEvent::TxnFailed { at, node });
+    }
+
+    /// Books one keep-alive/discovery poll.
+    pub fn poll(&mut self) {
+        self.registry.inc(self.poll_total);
+    }
+
+    /// Books a stream message fully relayed to its destination.
+    pub fn message_relayed(&mut self, bytes: u64) {
+        self.registry.add(self.relay_bytes, bytes);
+        self.registry.inc(self.relay_messages);
+    }
+
+    /// Books a stream message abandoned.
+    pub fn message_failed(&mut self) {
+        self.registry.inc(self.relay_failed);
+    }
+
+    /// Books a delivery dropped for lack of an attachment.
+    pub fn delivery_dropped(&mut self, at: SimTime, node: u8) {
+        self.registry.inc(self.notify_dropped);
+        self.tracer.emit(TraceEvent::DeliveryDropped { at, node });
+    }
+
+    /// Books one applied fault command.
+    pub fn fault(&mut self, at: SimTime, kind: FaultKind) {
+        self.registry.inc(self.fault_injected);
+        self.tracer.emit(TraceEvent::Fault { at, kind });
+    }
+
+    /// Accumulates a closed busy interval on `lane`'s transmitter.
+    pub fn lane_busy(&mut self, lane: usize, span: SimDuration) {
+        self.registry.add_busy(self.lane_busy[lane], span);
+    }
+
+    /// Total accumulated busy time of `lane`'s transmitter.
+    #[must_use]
+    pub fn lane_busy_total(&self, lane: usize) -> SimDuration {
+        self.registry.busy_total(self.lane_busy[lane])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_view_mirrors_registry() {
+        let mut obs = BusInstruments::new(2);
+        obs.txn_ok(SimTime::ZERO, 1, FrameClass::Control, 4);
+        obs.retry(SimTime::ZERO, 1, FrameClass::StreamRead);
+        obs.backoff(SimTime::ZERO, 96);
+        obs.txn_failed(SimTime::ZERO, 1);
+        obs.poll();
+        obs.message_relayed(100);
+        obs.message_failed();
+        obs.delivery_dropped(SimTime::ZERO, 2);
+        obs.fault(SimTime::ZERO, FaultKind::ChainHeal);
+        obs.lane_busy(1, SimDuration::from_micros(5));
+
+        let stats = obs.stats();
+        assert_eq!(stats.transactions, 4);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.stream_read_retries, 1);
+        assert_eq!(stats.control_retries, 0);
+        assert_eq!(stats.backoff_events, 1);
+        assert_eq!(stats.backoff_bits, 96);
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.polls, 1);
+        assert_eq!(stats.bytes_relayed, 100);
+        assert_eq!(stats.messages_relayed, 1);
+        assert_eq!(stats.messages_failed, 1);
+        assert_eq!(stats.dropped_deliveries, 1);
+        assert_eq!(stats.faults_injected, 1);
+        assert_eq!(obs.lane_busy_total(1), SimDuration::from_micros(5));
+        assert_eq!(obs.lane_busy_total(0), SimDuration::ZERO);
+
+        let snap = obs.snapshot(SimTime::ZERO);
+        assert_eq!(snap.count("txn/total"), 4);
+        assert_eq!(snap.duration("lane/1/busy"), SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn tracer_captures_typed_events_when_armed() {
+        let mut obs = BusInstruments::new(1);
+        obs.retry(SimTime::ZERO, 3, FrameClass::Control);
+        assert_eq!(obs.trace().len(), 0, "tracing starts disabled");
+
+        obs.set_tracer(Tracer::bounded(8));
+        obs.retry(SimTime::from_micros(1), 3, FrameClass::Control);
+        obs.fault(SimTime::from_micros(2), FaultKind::SlaveCrash(3));
+        let events: Vec<_> = obs.trace().events().copied().collect();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], TraceEvent::Retry { node: 3, .. }));
+        assert!(matches!(
+            events[1],
+            TraceEvent::Fault {
+                kind: FaultKind::SlaveCrash(3),
+                ..
+            }
+        ));
+        assert_eq!(obs.trace_dropped(), 0);
+    }
+}

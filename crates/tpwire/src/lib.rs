@@ -52,15 +52,17 @@ pub mod analytic;
 mod bus;
 pub mod crc;
 mod frame;
+pub mod instrument;
 mod node;
 mod slave;
 mod wiring;
 
 pub use bus::{
-    BroadcastCommand, BusStats, MasterSend, SendStream, StreamDelivered, StreamEndpoint,
-    StreamFailed, StreamSent, TpWireBus, MAX_STREAM_PAYLOAD, STREAM_HEADER_BYTES,
+    BroadcastCommand, MasterSend, SendStream, StreamDelivered, StreamEndpoint, StreamFailed,
+    StreamSent, TpWireBus, MAX_STREAM_PAYLOAD, STREAM_HEADER_BYTES,
 };
 pub use frame::{Command, DecodeFrameError, RxFrame, RxType, TxFrame, FRAME_BITS};
+pub use instrument::{BusInstruments, BusStats};
 pub use node::{AddressSpace, InvalidNodeId, NodeId, SystemReg, MAX_NODE_ID};
 pub use slave::{SlaveDevice, MEMORY_BYTES, STREAM_ADDR};
 pub use wiring::{BusParams, InvalidWiring, Wiring, RESET_ACTIVE_BITS, RESET_TIMEOUT_BITS};

@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use tsbus_des::SimTime;
+use tsbus_obs::{CounterId, Registry, Tracer};
 
 use crate::template::Template;
 use crate::tuple::Tuple;
@@ -114,7 +115,7 @@ struct Subscription {
     kinds: Vec<EventKind>,
 }
 
-/// Aggregate operation counters of a space.
+/// Aggregate operation counters of a space, read back from its registry.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpaceStats {
     /// Entries written.
@@ -129,6 +130,53 @@ pub struct SpaceStats {
     pub expirations: u64,
     /// Entries whose lease was extended by a renewal.
     pub renewals: u64,
+}
+
+/// The space's instrument set: one registry with a handle per operation
+/// counter (`op/writes`, `op/takes`, ...).
+#[derive(Debug, Clone)]
+struct SpaceInstruments {
+    registry: Registry,
+    writes: CounterId,
+    reads: CounterId,
+    takes: CounterId,
+    misses: CounterId,
+    expirations: CounterId,
+    renewals: CounterId,
+}
+
+impl Default for SpaceInstruments {
+    fn default() -> Self {
+        let mut registry = Registry::new();
+        let writes = registry.counter("op/writes");
+        let reads = registry.counter("op/reads");
+        let takes = registry.counter("op/takes");
+        let misses = registry.counter("op/misses");
+        let expirations = registry.counter("op/expirations");
+        let renewals = registry.counter("op/renewals");
+        SpaceInstruments {
+            registry,
+            writes,
+            reads,
+            takes,
+            misses,
+            expirations,
+            renewals,
+        }
+    }
+}
+
+impl SpaceInstruments {
+    fn stats(&self) -> SpaceStats {
+        SpaceStats {
+            writes: self.registry.count(self.writes),
+            reads: self.registry.count(self.reads),
+            takes: self.registry.count(self.takes),
+            misses: self.registry.count(self.misses),
+            expirations: self.registry.count(self.expirations),
+            renewals: self.registry.count(self.renewals),
+        }
+    }
 }
 
 /// One line of a space's audit trail (see [`Space::enable_audit`]): the
@@ -178,9 +226,12 @@ pub struct Space {
     pending: Vec<Notification>,
     next_entry: u64,
     next_subscription: u64,
-    stats: SpaceStats,
+    obs: SpaceInstruments,
     txns: TxnRegistry,
-    audit: Option<Vec<AuditRecord>>,
+    /// The lifecycle audit stream: disabled by default, switched to an
+    /// unbounded tracer by [`enable_audit`](Space::enable_audit) so
+    /// downstream invariant checkers never observe a gap.
+    audit: Tracer<AuditRecord>,
 }
 
 impl Space {
@@ -203,24 +254,40 @@ impl Space {
         self.len(now) == 0
     }
 
-    /// Operation counters.
+    /// Operation counters, read back from the registry.
     #[must_use]
     pub fn stats(&self) -> SpaceStats {
-        self.stats
+        self.obs.stats()
+    }
+
+    /// Captures the space's operation registry (paths under `op/`) at
+    /// instant `now`.
+    #[must_use]
+    pub fn metrics(&self, now: SimTime) -> tsbus_obs::Snapshot {
+        self.obs.registry.snapshot(now)
     }
 
     /// Turns on the audit trail: from now on every Written/Taken/Expired
     /// event is appended to a history retrievable via [`audit`](Space::audit),
     /// independent of subscriptions. Off by default (it grows unboundedly).
+    /// The stream is an unbounded [`Tracer`], so nothing ever drops.
     pub fn enable_audit(&mut self) {
-        self.audit.get_or_insert_with(Vec::new);
+        if !self.audit.is_enabled() {
+            self.audit = Tracer::unbounded();
+        }
     }
 
-    /// The audit trail recorded since [`enable_audit`](Space::enable_audit);
-    /// empty if auditing was never enabled.
+    /// The audit trail recorded since [`enable_audit`](Space::enable_audit),
+    /// oldest first; empty if auditing was never enabled.
+    pub fn audit(&self) -> impl Iterator<Item = &AuditRecord> {
+        self.audit.events()
+    }
+
+    /// The audit stream itself, for consumers that need its drop
+    /// accounting (always zero: the stream is unbounded).
     #[must_use]
-    pub fn audit(&self) -> &[AuditRecord] {
-        self.audit.as_deref().unwrap_or(&[])
+    pub fn audit_trace(&self) -> &Tracer<AuditRecord> {
+        &self.audit
     }
 
     /// Read-only snapshot of the tuples alive at `now`, without running
@@ -249,7 +316,7 @@ impl Space {
                 renewed += 1;
             }
         }
-        self.stats.renewals += renewed as u64;
+        self.obs.registry.add(self.obs.renewals, renewed as u64);
         renewed
     }
 
@@ -269,7 +336,7 @@ impl Space {
                 written_at: now,
             },
         );
-        self.stats.writes += 1;
+        self.obs.registry.inc(self.obs.writes);
         id
     }
 
@@ -283,9 +350,9 @@ impl Space {
             .find(|entry| template.matches(&entry.tuple))
             .map(|entry| entry.tuple.clone());
         if found.is_some() {
-            self.stats.reads += 1;
+            self.obs.registry.inc(self.obs.reads);
         } else {
-            self.stats.misses += 1;
+            self.obs.registry.inc(self.obs.misses);
         }
         found
     }
@@ -312,12 +379,12 @@ impl Space {
         match seq {
             Some(seq) => {
                 let entry = self.entries.remove(&seq).expect("just found");
-                self.stats.takes += 1;
+                self.obs.registry.inc(self.obs.takes);
                 self.notify_all(EventKind::Taken, entry.id, &entry.tuple, now);
                 Some(entry.tuple)
             }
             None => {
-                self.stats.misses += 1;
+                self.obs.registry.inc(self.obs.misses);
                 None
             }
         }
@@ -363,7 +430,7 @@ impl Space {
             .collect();
         for seq in dead {
             let entry = self.entries.remove(&seq).expect("listed above");
-            self.stats.expirations += 1;
+            self.obs.registry.inc(self.obs.expirations);
             // The notification carries the lease deadline, not `now`: the
             // entry ceased to exist at its deadline even if we only noticed
             // later.
@@ -440,7 +507,7 @@ impl Space {
             .find(|(_, entry)| template.matches(&entry.tuple))
             .map(|(&seq, _)| seq)?;
         let entry = self.entries.remove(&seq).expect("just found");
-        self.stats.takes += 1;
+        self.obs.registry.inc(self.obs.takes);
         Some(HeldEntry {
             seq,
             tuple: entry.tuple,
@@ -466,10 +533,10 @@ impl Space {
             );
             // The provisional take never officially happened, so takes must
             // not count it; undo the counter bump from the txn take.
-            self.stats.takes = self.stats.takes.saturating_sub(1);
+            self.obs.registry.sub(self.obs.takes, 1);
         } else {
-            self.stats.takes = self.stats.takes.saturating_sub(1);
-            self.stats.expirations += 1;
+            self.obs.registry.sub(self.obs.takes, 1);
+            self.obs.registry.inc(self.obs.expirations);
             let at = match held.lease {
                 Lease::Until(deadline) => deadline,
                 Lease::Forever => now,
@@ -496,14 +563,12 @@ impl Space {
     }
 
     fn notify_all_at(&mut self, kind: EventKind, entry: EntryId, tuple: &Tuple, at: SimTime) {
-        if let Some(trail) = &mut self.audit {
-            trail.push(AuditRecord {
-                kind,
-                entry,
-                tuple: tuple.clone(),
-                at,
-            });
-        }
+        self.audit.emit(AuditRecord {
+            kind,
+            entry,
+            tuple: tuple.clone(),
+            at,
+        });
         for sub in &self.subscriptions {
             if sub.kinds.contains(&kind) && sub.template.matches(tuple) {
                 self.pending.push(Notification {
@@ -697,15 +762,16 @@ mod tests {
         space.write(tuple!["a", 2], Lease::Forever, t(0));
         let _ = space.take(&template!["a", 2], t(1));
         space.expire(t(11));
-        let trail = space.audit();
+        let trail: Vec<_> = space.audit().collect();
         assert_eq!(trail.len(), 4);
         assert_eq!(trail[0].kind, EventKind::Written);
         assert_eq!(trail[1].kind, EventKind::Written);
         assert_eq!(trail[2].kind, EventKind::Taken);
         assert_eq!(trail[3].kind, EventKind::Expired);
+        assert_eq!(space.audit_trace().dropped(), 0, "audit never drops");
         let mut space2 = Space::new();
         space2.write(tuple!["x"], Lease::Forever, t(0));
-        assert!(space2.audit().is_empty(), "audit off by default");
+        assert!(space2.audit().next().is_none(), "audit off by default");
     }
 
     #[test]
@@ -714,7 +780,7 @@ mod tests {
         space.enable_audit();
         space.write(tuple!["ttl"], Lease::Until(t(10)), t(0));
         space.expire(t(12));
-        let trail = space.audit();
+        let trail: Vec<_> = space.audit().collect();
         assert_eq!(trail.len(), 2);
         assert_eq!(trail[1].kind, EventKind::Expired);
         assert_eq!(trail[1].at, t(10), "stamped at the lease deadline");

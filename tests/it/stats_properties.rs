@@ -1,0 +1,148 @@
+//! Property tests on the shared statistics primitives every registry
+//! instrument is built from: `Histogram` and `Summary` from
+//! `tsbus_des::stats`. The observability spine folds per-layer snapshots
+//! together, so merge has to behave like exact set union — counts
+//! conserved, order irrelevant, quantiles monotone — for arbitrary data.
+
+use proptest::prelude::*;
+use tsbus_des::stats::{Histogram, Summary};
+
+const LOW: f64 = 0.0;
+const HIGH: f64 = 100.0;
+const BINS: usize = 16;
+
+fn histogram_of(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new(LOW, HIGH, BINS);
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn summary_of(values: &[f64]) -> Summary {
+    let mut s = Summary::new();
+    for &v in values {
+        s.record(v);
+    }
+    s
+}
+
+/// Samples spanning underflow, in-range, and overflow territory. Drawn
+/// as centivalue integers (the vendored proptest has no float ranges);
+/// the /100 keeps them off bin edges often enough to matter.
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((-5000i32..15000).prop_map(|v| f64::from(v) / 100.0), 0..60)
+}
+
+proptest! {
+    /// Merging histograms is associative and commutative: (a ∪ b) ∪ c and
+    /// a ∪ (b ∪ c) agree bin for bin, as do a ∪ b and b ∪ a. Counts are
+    /// integers, so this is exact, not approximate.
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        a in samples(), b in samples(), c in samples(),
+    ) {
+        let (ha, hb, hc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+
+        prop_assert_eq!(left.bins(), right.bins());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.underflow(), right.underflow());
+        prop_assert_eq!(left.overflow(), right.overflow());
+
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab.bins(), ba.bins());
+        prop_assert_eq!(ab.count(), ba.count());
+    }
+
+    /// Merging conserves observations: the merged histogram holds exactly
+    /// the union of the inputs, split identically across underflow, the
+    /// bins, and overflow — and matches recording everything into one
+    /// histogram directly.
+    #[test]
+    fn histogram_merge_conserves_counts(a in samples(), b in samples()) {
+        let mut merged = histogram_of(&a);
+        merged.merge(&histogram_of(&b));
+
+        let all: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let direct = histogram_of(&all);
+
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.bins(), direct.bins());
+        prop_assert_eq!(merged.underflow(), direct.underflow());
+        prop_assert_eq!(merged.overflow(), direct.overflow());
+        prop_assert_eq!(
+            merged.underflow() + merged.overflow()
+                + merged.bins().iter().sum::<u64>(),
+            merged.count(),
+        );
+    }
+
+    /// Quantile estimates never decrease as q grows, and stay inside
+    /// [low, high] for any sample set.
+    #[test]
+    fn histogram_quantiles_are_monotone(values in samples()) {
+        let h = histogram_of(&values);
+        prop_assume!(h.count() > 0);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut last = f64::NEG_INFINITY;
+        for q in qs {
+            let v = h.quantile(q).expect("non-empty");
+            prop_assert!(v >= last, "quantile({q}) = {v} dropped below {last}");
+            prop_assert!((LOW..=HIGH).contains(&v));
+            last = v;
+        }
+    }
+
+    /// Summary merge combines n, min, and max exactly, and its mean agrees
+    /// with a single-pass mean over the union up to floating-point noise.
+    #[test]
+    fn summary_merge_matches_single_pass(a in samples(), b in samples()) {
+        let mut merged = summary_of(&a);
+        merged.merge(&summary_of(&b));
+
+        let all: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let direct = summary_of(&all);
+
+        prop_assert_eq!(merged.len(), all.len() as u64);
+        prop_assert_eq!(merged.min(), direct.min());
+        prop_assert_eq!(merged.max(), direct.max());
+        if !all.is_empty() {
+            prop_assert!((merged.mean() - direct.mean()).abs() < 1e-9);
+            prop_assert!((merged.variance() - direct.variance()).abs() < 1e-6);
+        }
+    }
+
+    /// Merging an empty summary (either direction) is the identity.
+    #[test]
+    fn summary_empty_merge_is_identity(values in samples()) {
+        let base = summary_of(&values);
+
+        let mut left = base;
+        left.merge(&Summary::new());
+        prop_assert_eq!(left.len(), base.len());
+        prop_assert_eq!(left.min(), base.min());
+        prop_assert_eq!(left.max(), base.max());
+
+        let mut right = Summary::new();
+        right.merge(&base);
+        prop_assert_eq!(right.len(), base.len());
+        prop_assert_eq!(right.min(), base.min());
+        prop_assert_eq!(right.max(), base.max());
+        if !values.is_empty() {
+            prop_assert!((left.mean() - base.mean()).abs() < 1e-12);
+            prop_assert!((right.mean() - base.mean()).abs() < 1e-12);
+        }
+    }
+}
