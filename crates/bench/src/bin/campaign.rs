@@ -28,7 +28,8 @@
 //! `--threads` settings — CI diffs two captures to prove it.
 
 use std::time::Instant;
-use tsbus_bench::dedup_cost::{dedup_axis_from_env, run_dedup_cost_sweep};
+use tsbus_bench::dedup_cost::{dedup_axis_from_args, run_dedup_cost_sweep};
+use tsbus_bench::supervision::{run_supervision_sweep, supervision_axis_from_args};
 use tsbus_bench::workload::{burst_channel, patient_policy, run_stream_workload};
 use tsbus_bench::{fmt_secs, render_table};
 use tsbus_core::{run_case_study, run_case_study_observed, CaseStudyConfig};
@@ -81,7 +82,8 @@ fn footer<P>(report: &CampaignReport<P>) {
 }
 
 fn main() {
-    let (dedup_modes, args) = dedup_axis_from_env();
+    let (sup_modes, rest) = supervision_axis_from_args(std::env::args().skip(1).collect());
+    let (dedup_modes, args) = dedup_axis_from_args(rest);
     let opts = args.exec_opts();
     let master_seed = args.seed.unwrap_or(DEFAULT_MASTER_SEED);
     let started = Instant::now();
@@ -266,6 +268,20 @@ fn main() {
     let report = run_dedup_cost_sweep("campaign_dedup_cost", &dedup_modes, &opts, master_seed);
     export(&report, &opts);
     footer(&report);
+
+    // ---- 5. bus supervision ablation (--supervision filter) ----
+    // Skipped entirely under `--supervision off` so the default-off output
+    // stays byte-identical to the unsupervised baseline.
+    if sup_modes.contains(&"on") {
+        println!("(5) bus supervision — wasted bus time with circuit breakers off vs on");
+        let seeds: Vec<u64> = (0..16).collect();
+        if let Some(report) =
+            run_supervision_sweep("campaign_supervision", &sup_modes, &opts, &seeds)
+        {
+            export(&report, &opts);
+            footer(&report);
+        }
+    }
 
     // ---- optional: reference registry capture for determinism checks ----
     if let Some(path) = &args.obs_snapshot {

@@ -18,7 +18,9 @@
 //! `--cache-dir` reuses finished trials as usual.
 
 use tsbus_bench::render_table;
+use tsbus_bench::supervision::supervision_axis_from_args;
 use tsbus_core::{run_chaos_trial, ChaosConfig, ChaosTrial};
+use tsbus_faults::SupervisionConfig;
 use tsbus_lab::{run_campaign, Campaign, LabArgs, Metrics, PointResult};
 
 /// Seeds in the default batch; the ISSUE floor is 50.
@@ -44,6 +46,11 @@ fn to_metrics(t: &ChaosTrial) -> Metrics {
         .u64("bus_hard_failures", t.bus_hard_failures)
         .u64("events_observed", t.events_observed)
         .u64("trace_dropped", t.trace_dropped)
+        .u64("wasted_bits", t.wasted_bits)
+        .u64("open_issues", t.open_issues)
+        .u64("fast_fails", t.fast_fails)
+        .u64("probes", t.probes)
+        .u64("rebalances", t.rebalances)
         .str("detail", &detail)
 }
 
@@ -59,11 +66,23 @@ struct BatchOutcome {
     retries: u64,
     hard_failures: u64,
     trace_dropped: u64,
+    wasted_bits: u64,
+    open_issues: u64,
+    fast_fails: u64,
+    probes: u64,
+    rebalances: u64,
 }
 
-fn run_batch(name: &str, dedup: bool, seeds: &[u64], args: &LabArgs) -> BatchOutcome {
+fn run_batch(
+    name: &str,
+    dedup: bool,
+    supervision: Option<SupervisionConfig>,
+    seeds: &[u64],
+    args: &LabArgs,
+) -> BatchOutcome {
     let cfg = ChaosConfig {
         dedup,
+        supervision,
         ..ChaosConfig::default()
     };
     let campaign = Campaign::new(name, seeds.to_vec());
@@ -85,6 +104,11 @@ fn run_batch(name: &str, dedup: bool, seeds: &[u64], args: &LabArgs) -> BatchOut
         retries: 0,
         hard_failures: 0,
         trace_dropped: 0,
+        wasted_bits: 0,
+        open_issues: 0,
+        fast_fails: 0,
+        probes: 0,
+        rebalances: 0,
     };
     for PointResult { point, reps, .. } in &report.points {
         let m = &reps[0];
@@ -100,6 +124,11 @@ fn run_batch(name: &str, dedup: bool, seeds: &[u64], args: &LabArgs) -> BatchOut
         out.retries += m.get_i64("bus_retries") as u64;
         out.hard_failures += m.get_i64("bus_hard_failures") as u64;
         out.trace_dropped += m.get_i64("trace_dropped") as u64;
+        out.wasted_bits += m.get_i64("wasted_bits") as u64;
+        out.open_issues += m.get_i64("open_issues") as u64;
+        out.fast_fails += m.get_i64("fast_fails") as u64;
+        out.probes += m.get_i64("probes") as u64;
+        out.rebalances += m.get_i64("rebalances") as u64;
     }
     if out.violated_seeds == 0 {
         println!("  all {} seeds clean", out.seeds);
@@ -130,7 +159,14 @@ fn row(label: &str, o: &BatchOutcome) -> Vec<String> {
 }
 
 fn main() {
-    let args = LabArgs::from_env();
+    let (sup_modes, rest) = supervision_axis_from_args(std::env::args().skip(1).collect());
+    let args = match LabArgs::parse(rest) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     // `--seeds` sets the batch size here (each seed is its own point, one
     // replication each) and `--seed` its base; a pinned `--seed` without
     // an explicit batch size replays that one seed.
@@ -150,9 +186,9 @@ fn main() {
     );
 
     println!("dedup ON (request ids + duplicate cache + reply timeouts):");
-    let on = run_batch("chaos_dedup_on", true, &seeds, &args);
+    let on = run_batch("chaos_dedup_on", true, None, &seeds, &args);
     println!("\ndedup OFF (same workload and faults, raw end-to-end retries):");
-    let off = run_batch("chaos_dedup_off", false, &seeds, &args);
+    let off = run_batch("chaos_dedup_off", false, None, &seeds, &args);
 
     println!(
         "\n{}",
@@ -190,4 +226,77 @@ fn main() {
          off. Replay any seed above with `--seed <n>`.",
         on.seeds, off.violations
     );
+
+    // ---- supervised batch (--supervision on|both; skipped under off so
+    // the default-off output stays byte-identical) ----
+    if sup_modes.contains(&"on") {
+        println!("\ndedup ON + bus supervision (circuit breakers, quarantine, rebalancing):");
+        let sup = run_batch(
+            "chaos_supervised",
+            true,
+            Some(SupervisionConfig::conservative()),
+            &seeds,
+            &args,
+        );
+        println!(
+            "\n{}",
+            render_table(
+                &[
+                    "mode",
+                    "violations",
+                    "open issues",
+                    "bus retries",
+                    "wasted bits",
+                    "fast fails",
+                    "probes",
+                    "rebalances",
+                ],
+                &[
+                    vec![
+                        "supervision off".to_owned(),
+                        on.violations.to_string(),
+                        on.open_issues.to_string(),
+                        on.retries.to_string(),
+                        on.wasted_bits.to_string(),
+                        on.fast_fails.to_string(),
+                        on.probes.to_string(),
+                        on.rebalances.to_string(),
+                    ],
+                    vec![
+                        "supervision on".to_owned(),
+                        sup.violations.to_string(),
+                        sup.open_issues.to_string(),
+                        sup.retries.to_string(),
+                        sup.wasted_bits.to_string(),
+                        sup.fast_fails.to_string(),
+                        sup.probes.to_string(),
+                        sup.rebalances.to_string(),
+                    ],
+                ],
+            )
+        );
+        assert_eq!(
+            sup.violations, 0,
+            "supervised storms must stay clean, including the open-issue \
+             and rebalance-conservation invariants ({} seeds violated)",
+            sup.violated_seeds
+        );
+        assert_eq!(
+            sup.open_issues, 0,
+            "no request may ever be issued to a slave whose breaker is Open"
+        );
+        assert!(
+            sup.wasted_bits < on.wasted_bits,
+            "supervision must strictly reduce wasted bus time over the batch \
+             ({} supervised vs {} unsupervised bit periods)",
+            sup.wasted_bits,
+            on.wasted_bits,
+        );
+        println!(
+            "\nSupervision holds on the same {} storms: zero violations, zero\n\
+             requests to Open slaves, and {} vs {} bit periods wasted on\n\
+             failure handling ({} fast-fails, {} probes, {} rebalances).",
+            sup.seeds, sup.wasted_bits, on.wasted_bits, sup.fast_fails, sup.probes, sup.rebalances,
+        );
+    }
 }

@@ -15,9 +15,13 @@
 //! exponential backoff on a harsh channel where every in-burst frame is
 //! lost. A third sweep prices the exactly-once layer on the case-study
 //! exchange — bytes on the wire and middleware time, dedup off vs on,
-//! filtered by `--dedup on|off|both`. All sweeps run as `tsbus-lab`
-//! campaigns on the reference seed (23), so the tables are reproducible;
-//! `--threads` / `--cache-dir` apply as usual.
+//! filtered by `--dedup on|off|both`. A fourth sweep prices the bus
+//! supervision layer (circuit breakers + degraded-mode rebalancing) on
+//! the chaos storms, filtered by `--supervision on|off|both` — with
+//! `--supervision off` the sweep is skipped and the output stays
+//! byte-identical to the unsupervised baseline. All sweeps run as
+//! `tsbus-lab` campaigns on the reference seed (23), so the tables are
+//! reproducible; `--threads` / `--cache-dir` apply as usual.
 //!
 //! Severity is swept as burst *density* (shorter good sojourns between
 //! bursts) at 100% in-burst loss, not as the in-burst loss rate. Partial
@@ -26,8 +30,9 @@
 //! can cost more wall time than a 100%-loss one the master skips over with
 //! a few long waits.
 
-use tsbus_bench::dedup_cost::{dedup_axis_from_env, run_dedup_cost_sweep};
+use tsbus_bench::dedup_cost::{dedup_axis_from_args, run_dedup_cost_sweep};
 use tsbus_bench::render_table;
+use tsbus_bench::supervision::{run_supervision_sweep, supervision_axis_from_args};
 use tsbus_bench::workload::{
     burst_channel, patient_policy, run_stream_workload, Outcome, REFERENCE_SEED,
 };
@@ -48,7 +53,8 @@ fn to_metrics(o: &Outcome) -> Metrics {
 }
 
 fn main() {
-    let (dedup_modes, args) = dedup_axis_from_env();
+    let (sup_modes, rest) = supervision_axis_from_args(std::env::args().skip(1).collect());
+    let (dedup_modes, args) = dedup_axis_from_args(rest);
     let opts = args.exec_opts();
 
     println!("Fault sweep 1 — burst density under a patient (exponential) policy\n");
@@ -225,4 +231,12 @@ fn main() {
         &opts,
         REFERENCE_SEED,
     );
+
+    // Skipped entirely under `--supervision off`, keeping the sweep's
+    // default-off output byte-identical to the unsupervised baseline.
+    if sup_modes.contains(&"on") {
+        println!("Fault sweep 4 — bus supervision under chaos storms (--supervision axis)\n");
+        let seeds: Vec<u64> = (0..16).collect();
+        run_supervision_sweep("fig_fault_sweep_supervision", &sup_modes, &opts, &seeds);
+    }
 }

@@ -32,27 +32,14 @@ pub const COST_GAPS: [f64; 3] = [0.0, 800.0, 200.0];
 /// Exits with usage on a malformed value, like the lab parser does.
 #[must_use]
 pub fn dedup_axis_from_env() -> (Vec<&'static str>, LabArgs) {
-    let mut modes = vec!["off", "on"];
-    let mut rest = Vec::new();
-    let mut argv = std::env::args().skip(1);
-    while let Some(arg) = argv.next() {
-        if arg == "--dedup" {
-            modes = match argv.next().as_deref() {
-                Some("on") => vec!["on"],
-                Some("off") => vec!["off"],
-                Some("both") => vec!["off", "on"],
-                other => {
-                    eprintln!(
-                        "--dedup needs on|off|both (got {})",
-                        other.unwrap_or("nothing")
-                    );
-                    std::process::exit(2);
-                }
-            };
-        } else {
-            rest.push(arg);
-        }
-    }
+    dedup_axis_from_args(std::env::args().skip(1).collect())
+}
+
+/// [`dedup_axis_from_env`] over an explicit argument list — lets binaries
+/// strip other axes (e.g. `--supervision`) off the command line first.
+#[must_use]
+pub fn dedup_axis_from_args(args: Vec<String>) -> (Vec<&'static str>, LabArgs) {
+    let (modes, rest) = crate::strip_mode_axis("--dedup", args);
     match LabArgs::parse(rest) {
         Ok(args) => (modes, args),
         Err(msg) => {

@@ -32,6 +32,38 @@
 #![warn(missing_docs)]
 
 pub mod dedup_cost;
+pub mod supervision;
 pub mod workload;
 
 pub use tsbus_lab::{fmt_secs, render_table};
+
+/// Strips a `--<name> on|off|both`-style mode axis (e.g. `--dedup`,
+/// `--supervision`) from an argument list, returning the selected modes
+/// and the remaining arguments. Defaults to `["off", "on"]` (both) when
+/// the flag is absent; exits with usage on a malformed value, like the
+/// lab parser does.
+#[must_use]
+pub fn strip_mode_axis(flag: &str, args: Vec<String>) -> (Vec<&'static str>, Vec<String>) {
+    let mut modes = vec!["off", "on"];
+    let mut rest = Vec::new();
+    let mut argv = args.into_iter();
+    while let Some(arg) = argv.next() {
+        if arg == flag {
+            modes = match argv.next().as_deref() {
+                Some("on") => vec!["on"],
+                Some("off") => vec!["off"],
+                Some("both") => vec!["off", "on"],
+                other => {
+                    eprintln!(
+                        "{flag} needs on|off|both (got {})",
+                        other.unwrap_or("nothing")
+                    );
+                    std::process::exit(2);
+                }
+            };
+        } else {
+            rest.push(arg);
+        }
+    }
+    (modes, rest)
+}

@@ -20,8 +20,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use tsbus_des::{ComponentId, SimDuration, SimTime, Simulator};
-use tsbus_faults::{BurstParams, FaultDriver, FaultKind, FaultSchedule};
-use tsbus_tpwire::{BusParams, NodeId, TpWireBus};
+use tsbus_faults::{BurstParams, FaultDriver, FaultKind, FaultSchedule, SupervisionConfig};
+use tsbus_tpwire::{BusParams, NodeId, TpWireBus, FRAME_BITS};
 use tsbus_tuplespace::{EventKind, Pattern, Template, Tuple, Value};
 use tsbus_xmlwire::{Request, WireFormat};
 
@@ -48,6 +48,10 @@ pub struct ChaosConfig {
     /// Give up on a trial after this much simulated time (an unfinished
     /// script is not itself a violation — give-ups are legal outcomes).
     pub horizon: SimDuration,
+    /// Bus supervision (health tracking + circuit breakers + degraded-mode
+    /// rebalancing). `None` runs the bus exactly as before — the ablation
+    /// arm of the supervision experiments.
+    pub supervision: Option<SupervisionConfig>,
 }
 
 impl Default for ChaosConfig {
@@ -57,6 +61,7 @@ impl Default for ChaosConfig {
             dedup: true,
             wire_format: WireFormat::Xml,
             horizon: SimDuration::from_secs(600),
+            supervision: None,
         }
     }
 }
@@ -81,6 +86,12 @@ pub enum ViolationKind {
     /// The client received more notify events for an item than the space
     /// ever generated (events may be lost, never invented).
     PhantomNotify,
+    /// The bus issued a request to a slave whose circuit breaker was Open
+    /// — the supervision layers above failed to fence it off.
+    OpenIssue,
+    /// Degraded-mode rebalancing lost or duplicated a slave's lane
+    /// assignment (the [`tsbus_tpwire::WirePlan`] conservation check).
+    RebalanceLost,
 }
 
 impl fmt::Display for ViolationKind {
@@ -92,6 +103,8 @@ impl fmt::Display for ViolationKind {
             ViolationKind::AckedWriteLost => "acked-write-lost",
             ViolationKind::LostDelivery => "lost-delivery",
             ViolationKind::PhantomNotify => "phantom-notify",
+            ViolationKind::OpenIssue => "open-issue",
+            ViolationKind::RebalanceLost => "rebalance-lost",
         };
         f.write_str(name)
     }
@@ -142,6 +155,21 @@ pub struct ChaosTrial {
     pub bus_hard_failures: u64,
     /// Notify events the client received.
     pub events_observed: u64,
+    /// Bus-level fast-fails against Open breakers (supervision only).
+    pub fast_fails: u64,
+    /// Transport errors the client saw arrive as fast-fails.
+    pub client_fast_fails: u64,
+    /// Probe frames sent to Half-Open slaves.
+    pub probes: u64,
+    /// Degraded-mode lane rebalances (evacuations + restorations).
+    pub rebalances: u64,
+    /// Requests issued to an Open slave — must be zero, checked as
+    /// [`ViolationKind::OpenIssue`].
+    pub open_issues: u64,
+    /// Bit periods the bus wasted on failure handling: backoff waits plus
+    /// one timeout window per retry. The supervision experiments compare
+    /// this across the `--supervision` axis.
+    pub wasted_bits: u64,
     /// Trace events evicted from bounded tracer rings during the trial.
     /// The chaos harness arms only unbounded tracers, so a nonzero value
     /// means the audit evidence the violation checks rely on is incomplete.
@@ -272,6 +300,9 @@ pub fn run_chaos_trial(cfg: &ChaosConfig, seed: u64) -> ChaosTrial {
     let mut bus_params = BusParams::theseus_default();
     if let Some(b) = burst {
         bus_params = bus_params.with_burst_error(b);
+    }
+    if let Some(sup) = cfg.supervision {
+        bus_params = bus_params.with_supervision(sup);
     }
 
     let mut sim = Simulator::with_seed(seed);
@@ -462,6 +493,34 @@ pub fn run_chaos_trial(cfg: &ChaosConfig, seed: u64) -> ChaosTrial {
     }
 
     let bus_stats = bus_ref.stats();
+
+    // ---- the supervision invariants ----
+    // Both hold trivially when supervision is off (the counters stay zero
+    // and the conservation check is vacuous), so they are asserted
+    // unconditionally.
+    if bus_stats.open_issues > 0 {
+        violations.push(Violation {
+            kind: ViolationKind::OpenIssue,
+            item: 0,
+            detail: format!(
+                "{} request(s) issued to a slave whose breaker was Open",
+                bus_stats.open_issues
+            ),
+        });
+    }
+    if !bus_ref.supervision_conserved() {
+        violations.push(Violation {
+            kind: ViolationKind::RebalanceLost,
+            item: 0,
+            detail: "rebalancing left the lane assignment non-conserving".into(),
+        });
+    }
+
+    // One retry costs the frame, the full response-timeout window, and the
+    // inter-frame gap; backoff waits are booked in bits directly.
+    let retry_overhead_bits = u64::from(FRAME_BITS)
+        + u64::from(bus_params.response_timeout_bits)
+        + u64::from(bus_params.gap_bits);
     ChaosTrial {
         seed,
         violations,
@@ -475,6 +534,12 @@ pub fn run_chaos_trial(cfg: &ChaosConfig, seed: u64) -> ChaosTrial {
         bus_retries: bus_stats.retries,
         bus_hard_failures: bus_stats.failures,
         events_observed: client.notifications().len() as u64,
+        fast_fails: bus_stats.fast_fails,
+        client_fast_fails: client.fast_fails(),
+        probes: bus_stats.probes,
+        rebalances: bus_stats.rebalances,
+        open_issues: bus_stats.open_issues,
+        wasted_bits: bus_stats.backoff_bits + bus_stats.retries * retry_overhead_bits,
         trace_dropped: server.space().audit_trace().dropped()
             + bus_ref.obs().trace_dropped()
             + server.trace().dropped()
@@ -512,6 +577,40 @@ mod tests {
                 trial.violations
             );
         }
+    }
+
+    #[test]
+    fn supervised_trials_stay_clean() {
+        let cfg = ChaosConfig {
+            supervision: Some(SupervisionConfig::conservative()),
+            ..ChaosConfig::default()
+        };
+        for seed in 0..12 {
+            let trial = run_chaos_trial(&cfg, seed);
+            assert!(
+                trial.violations.is_empty(),
+                "seed {seed} violated under supervision: {:?}",
+                trial.violations
+            );
+            assert_eq!(trial.open_issues, 0, "seed {seed} issued to an Open slave");
+        }
+    }
+
+    #[test]
+    fn supervised_trials_replay_byte_identically() {
+        let cfg = ChaosConfig {
+            supervision: Some(SupervisionConfig::conservative()),
+            ..ChaosConfig::default()
+        };
+        // Seed 3 draws a dense burst channel, so breakers actually trip.
+        let a = run_chaos_trial(&cfg, 3);
+        let b = run_chaos_trial(&cfg, 3);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.fast_fails, b.fast_fails);
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(a.rebalances, b.rebalances);
+        assert_eq!(a.wasted_bits, b.wasted_bits);
+        assert_eq!(a.bus_retries, b.bus_retries);
     }
 
     #[test]

@@ -217,6 +217,9 @@ struct ClientInstruments {
     reply_timeouts: CounterId,
     stale_replies: CounterId,
     renewals_acked: CounterId,
+    /// Registered lazily on the first supervision fast-fail so that
+    /// unsupervised runs keep their exact snapshot layout.
+    fast_fails: Option<CounterId>,
     tracer: Tracer<TraceEvent>,
 }
 
@@ -227,9 +230,25 @@ impl Default for ClientInstruments {
             reply_timeouts: registry.counter("recovery/reply_timeouts"),
             stale_replies: registry.counter("reply/stale"),
             renewals_acked: registry.counter("lease/renewals_acked"),
+            fast_fails: None,
             registry,
             tracer: Tracer::disabled(),
         }
+    }
+}
+
+impl ClientInstruments {
+    /// Books one bus fast-fail under `recovery/fast_fails`.
+    fn fast_fail(&mut self) {
+        let id = match self.fast_fails {
+            Some(id) => id,
+            None => {
+                let id = self.registry.counter("recovery/fast_fails");
+                self.fast_fails = Some(id);
+                id
+            }
+        };
+        self.registry.inc(id);
     }
 }
 
@@ -434,6 +453,16 @@ impl ScriptedClient {
     #[must_use]
     pub fn renewals_acked(&self) -> u64 {
         self.obs.registry.count(self.obs.renewals_acked)
+    }
+
+    /// Transport errors that arrived as supervision fast-fails (the bus
+    /// fenced the destination off instead of exhausting retries). Always 0
+    /// when the bus runs without supervision.
+    #[must_use]
+    pub fn fast_fails(&self) -> u64 {
+        self.obs
+            .fast_fails
+            .map_or(0, |id| self.obs.registry.count(id))
     }
 
     /// Captures the client's metrics registry at instant `now` (paths
@@ -786,6 +815,9 @@ impl Component for ScriptedClient {
         };
         if let Ok(error) = msg.downcast::<NetError>() {
             self.errors.push(error.reason.clone());
+            if error.fast {
+                self.obs.fast_fail();
+            }
             if self.awaiting {
                 if self.try_recover(ctx, true) {
                     return; // the request will be re-issued

@@ -175,7 +175,8 @@ impl Component for TpwireEndpoint {
             };
             let app = self.app;
             let reason = failed.reason.clone();
-            ctx.send(app, NetError { to, reason });
+            let fast = failed.fast;
+            ctx.send(app, NetError { to, reason, fast });
         }
         // StreamSent acknowledgements are deliberately ignored: the
         // application layer works request/response.

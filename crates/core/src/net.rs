@@ -41,6 +41,10 @@ pub struct NetError {
     pub to: NodeId,
     /// Human-readable reason.
     pub reason: String,
+    /// Whether the bus fast-failed the message (destination quarantined by
+    /// a circuit breaker) instead of exhausting its retry schedule. Fast
+    /// failures arrive much sooner and cost no wire time.
+    pub fast: bool,
 }
 
 /// Reassembles chunked transport deliveries into whole messages.

@@ -264,6 +264,11 @@ pub struct CaseStudyResult {
     pub bus_retries: u64,
     /// Bus transactions abandoned after exhausting their retry budget.
     pub bus_hard_failures: u64,
+    /// Bit periods the bus spent waiting in retry backoff.
+    pub bus_backoff_bits: u64,
+    /// Requests the bus failed fast against an Open circuit breaker
+    /// (always 0 without supervision).
+    pub bus_fast_fails: u64,
     /// Bus deliveries dropped for want of an attachment (always 0 here
     /// unless a fault schedule severed a destination).
     pub bus_dropped_deliveries: u64,
@@ -496,6 +501,8 @@ pub fn run_case_study_observed(
         bus_bytes_relayed: stats.bytes_relayed,
         bus_retries: stats.retries,
         bus_hard_failures: stats.failures,
+        bus_backoff_bits: stats.backoff_bits,
+        bus_fast_fails: stats.fast_fails,
         bus_dropped_deliveries: stats.dropped_deliveries,
         take_recovery,
         dedup_replays: server.stats().dedup_replays,
@@ -580,6 +587,8 @@ pub fn run_case_study_tcp(cfg: &CaseStudyConfig, tcp: TcpParams) -> CaseStudyRes
         bus_bytes_relayed: 0,
         bus_retries: 0,
         bus_hard_failures: 0,
+        bus_backoff_bits: 0,
+        bus_fast_fails: 0,
         bus_dropped_deliveries: 0,
         take_recovery: records
             .get(1)

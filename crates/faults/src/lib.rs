@@ -18,6 +18,11 @@
 //!   a target component by a small driver [`Component`](tsbus_des::Component).
 //! * [`LinkFaults`] — the packet-link fault matrix (loss, jitter,
 //!   duplication, bounded reordering) used by `tsbus-netsim`.
+//! * [`SupervisionConfig`] / [`CircuitBreaker`] / [`SlaveHealth`] — the
+//!   supervision layer's per-slave health tracking and the
+//!   Closed → Open → Half-Open circuit breaker the master consults before
+//!   issuing transactions, so persistently sick slaves are quarantined
+//!   instead of bleeding the bus through cumulative retry backoff.
 //!
 //! Everything draws from the simulation's seeded [`SimRng`] streams: the
 //! same master seed replays the identical fault trace, byte for byte.
@@ -31,11 +36,15 @@ mod burst;
 mod link;
 mod retry;
 mod schedule;
+mod supervise;
 
 pub use burst::{BurstParams, ChannelState, GilbertElliott};
 pub use link::LinkFaults;
-pub use retry::{Backoff, FrameClass, RetryParams, RetryPolicy};
+pub use retry::{Backoff, BackoffExceedsWatchdog, FrameClass, RetryParams, RetryPolicy};
 pub use schedule::{FaultCommand, FaultDriver, FaultEvent, FaultKind, FaultSchedule};
+pub use supervise::{
+    Admission, BreakerState, CircuitBreaker, SlaveHealth, SupervisionConfig, Transition,
+};
 
 /// Validates a probability parameter: must be finite and within `[0, 1]`.
 ///

@@ -27,7 +27,13 @@ pub enum Backoff {
 
 impl Backoff {
     /// Delay (in bit periods) before retry number `attempt` (1-based:
-    /// `attempt == 1` is the first resend).
+    /// `attempt == 1` is the first resend; `attempt == 0` is treated as the
+    /// first resend too, so a miscounted caller gets the shortest wait, not
+    /// a shifted-by-`u32::MAX` one).
+    ///
+    /// Saturates rather than wraps everywhere: a zero `base_bits` never
+    /// delays regardless of the attempt count, and attempts large enough to
+    /// overflow the shift saturate to `cap_bits`.
     #[must_use]
     pub fn delay_bits(&self, attempt: u32) -> u64 {
         match *self {
@@ -54,7 +60,9 @@ impl SaturatingShl for u64 {
         if self == 0 {
             return 0;
         }
-        if shift >= self.leading_zeros() {
+        // `x << lz(x)` still fits (the top set bit lands on bit 63); only
+        // shifting *past* the leading zeros overflows.
+        if shift > self.leading_zeros() {
             u64::MAX
         } else {
             self << shift
@@ -79,6 +87,55 @@ impl RetryParams {
             max_retries,
             backoff: Backoff::None,
         }
+    }
+
+    /// Worst-case cumulative backoff across a full retry budget, in bit
+    /// periods (saturating).
+    ///
+    /// This is the longest span the master can spend *silent* on the wire
+    /// while it waits out backoff delays for one transaction. Corrupted
+    /// frames do not feed the slaves' reset watchdogs, so this sum — not
+    /// any single delay — is what must stay below the slave reset timeout
+    /// (2048 bit periods in the TpWIRE specification): beyond it the
+    /// slaves reset mid-recovery and the remaining retries fail against
+    /// deselected hardware.
+    #[must_use]
+    pub fn worst_case_backoff_bits(&self) -> u64 {
+        let mut total = 0u64;
+        for attempt in 1..=u32::from(self.max_retries) {
+            total = total.saturating_add(self.backoff.delay_bits(attempt));
+        }
+        total
+    }
+
+    /// Returns a copy whose worst-case cumulative backoff fits within
+    /// `budget_bits`, along with whether anything was changed.
+    ///
+    /// The clamp is deliberately conservative and deterministic: each
+    /// per-attempt delay is capped at `budget_bits / max_retries`, so the
+    /// sum can never exceed the budget. Policies already inside the budget
+    /// come back untouched.
+    #[must_use]
+    pub fn clamped_to_backoff_budget(self, budget_bits: u64) -> (Self, bool) {
+        if self.worst_case_backoff_bits() <= budget_bits {
+            return (self, false);
+        }
+        let per_attempt = budget_bits / u64::from(self.max_retries).max(1);
+        let backoff = match self.backoff {
+            Backoff::None => Backoff::None,
+            Backoff::Fixed { .. } => Backoff::Fixed { bits: per_attempt },
+            Backoff::Exponential { base_bits, .. } => Backoff::Exponential {
+                base_bits: base_bits.min(per_attempt),
+                cap_bits: per_attempt,
+            },
+        };
+        (
+            RetryParams {
+                max_retries: self.max_retries,
+                backoff,
+            },
+            true,
+        )
     }
 }
 
@@ -160,7 +217,106 @@ impl RetryPolicy {
             FrameClass::StreamWrite => self.stream_write.unwrap_or(self.default),
         }
     }
+
+    /// The largest worst-case cumulative backoff of any frame class, in
+    /// bit periods (see [`RetryParams::worst_case_backoff_bits`]).
+    #[must_use]
+    pub fn worst_case_backoff_bits(&self) -> u64 {
+        [
+            FrameClass::Control,
+            FrameClass::StreamRead,
+            FrameClass::StreamWrite,
+        ]
+        .into_iter()
+        .map(|class| self.for_class(class).worst_case_backoff_bits())
+        .max()
+        .unwrap_or(0)
+    }
+
+    /// Checks the policy against a silent-span budget (typically the
+    /// TpWIRE 2048-bit slave reset timeout): every class's worst-case
+    /// cumulative backoff must fit within `budget_bits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending class with its worst-case sum.
+    pub fn validated_against_watchdog(
+        self,
+        budget_bits: u64,
+    ) -> Result<Self, BackoffExceedsWatchdog> {
+        for class in [
+            FrameClass::Control,
+            FrameClass::StreamRead,
+            FrameClass::StreamWrite,
+        ] {
+            let worst = self.for_class(class).worst_case_backoff_bits();
+            if worst > budget_bits {
+                return Err(BackoffExceedsWatchdog {
+                    class,
+                    worst_case_bits: worst,
+                    budget_bits,
+                });
+            }
+        }
+        Ok(self)
+    }
+
+    /// Returns a copy in which every class's worst-case cumulative backoff
+    /// fits within `budget_bits`, plus whether any class was clamped (see
+    /// [`RetryParams::clamped_to_backoff_budget`] for the clamp rule).
+    #[must_use]
+    pub fn clamped_to_watchdog(self, budget_bits: u64) -> (Self, bool) {
+        let (default, c0) = self.default.clamped_to_backoff_budget(budget_bits);
+        let (stream_read, c1) = match self.stream_read {
+            Some(p) => {
+                let (p, c) = p.clamped_to_backoff_budget(budget_bits);
+                (Some(p), c)
+            }
+            None => (None, false),
+        };
+        let (stream_write, c2) = match self.stream_write {
+            Some(p) => {
+                let (p, c) = p.clamped_to_backoff_budget(budget_bits);
+                (Some(p), c)
+            }
+            None => (None, false),
+        };
+        (
+            RetryPolicy {
+                default,
+                stream_read,
+                stream_write,
+            },
+            c0 || c1 || c2,
+        )
+    }
 }
+
+/// Error: a retry policy whose worst-case cumulative backoff outlasts the
+/// slave reset watchdog, so its later retries would fire against slaves
+/// that have already reset and deselected themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffExceedsWatchdog {
+    /// The offending frame class.
+    pub class: FrameClass,
+    /// That class's worst-case cumulative backoff, in bit periods.
+    pub worst_case_bits: u64,
+    /// The budget it exceeds (the slave reset timeout), in bit periods.
+    pub budget_bits: u64,
+}
+
+impl core::fmt::Display for BackoffExceedsWatchdog {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "worst-case cumulative backoff of {:?} frames is {} bits, \
+             exceeding the {}-bit slave reset watchdog",
+            self.class, self.worst_case_bits, self.budget_bits
+        )
+    }
+}
+
+impl std::error::Error for BackoffExceedsWatchdog {}
 
 impl Default for RetryPolicy {
     /// Matches the seed's hard-coded behaviour: three immediate resends.
@@ -199,6 +355,106 @@ mod tests {
         };
         assert_eq!(exp.delay_bits(1), 0);
         assert_eq!(exp.delay_bits(64), 0);
+        assert_eq!(exp.delay_bits(u32::MAX), 0, "zero base saturates at zero");
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_cleanly() {
+        let uncapped = Backoff::Exponential {
+            base_bits: 1,
+            cap_bits: u64::MAX,
+        };
+        // Shift saturates at 63; 1 << 63 still fits exactly (no premature
+        // jump to u64::MAX — the old `>=` comparison saturated one shift
+        // too early).
+        assert_eq!(uncapped.delay_bits(64), 1 << 63);
+        assert_eq!(uncapped.delay_bits(u32::MAX), 1 << 63);
+        let wide = Backoff::Exponential {
+            base_bits: 3,
+            cap_bits: u64::MAX,
+        };
+        // 3 << 63 overflows, so it must saturate to u64::MAX, capped.
+        assert_eq!(wide.delay_bits(64), u64::MAX);
+        assert_eq!(wide.delay_bits(u32::MAX.saturating_sub(1)), u64::MAX);
+        // attempt 0 (a miscounted caller) behaves like the first resend.
+        assert_eq!(
+            Backoff::Exponential {
+                base_bits: 32,
+                cap_bits: 2048
+            }
+            .delay_bits(0),
+            32
+        );
+    }
+
+    #[test]
+    fn worst_case_cumulative_backoff_sums_the_schedule() {
+        // 32 + 64 + 128 + 128 = 352.
+        let p = RetryParams {
+            max_retries: 4,
+            backoff: Backoff::Exponential {
+                base_bits: 32,
+                cap_bits: 128,
+            },
+        };
+        assert_eq!(p.worst_case_backoff_bits(), 352);
+        assert_eq!(RetryParams::immediate(200).worst_case_backoff_bits(), 0);
+        let saturating = RetryParams {
+            max_retries: 255,
+            backoff: Backoff::Fixed { bits: u64::MAX },
+        };
+        assert_eq!(saturating.worst_case_backoff_bits(), u64::MAX);
+    }
+
+    #[test]
+    fn watchdog_validation_accepts_and_rejects() {
+        let fits = RetryPolicy::uniform(RetryParams {
+            max_retries: 12,
+            backoff: Backoff::Exponential {
+                base_bits: 32,
+                cap_bits: 128,
+            },
+        });
+        assert_eq!(fits.worst_case_backoff_bits(), 1376);
+        assert_eq!(fits.validated_against_watchdog(2048), Ok(fits));
+
+        let too_patient = RetryPolicy::immediate(3).with_stream_read(RetryParams {
+            max_retries: 10,
+            backoff: Backoff::Fixed { bits: 512 },
+        });
+        let err = too_patient
+            .validated_against_watchdog(2048)
+            .expect_err("5120 bits of silence must be rejected");
+        assert_eq!(err.class, FrameClass::StreamRead);
+        assert_eq!(err.worst_case_bits, 5120);
+        assert_eq!(err.budget_bits, 2048);
+        assert!(err.to_string().contains("2048-bit slave reset watchdog"));
+    }
+
+    #[test]
+    fn watchdog_clamp_is_idempotent_and_fits() {
+        let too_patient = RetryPolicy::uniform(RetryParams {
+            max_retries: 8,
+            backoff: Backoff::Exponential {
+                base_bits: 256,
+                cap_bits: 4096,
+            },
+        });
+        assert!(too_patient.worst_case_backoff_bits() > 2048);
+        let (clamped, changed) = too_patient.clamped_to_watchdog(2048);
+        assert!(changed);
+        assert!(clamped.worst_case_backoff_bits() <= 2048);
+        // Per-attempt cap = 2048 / 8 = 256 bits.
+        assert_eq!(
+            clamped.default.backoff,
+            Backoff::Exponential {
+                base_bits: 256,
+                cap_bits: 256,
+            }
+        );
+        let (again, changed_again) = clamped.clamped_to_watchdog(2048);
+        assert_eq!(again, clamped);
+        assert!(!changed_again, "a fitting policy passes through untouched");
     }
 
     #[test]

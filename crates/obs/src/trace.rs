@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 
 use tsbus_des::SimTime;
-use tsbus_faults::{FaultKind, FrameClass};
+use tsbus_faults::{BreakerState, FaultKind, FrameClass};
 
 /// Which protocol class a bus frame (and hence a retry) belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +165,47 @@ pub enum TraceEvent {
         /// Whether the probe resolved the in-doubt operation.
         resolved: bool,
     },
+    /// A supervised slave's circuit breaker changed state.
+    BreakerTransition {
+        /// Transition instant.
+        at: SimTime,
+        /// Supervised node.
+        node: u8,
+        /// State left.
+        from: BreakerState,
+        /// State entered.
+        to: BreakerState,
+    },
+    /// The master issued a probe frame to a Half-Open slave.
+    Probe {
+        /// Probe completion instant.
+        at: SimTime,
+        /// Probed node.
+        node: u8,
+        /// Whether the probe succeeded.
+        ok: bool,
+    },
+    /// A slave entered (`entered = true`) or left quarantine.
+    Quarantine {
+        /// Quarantine boundary instant.
+        at: SimTime,
+        /// Quarantined node.
+        node: u8,
+        /// `true` on entry (breaker opened), `false` on readmission.
+        entered: bool,
+    },
+    /// Degraded-mode rebalancing moved a lane's slaves.
+    Rebalance {
+        /// Rebalance instant.
+        at: SimTime,
+        /// The lane evacuated (`restored = false`) or repopulated.
+        lane: u8,
+        /// Slaves whose lane assignment changed.
+        moved: u8,
+        /// `false` when evacuating a degraded lane, `true` when restoring
+        /// its home assignment.
+        restored: bool,
+    },
 }
 
 impl TraceEvent {
@@ -182,7 +223,11 @@ impl TraceEvent {
             | TraceEvent::TupleOp { at, .. }
             | TraceEvent::Dedup { at, .. }
             | TraceEvent::Lease { at, .. }
-            | TraceEvent::Recovery { at, .. } => *at,
+            | TraceEvent::Recovery { at, .. }
+            | TraceEvent::BreakerTransition { at, .. }
+            | TraceEvent::Probe { at, .. }
+            | TraceEvent::Quarantine { at, .. }
+            | TraceEvent::Rebalance { at, .. } => *at,
         }
     }
 }
@@ -409,6 +454,28 @@ mod tests {
                 at,
                 effect: LinkEffect::Loss,
                 seq: 7,
+            },
+            TraceEvent::BreakerTransition {
+                at,
+                node: 4,
+                from: BreakerState::Closed,
+                to: BreakerState::Open,
+            },
+            TraceEvent::Probe {
+                at,
+                node: 4,
+                ok: true,
+            },
+            TraceEvent::Quarantine {
+                at,
+                node: 4,
+                entered: true,
+            },
+            TraceEvent::Rebalance {
+                at,
+                lane: 1,
+                moved: 3,
+                restored: false,
             },
         ];
         for e in events {

@@ -41,13 +41,14 @@ use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
 use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimTime};
-use tsbus_faults::{FaultCommand, FaultKind, FrameClass, GilbertElliott};
+use tsbus_faults::{Admission, BreakerState, FaultCommand, FaultKind, FrameClass, GilbertElliott};
 
 use crate::frame::{Command, RxFrame, RxType, TxFrame};
 use crate::instrument::{BusInstruments, BusStats};
 use crate::node::{AddressSpace, NodeId};
 use crate::slave::{SlaveDevice, STREAM_ADDR};
-use crate::wiring::BusParams;
+use crate::supervisor::Supervisor;
+use crate::wiring::{BusParams, RESET_TIMEOUT_BITS};
 
 /// Header byte that addresses the master instead of a slave.
 const DST_MASTER: u8 = 0x80;
@@ -152,6 +153,10 @@ pub struct StreamFailed {
     pub to: Option<StreamEndpoint>,
     /// Human-readable reason.
     pub reason: String,
+    /// Whether the failure was a supervision fast-fail (circuit breaker
+    /// open) rather than exhausted retries — fast failures burned no
+    /// backoff on the wire and may be retried sooner by the caller.
+    pub fast: bool,
 }
 
 /// Where a relay job's bytes come from.
@@ -342,6 +347,14 @@ pub struct TpWireBus {
     int_seen: bool,
     poll_cursor: usize,
     next_poll_due: SimTime,
+    /// Per-lane poll deadlines, used instead of [`next_poll_due`] when
+    /// supervision is on: the wire plan restricts each lane to its own
+    /// positions, so a single shared deadline would let whichever lane is
+    /// kicked first claim every cycle and starve the other lanes'
+    /// keep-alive (and quarantine-probe) polls.
+    ///
+    /// [`next_poll_due`]: TpWireBus::next_poll_due
+    lane_poll_due: Vec<SimTime>,
     poll_timer_armed: bool,
     obs: BusInstruments,
     /// Gilbert-Elliott burst error channel, when configured.
@@ -351,6 +364,9 @@ pub struct TpWireBus {
     /// Fault state: when set, only positions `< break_after` are reachable
     /// (the daisy chain is severed after that many devices).
     break_after: Option<usize>,
+    /// The supervision layer (circuit breakers + lane plan), when
+    /// configured via [`BusParams::supervision`].
+    supervisor: Option<Supervisor>,
 }
 
 impl TpWireBus {
@@ -360,11 +376,19 @@ impl TpWireBus {
     ///
     /// Panics if `chain` is empty or contains a duplicate node id.
     #[must_use]
-    pub fn new(params: BusParams, chain: Vec<NodeId>) -> Self {
+    pub fn new(mut params: BusParams, chain: Vec<NodeId>) -> Self {
         assert!(
             !chain.is_empty(),
             "a TpWIRE network needs at least one slave"
         );
+        // PR 1's discovered constraint, now checked: a retry schedule whose
+        // worst-case cumulative backoff exceeds the 2048-bit reset timeout
+        // would silently reset the very slave it is trying to reach. Clamp
+        // it and book a warning instead of simulating nonsense.
+        let (retry, clamped) = params
+            .retry
+            .clamped_to_watchdog(u64::from(RESET_TIMEOUT_BITS));
+        params.retry = retry;
         let mut positions = HashMap::new();
         let devices: Vec<SlaveDevice> = chain
             .iter()
@@ -389,6 +413,19 @@ impl TpWireBus {
         let owners = vec![None; devices.len()];
         let read_toggles = vec![vec![true; devices.len()]; usize::from(params.wiring.lanes())];
         let crashed = vec![false; devices.len()];
+        let mut obs = BusInstruments::new(usize::from(params.wiring.lanes()));
+        if clamped {
+            obs.retry_policy_clamped();
+        }
+        let supervisor = params.supervision.map(|cfg| {
+            obs.enable_supervision(devices.len());
+            Supervisor::new(
+                cfg,
+                params.bits64_to_time(cfg.open_bits),
+                params.wiring.lanes(),
+                devices.len(),
+            )
+        });
         TpWireBus {
             params,
             chain: devices,
@@ -403,11 +440,13 @@ impl TpWireBus {
             int_seen: false,
             poll_cursor: 0,
             next_poll_due: SimTime::ZERO,
+            lane_poll_due: vec![SimTime::ZERO; usize::from(params.wiring.lanes())],
             poll_timer_armed: false,
-            obs: BusInstruments::new(usize::from(params.wiring.lanes())),
+            obs,
             burst: params.burst_error.map(GilbertElliott::new),
             crashed,
             break_after: None,
+            supervisor,
         }
     }
 
@@ -548,6 +587,127 @@ impl TpWireBus {
             .map_or(NodeId::BROADCAST.raw(), |(node, _)| node)
     }
 
+    // ------------------------------------------------------------------
+    // Supervision
+    // ------------------------------------------------------------------
+
+    /// The chain position a frame on `lane` addresses: the selection target
+    /// of a `SelectNode`, the currently selected node otherwise; `None` for
+    /// broadcasts and unknown nodes.
+    fn frame_target_pos(&self, lane_idx: usize, frame: &TxFrame) -> Option<usize> {
+        let raw = match frame.cmd {
+            Command::SelectNode => frame.data & 0x7F,
+            _ => self.lane_node(lane_idx),
+        };
+        if raw == NodeId::BROADCAST.raw() {
+            return None;
+        }
+        self.positions.get(&raw).copied()
+    }
+
+    /// Whether `pos`'s breaker is Open right now (always `false` when
+    /// supervision is off).
+    fn breaker_open(&self, pos: usize) -> bool {
+        self.supervisor
+            .as_ref()
+            .is_some_and(|sup| sup.state(pos) == BreakerState::Open)
+    }
+
+    /// Whether regular traffic for `pos` must fail fast (Open or
+    /// Half-Open; always `false` when supervision is off).
+    fn traffic_quarantined(&self, pos: usize) -> bool {
+        self.supervisor
+            .as_ref()
+            .is_some_and(|sup| sup.quarantined(pos))
+    }
+
+    /// Feeds one transaction outcome for the slave at `pos` into its
+    /// breaker, booking probe results and any fallout (transition trace,
+    /// quarantine spans, rebalances) into the instruments. No-op when
+    /// supervision is off.
+    fn supervise_outcome(&mut self, now: SimTime, pos: usize, ok: bool) {
+        let Some(sup) = self.supervisor.as_mut() else {
+            return;
+        };
+        let node = self.chain[pos].node().raw();
+        let was_probing = sup.state(pos) == BreakerState::HalfOpen;
+        if was_probing {
+            self.obs.probe(now, node, ok);
+        }
+        let effects = sup.record(now, pos, ok);
+        if let Some(tr) = effects.transition {
+            self.obs.breaker_transition(now, node, tr.from, tr.to);
+        }
+        if let Some(span) = effects.quarantine_closed {
+            self.obs.slave_open_span(pos, span);
+        }
+        for (lane, moved, restored) in effects.rebalances {
+            self.obs.rebalance(now, lane, moved, restored);
+        }
+        if let Some(span) = effects.degraded_closed {
+            self.obs.degraded_span(span);
+        }
+    }
+
+    /// Fails the relay job on `lane` fast because `pos` is quarantined
+    /// (no transaction is issued, no backoff is burned).
+    fn fast_fail_job(&mut self, ctx: &mut Context<'_>, lane_idx: usize, pos: usize) {
+        let Some(Activity::Job(job)) = self.lanes[lane_idx].activity.take() else {
+            unreachable!("fast_fail_job outside a job")
+        };
+        let node = self.chain[pos].node().raw();
+        self.obs.fast_fail(ctx.now(), node);
+        self.fail_job(ctx, lane_idx, job, "slave quarantined by bus supervision");
+        self.schedule_lane(ctx, lane_idx);
+    }
+
+    /// Whether the supervision layer's rebalancing currently conserves the
+    /// lane assignment (trivially `true` when supervision is off). The
+    /// chaos harness asserts this after every trial.
+    #[must_use]
+    pub fn supervision_conserved(&self) -> bool {
+        self.supervisor
+            .as_ref()
+            .is_none_or(Supervisor::conserves_assignment)
+    }
+
+    /// The circuit-breaker state of `node`, when supervision is on and the
+    /// node is part of the chain.
+    #[must_use]
+    pub fn breaker_state(&self, node: NodeId) -> Option<BreakerState> {
+        let sup = self.supervisor.as_ref()?;
+        let pos = *self.positions.get(&node.raw())?;
+        Some(sup.state(pos))
+    }
+
+    /// Fraction of `[0, now]` the slave `node` was *not* quarantined.
+    /// `1.0` when supervision is off or the node is unknown.
+    #[must_use]
+    pub fn slave_availability(&self, node: NodeId, now: SimTime) -> f64 {
+        let (Some(sup), Some(&pos)) = (self.supervisor.as_ref(), self.positions.get(&node.raw()))
+        else {
+            return 1.0;
+        };
+        let residual = match sup.quarantined_since(pos) {
+            Some(since) => now.saturating_duration_since(since),
+            None => tsbus_des::SimDuration::ZERO,
+        };
+        let open = self.obs.slave_open_total(pos) + residual;
+        let window = now.as_secs_f64();
+        if window <= 0.0 {
+            1.0
+        } else {
+            (1.0 - open.as_secs_f64() / window).max(0.0)
+        }
+    }
+
+    /// Whether the bus is currently in degraded mode (at least one lane
+    /// evacuated). Always `false` when supervision is off.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.supervisor.as_ref().is_some_and(Supervisor::degraded)
+    }
+
     /// The retry class of an ordinary frame.
     fn class_of_frame(frame: &TxFrame) -> FrameClass {
         match frame.cmd {
@@ -607,6 +767,14 @@ impl TpWireBus {
     /// Issues `frame` on `lane`, driving the slave chain and scheduling the
     /// completion event.
     fn issue(&mut self, ctx: &mut Context<'_>, lane_idx: usize, frame: TxFrame, attempts: u8) {
+        // Chaos-harness invariant probe: a request issued to a slave whose
+        // breaker is Open is a supervision bug (the layers above should
+        // have fast-failed it). Booked, never expected.
+        if let Some(pos) = self.frame_target_pos(lane_idx, &frame) {
+            if self.breaker_open(pos) {
+                self.obs.open_issue();
+            }
+        }
         let p = self.params;
         let frame_time = p.frame_time();
         let hop = p.bits_to_time(p.hop_delay_bits);
@@ -743,6 +911,11 @@ impl TpWireBus {
             InFlightKind::DmaRead { pos, k } => (*pos, *k, false),
             InFlightKind::Frame(_) => unreachable!("issue_burst takes DMA kinds only"),
         };
+        // Same invariant probe as `issue`: bursts must never target an
+        // Open slave either.
+        if self.breaker_open(pos) {
+            self.obs.open_issue();
+        }
         let hops = pos as u32 + 1;
         let cost = p.dma_burst_time(k as u32, hops);
 
@@ -853,12 +1026,17 @@ impl TpWireBus {
                         // Arming (3 transactions) + the burst itself.
                         self.obs
                             .txn_ok(ctx.now(), node, Self::class_of_burst(&kind), 4);
+                        self.supervise_outcome(ctx.now(), pos, true);
                         self.advance_burst(ctx, lane_idx, &kind, Some(block));
                     }
                     Outcome::NoReply => {
                         let class = Self::class_of_burst(&kind);
+                        self.supervise_outcome(ctx.now(), pos, false);
+                        // A freshly tripped breaker aborts the burst rather
+                        // than burning backoff against a dead slave.
+                        let abort = self.breaker_open(pos);
                         let retry = self.params.retry.for_class(class);
-                        if in_flight.attempts < retry.max_retries {
+                        if !abort && in_flight.attempts < retry.max_retries {
                             self.obs.retry(ctx.now(), node, class);
                             let attempts = in_flight.attempts + 1;
                             let delay_bits = retry.backoff.delay_bits(u32::from(attempts));
@@ -876,7 +1054,11 @@ impl TpWireBus {
                                 );
                             }
                         } else {
-                            self.obs.txn_failed(ctx.now(), node);
+                            if abort {
+                                self.obs.fast_fail(ctx.now(), node);
+                            } else {
+                                self.obs.txn_failed(ctx.now(), node);
+                            }
                             self.lanes[lane_idx].selected = None;
                             self.lanes[lane_idx].ptr_at_stream = false;
                             self.advance_burst(ctx, lane_idx, &kind, None);
@@ -894,6 +1076,9 @@ impl TpWireBus {
                 let node = self.lane_node(lane_idx);
                 self.obs
                     .txn_ok(ctx.now(), node, Self::class_of_frame(&frame), 1);
+                if let Some(pos) = self.frame_target_pos(lane_idx, &frame) {
+                    self.supervise_outcome(ctx.now(), pos, true);
+                }
                 if rx.int {
                     self.int_seen = true;
                 }
@@ -920,14 +1105,28 @@ impl TpWireBus {
                 self.obs.txn_ok(ctx.now(), node, class, 1);
                 // The lost RX still cost the wire time.
                 self.obs.retry(ctx.now(), node, class);
+                // Health-wise a corrupted acknowledge is still a failure
+                // signal: a flaky link trips the breaker even when every
+                // command happens to execute.
+                if let Some(pos) = self.frame_target_pos(lane_idx, &frame) {
+                    self.supervise_outcome(ctx.now(), pos, false);
+                }
                 let synthetic = RxFrame::new(false, RxType::Status, 0);
                 self.advance_activity(ctx, lane_idx, frame, Some(synthetic));
             }
             Outcome::NoReply | Outcome::BadRx => {
                 let node = self.lane_node(lane_idx);
                 let class = Self::class_of_frame(&frame);
+                let pos = self.frame_target_pos(lane_idx, &frame);
+                if let Some(p) = pos {
+                    self.supervise_outcome(ctx.now(), p, false);
+                }
+                // A freshly tripped breaker aborts the attempt sequence
+                // instead of burning the remaining cumulative backoff
+                // against the 2048-bit watchdog.
+                let abort = pos.is_some_and(|p| self.breaker_open(p));
                 let retry = self.params.retry.for_class(class);
-                if in_flight.attempts < retry.max_retries {
+                if !abort && in_flight.attempts < retry.max_retries {
                     self.obs.retry(ctx.now(), node, class);
                     let attempts = in_flight.attempts + 1;
                     let delay_bits = retry.backoff.delay_bits(u32::from(attempts));
@@ -945,7 +1144,11 @@ impl TpWireBus {
                         );
                     }
                 } else {
-                    self.obs.txn_failed(ctx.now(), node);
+                    if abort {
+                        self.obs.fast_fail(ctx.now(), node);
+                    } else {
+                        self.obs.txn_failed(ctx.now(), node);
+                    }
                     // Whatever the master believed about this lane's
                     // selection may be stale (e.g. the slave reset).
                     self.lanes[lane_idx].selected = None;
@@ -1019,8 +1222,13 @@ impl TpWireBus {
                     // A source we are already relaying from keeps its
                     // interrupt raised until its FIFO drains; only a *new*
                     // source (no active or parked job reading it) warrants
-                    // a header read.
-                    if rx.status_pending_interrupt() && !self.source_busy(pos) {
+                    // a header read. A quarantined source (Half-Open
+                    // probation) stays fenced off: this poll was only a
+                    // probe, and its INT stays pending until readmission.
+                    if rx.status_pending_interrupt()
+                        && !self.source_busy(pos)
+                        && !self.traffic_quarantined(pos)
+                    {
                         self.lanes[lane_idx].activity = Some(Activity::Discover {
                             src_pos: pos,
                             header: Vec::with_capacity(STREAM_HEADER_BYTES),
@@ -1129,6 +1337,17 @@ impl TpWireBus {
             unreachable!("continue_discover outside discovery")
         };
         let src_pos = *src_pos;
+        // The breaker can trip mid-discovery (a header-read retry sequence
+        // exhausting): abandon the header, the INT stays pending and a
+        // post-readmission poll restarts discovery from scratch.
+        if self.traffic_quarantined(src_pos) {
+            self.lanes[lane_idx].activity = None;
+            self.release_owner(src_pos, lane_idx);
+            let node = self.chain[src_pos].node().raw();
+            self.obs.fast_fail(ctx.now(), node);
+            self.schedule_lane(ctx, lane_idx);
+            return;
+        }
         let node = self.chain[src_pos].node();
         if self.lanes[lane_idx].selected != Some((node.raw(), AddressSpace::Memory)) {
             self.issue(ctx, lane_idx, TxFrame::select(node, false), 0);
@@ -1217,7 +1436,7 @@ impl TpWireBus {
             let relay_chunk = usize::from(self.params.relay_chunk);
             let now = ctx.now();
             let jobs_waiting = !self.jobs.is_empty();
-            let poll_due = now >= self.next_poll_due;
+            let poll_due = now >= self.poll_due_at(lane_idx);
 
             // -------- decide --------
             let step = {
@@ -1297,6 +1516,10 @@ impl TpWireBus {
             // -------- act --------
             match step {
                 JobStep::EnsureAndRead { src_pos } => {
+                    if self.traffic_quarantined(src_pos) {
+                        self.fast_fail_job(ctx, lane_idx, src_pos);
+                        return;
+                    }
                     let node = self.chain[src_pos].node();
                     if self.lanes[lane_idx].selected != Some((node.raw(), AddressSpace::Memory)) {
                         self.issue(ctx, lane_idx, TxFrame::select(node, false), 0);
@@ -1314,6 +1537,12 @@ impl TpWireBus {
                     return;
                 }
                 JobStep::EnsureAndWrite { dst_node } => {
+                    if let Some(&pos) = self.positions.get(&dst_node.raw()) {
+                        if self.traffic_quarantined(pos) {
+                            self.fast_fail_job(ctx, lane_idx, pos);
+                            return;
+                        }
+                    }
                     if self.lanes[lane_idx].selected != Some((dst_node.raw(), AddressSpace::Memory))
                     {
                         self.issue(ctx, lane_idx, TxFrame::select(dst_node, false), 0);
@@ -1378,10 +1607,18 @@ impl TpWireBus {
                     }
                 }
                 JobStep::DmaRead { src_pos, k } => {
+                    if self.traffic_quarantined(src_pos) {
+                        self.fast_fail_job(ctx, lane_idx, src_pos);
+                        return;
+                    }
                     self.issue_burst(ctx, lane_idx, InFlightKind::DmaRead { pos: src_pos, k }, 0);
                     return;
                 }
                 JobStep::DmaWrite { dst_pos, bytes } => {
+                    if self.traffic_quarantined(dst_pos) {
+                        self.fast_fail_job(ctx, lane_idx, dst_pos);
+                        return;
+                    }
                     self.issue_burst(
                         ctx,
                         lane_idx,
@@ -1461,6 +1698,7 @@ impl TpWireBus {
                 from: job.from,
                 to: None,
                 reason: "stream header named an unknown destination".to_owned(),
+                fast: false,
             };
             self.notify(ctx, job.from, failed);
         } else {
@@ -1493,10 +1731,19 @@ impl TpWireBus {
             self.release_owner(p, lane_idx);
         }
         self.obs.message_failed();
+        // The failure is "fast" when supervision fenced one of the job's
+        // endpoints off — the caller learned quickly and cheaply, not by
+        // burning the full retry/backoff schedule.
+        let fast = job
+            .src_pos()
+            .into_iter()
+            .chain(job.dst_pos)
+            .any(|p| self.traffic_quarantined(p));
         let failed = StreamFailed {
             from: job.from,
             to: Some(job.to),
             reason: reason.to_owned(),
+            fast,
         };
         self.notify(ctx, job.from, failed);
     }
@@ -1552,10 +1799,17 @@ impl TpWireBus {
         // discovered under load. (The INT hint alone must NOT preempt jobs:
         // sources being relayed keep their interrupt raised, so it would
         // starve the very transfers it announced.)
-        if ctx.now() >= self.next_poll_due {
-            if let Some(pos) = self.next_poll_target(lane_idx) {
+        if ctx.now() >= self.poll_due_at(lane_idx) {
+            if let Some(pos) = self.next_poll_target(ctx.now(), lane_idx) {
                 self.start_poll(ctx, lane_idx, pos);
                 return;
+            } else if self.supervisor.is_some() {
+                // Every candidate is fenced off (Open breakers, foreign
+                // lanes): push the deadline one idle-poll period forward so
+                // the poll timer cannot spin at zero simulated cost while
+                // the quarantine windows run down.
+                let due = ctx.now() + self.params.bits_to_time(self.params.idle_poll_bits);
+                self.set_poll_due(lane_idx, due);
             }
         }
 
@@ -1591,7 +1845,7 @@ impl TpWireBus {
         // lanes into polling each other's endpoints forever. Parked jobs
         // rely on the periodic poll for new-source discovery instead.
         if self.int_seen && self.jobs.is_empty() {
-            if let Some(pos) = self.next_poll_target(lane_idx) {
+            if let Some(pos) = self.next_poll_target(ctx.now(), lane_idx) {
                 self.start_poll(ctx, lane_idx, pos);
                 return;
             }
@@ -1604,22 +1858,77 @@ impl TpWireBus {
         }
         if !self.poll_timer_armed {
             self.poll_timer_armed = true;
-            let due = self.next_poll_due.max(ctx.now());
+            let due = self.earliest_poll_due().max(ctx.now());
             let self_id = ctx.self_id();
             ctx.schedule_at(due, self_id, PollTimer);
         }
     }
 
+    /// The poll deadline `lane_idx` is held to: the shared bus-wide one
+    /// normally, the lane's own when supervision is on (see
+    /// [`lane_poll_due`](TpWireBus::lane_poll_due)).
+    fn poll_due_at(&self, lane_idx: usize) -> SimTime {
+        if self.supervisor.is_some() {
+            self.lane_poll_due[lane_idx]
+        } else {
+            self.next_poll_due
+        }
+    }
+
+    /// Sets `lane_idx`'s poll deadline (the shared one when unsupervised).
+    fn set_poll_due(&mut self, lane_idx: usize, due: SimTime) {
+        if self.supervisor.is_some() {
+            self.lane_poll_due[lane_idx] = due;
+        } else {
+            self.next_poll_due = due;
+        }
+    }
+
+    /// The earliest pending poll deadline across lanes — what the idle
+    /// poll timer must be armed for.
+    fn earliest_poll_due(&self) -> SimTime {
+        if self.supervisor.is_some() {
+            self.lane_poll_due
+                .iter()
+                .copied()
+                .min()
+                .unwrap_or(self.next_poll_due)
+        } else {
+            self.next_poll_due
+        }
+    }
+
     /// Finds the next pollable slave position (round-robin, skipping slaves
     /// owned by other lanes). Returns `None` when every candidate is busy.
-    fn next_poll_target(&mut self, lane_idx: usize) -> Option<usize> {
+    ///
+    /// Under supervision the scan additionally honours the [`WirePlan`]
+    /// (each lane polls only the positions currently assigned to it) and
+    /// consults the breaker: Open slaves are skipped entirely until their
+    /// window expires, Half-Open ones are admitted as probes within the
+    /// probe budget. Keep-alive polls double as the probe vehicle — a
+    /// `SelectNode` round-trip is the cheapest transaction the bus has.
+    fn next_poll_target(&mut self, now: SimTime, lane_idx: usize) -> Option<usize> {
         let n = self.chain.len();
         for step in 0..n {
             let pos = (self.poll_cursor + step) % n;
-            if self.owners[pos].is_none() || self.owners[pos] == Some(lane_idx) {
-                self.poll_cursor = (pos + 1) % n;
-                return Some(pos);
+            if self.owners[pos].is_some() && self.owners[pos] != Some(lane_idx) {
+                continue;
             }
+            if let Some(sup) = self.supervisor.as_mut() {
+                if usize::from(sup.poll_lane_of(pos)) != lane_idx {
+                    continue;
+                }
+                let (admission, transition) = sup.admit_poll(now, pos);
+                if let Some(tr) = transition {
+                    let node = self.chain[pos].node().raw();
+                    self.obs.breaker_transition(now, node, tr.from, tr.to);
+                }
+                if admission == Admission::FastFail {
+                    continue;
+                }
+            }
+            self.poll_cursor = (pos + 1) % n;
+            return Some(pos);
         }
         None
     }
@@ -1629,7 +1938,8 @@ impl TpWireBus {
         // Each poll consumes the INT latch; a still-pending slave re-raises
         // it on the next RX frame that passes it.
         self.int_seen = false;
-        self.next_poll_due = ctx.now() + self.params.bits_to_time(self.params.idle_poll_bits);
+        let due = ctx.now() + self.params.bits_to_time(self.params.idle_poll_bits);
+        self.set_poll_due(lane_idx, due);
         let owned = self.try_own(pos, lane_idx);
         debug_assert!(owned, "poll target ownership checked by caller");
         self.lanes[lane_idx].activity = Some(Activity::Poll { pos });

@@ -9,7 +9,7 @@
 //! view assembled from the registry — there is exactly one counting path.
 
 use tsbus_des::{SimDuration, SimTime};
-use tsbus_faults::{FaultKind, FrameClass};
+use tsbus_faults::{BreakerState, FaultKind, FrameClass};
 use tsbus_obs::{BusyId, CounterId, Registry, Snapshot, TraceEvent, Tracer};
 
 /// Aggregate bus statistics, read back from the registry.
@@ -46,6 +46,20 @@ pub struct BusStats {
     pub dropped_deliveries: u64,
     /// Fault commands applied (crash/revive/reset/break/heal).
     pub faults_injected: u64,
+    /// Requests failed fast against an Open circuit breaker (supervision
+    /// only; zero when supervision is off).
+    pub fast_fails: u64,
+    /// Probe frames issued to Half-Open slaves.
+    pub probes: u64,
+    /// Circuit-breaker trips (transitions into Open).
+    pub breaker_trips: u64,
+    /// Circuit-breaker readmissions (transitions into Closed).
+    pub breaker_readmissions: u64,
+    /// Degraded-mode lane rebalances (evacuations and restorations).
+    pub rebalances: u64,
+    /// Supervision invariant violations: requests issued to an Open slave.
+    /// Must stay zero; counted so the chaos harness can assert it.
+    pub open_issues: u64,
 }
 
 /// The bus master's instrument set: registry handles for every counter the
@@ -70,6 +84,30 @@ pub struct BusInstruments {
     notify_dropped: CounterId,
     fault_injected: CounterId,
     lane_busy: Vec<BusyId>,
+    /// Supervision instruments, registered lazily by
+    /// [`enable_supervision`](BusInstruments::enable_supervision) so an
+    /// unsupervised bus's registry (and hence its snapshots) stays
+    /// byte-identical to the pre-supervision layout.
+    supervise: Option<SuperviseIds>,
+    /// Lazily registered `retry/clamped` warning counter — present only
+    /// after a retry policy actually had to be clamped to the watchdog.
+    retry_clamped: Option<CounterId>,
+}
+
+/// Registry handles for the supervision layer's counters and busy spans.
+#[derive(Debug)]
+struct SuperviseIds {
+    fast_fails: CounterId,
+    probes: CounterId,
+    trips: CounterId,
+    readmissions: CounterId,
+    rebalances: CounterId,
+    open_issues: CounterId,
+    /// Time the bus spent in degraded mode (at least one lane evacuated).
+    degraded: BusyId,
+    /// Per-slave (by 0-based chain position) time spent with the breaker
+    /// Open — the complement of the slave's availability.
+    slave_open: Vec<BusyId>,
 }
 
 impl BusInstruments {
@@ -114,7 +152,30 @@ impl BusInstruments {
             notify_dropped,
             fault_injected,
             lane_busy,
+            supervise: None,
+            retry_clamped: None,
         }
+    }
+
+    /// Registers the supervision instrument set for `slaves` chain
+    /// positions. Called once by the bus when supervision is configured;
+    /// never called on an unsupervised bus, whose registry layout is
+    /// thereby unchanged.
+    pub fn enable_supervision(&mut self, slaves: usize) {
+        let registry = &mut self.registry;
+        let slave_open = (0..slaves)
+            .map(|i| registry.busy_time(&format!("supervise/slave/{i}/open")))
+            .collect();
+        self.supervise = Some(SuperviseIds {
+            fast_fails: registry.counter("supervise/fast_fails"),
+            probes: registry.counter("supervise/probes"),
+            trips: registry.counter("supervise/trips"),
+            readmissions: registry.counter("supervise/readmissions"),
+            rebalances: registry.counter("supervise/rebalances"),
+            open_issues: registry.counter("supervise/open_issues"),
+            degraded: registry.busy_time("supervise/degraded"),
+            slave_open,
+        });
     }
 
     /// Replaces the trace collector (e.g. with a bounded ring to start
@@ -165,7 +226,19 @@ impl BusInstruments {
             messages_failed: self.registry.count(self.relay_failed),
             dropped_deliveries: self.registry.count(self.notify_dropped),
             faults_injected: self.registry.count(self.fault_injected),
+            fast_fails: self.supervised_count(|ids| ids.fast_fails),
+            probes: self.supervised_count(|ids| ids.probes),
+            breaker_trips: self.supervised_count(|ids| ids.trips),
+            breaker_readmissions: self.supervised_count(|ids| ids.readmissions),
+            rebalances: self.supervised_count(|ids| ids.rebalances),
+            open_issues: self.supervised_count(|ids| ids.open_issues),
         }
+    }
+
+    fn supervised_count(&self, pick: impl Fn(&SuperviseIds) -> CounterId) -> u64 {
+        self.supervise
+            .as_ref()
+            .map_or(0, |ids| self.registry.count(pick(ids)))
     }
 
     /// Books `n` completed transactions and emits one `Frame` event for
@@ -238,6 +311,133 @@ impl BusInstruments {
         self.tracer.emit(TraceEvent::Fault { at, kind });
     }
 
+    /// Books one request failed fast against an Open breaker.
+    pub fn fast_fail(&mut self, at: SimTime, node: u8) {
+        if let Some(ids) = &self.supervise {
+            self.registry.inc(ids.fast_fails);
+        }
+        self.tracer.emit(TraceEvent::TxnFailed { at, node });
+    }
+
+    /// Books one probe frame outcome against a Half-Open slave.
+    pub fn probe(&mut self, at: SimTime, node: u8, ok: bool) {
+        if let Some(ids) = &self.supervise {
+            self.registry.inc(ids.probes);
+        }
+        self.tracer.emit(TraceEvent::Probe { at, node, ok });
+    }
+
+    /// Books one circuit-breaker state change, counting trips and
+    /// readmissions and emitting the quarantine boundary events.
+    pub fn breaker_transition(
+        &mut self,
+        at: SimTime,
+        node: u8,
+        from: BreakerState,
+        to: BreakerState,
+    ) {
+        if let Some(ids) = &self.supervise {
+            match to {
+                BreakerState::Open if from == BreakerState::Closed => self.registry.inc(ids.trips),
+                BreakerState::Closed => self.registry.inc(ids.readmissions),
+                _ => {}
+            }
+        }
+        self.tracer
+            .emit(TraceEvent::BreakerTransition { at, node, from, to });
+        match to {
+            BreakerState::Open if from == BreakerState::Closed => {
+                self.tracer.emit(TraceEvent::Quarantine {
+                    at,
+                    node,
+                    entered: true,
+                });
+            }
+            BreakerState::Closed => {
+                self.tracer.emit(TraceEvent::Quarantine {
+                    at,
+                    node,
+                    entered: false,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Books one degraded-mode rebalance touching `moved` slaves.
+    pub fn rebalance(&mut self, at: SimTime, lane: u8, moved: u8, restored: bool) {
+        if let Some(ids) = &self.supervise {
+            self.registry.inc(ids.rebalances);
+        }
+        self.tracer.emit(TraceEvent::Rebalance {
+            at,
+            lane,
+            moved,
+            restored,
+        });
+    }
+
+    /// Books one violation of the "never issue to an Open slave" invariant.
+    /// Stays zero in a correct master; the chaos harness asserts it.
+    pub fn open_issue(&mut self) {
+        if let Some(ids) = &self.supervise {
+            self.registry.inc(ids.open_issues);
+        }
+    }
+
+    /// Accumulates a closed interval of breaker-Open time for the slave at
+    /// 0-based chain position `pos`.
+    pub fn slave_open_span(&mut self, pos: usize, span: SimDuration) {
+        if let Some(ids) = &self.supervise {
+            self.registry.add_busy(ids.slave_open[pos], span);
+        }
+    }
+
+    /// Total breaker-Open time accumulated for chain position `pos`.
+    #[must_use]
+    pub fn slave_open_total(&self, pos: usize) -> SimDuration {
+        self.supervise.as_ref().map_or(SimDuration::ZERO, |ids| {
+            self.registry.busy_total(ids.slave_open[pos])
+        })
+    }
+
+    /// Accumulates a closed interval of degraded-mode (evacuated-lane)
+    /// time.
+    pub fn degraded_span(&mut self, span: SimDuration) {
+        if let Some(ids) = &self.supervise {
+            self.registry.add_busy(ids.degraded, span);
+        }
+    }
+
+    /// Total time the bus spent in degraded mode.
+    #[must_use]
+    pub fn degraded_total(&self) -> SimDuration {
+        self.supervise.as_ref().map_or(SimDuration::ZERO, |ids| {
+            self.registry.busy_total(ids.degraded)
+        })
+    }
+
+    /// Books (and on first use registers) the `retry/clamped` warning: a
+    /// configured retry policy's worst-case cumulative backoff exceeded the
+    /// slave reset watchdog and was clamped.
+    pub fn retry_policy_clamped(&mut self) {
+        let id = match self.retry_clamped {
+            Some(id) => id,
+            None => {
+                let id = self.registry.counter("retry/clamped");
+                self.retry_clamped = Some(id);
+                id
+            }
+        };
+        self.registry.inc(id);
+    }
+
+    /// How many retry-policy clamp warnings were booked.
+    #[must_use]
+    pub fn retry_clamp_warnings(&self) -> u64 {
+        self.retry_clamped.map_or(0, |id| self.registry.count(id))
+    }
+
     /// Accumulates a closed busy interval on `lane`'s transmitter.
     pub fn lane_busy(&mut self, lane: usize, span: SimDuration) {
         self.registry.add_busy(self.lane_busy[lane], span);
@@ -288,6 +488,69 @@ mod tests {
         let snap = obs.snapshot(SimTime::ZERO);
         assert_eq!(snap.count("txn/total"), 4);
         assert_eq!(snap.duration("lane/1/busy"), SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn unsupervised_registry_has_no_supervision_paths() {
+        let obs = BusInstruments::new(1);
+        let snap = obs.snapshot(SimTime::ZERO);
+        assert!(snap
+            .rows()
+            .iter()
+            .all(|(path, _)| !path.starts_with("supervise/") && path != "retry/clamped"));
+        let stats = obs.stats();
+        assert_eq!(stats.fast_fails, 0);
+        assert_eq!(stats.open_issues, 0);
+    }
+
+    #[test]
+    fn supervision_instruments_count_and_trace() {
+        use tsbus_faults::BreakerState;
+        let mut obs = BusInstruments::new(2);
+        obs.enable_supervision(3);
+        obs.set_tracer(Tracer::unbounded());
+        let t = SimTime::from_micros(1);
+        obs.fast_fail(t, 4);
+        obs.probe(t, 4, true);
+        obs.breaker_transition(t, 4, BreakerState::Closed, BreakerState::Open);
+        obs.breaker_transition(t, 4, BreakerState::Open, BreakerState::HalfOpen);
+        obs.breaker_transition(t, 4, BreakerState::HalfOpen, BreakerState::Closed);
+        obs.rebalance(t, 1, 2, false);
+        obs.open_issue();
+        obs.slave_open_span(2, SimDuration::from_micros(7));
+        obs.degraded_span(SimDuration::from_micros(3));
+        obs.retry_policy_clamped();
+
+        let stats = obs.stats();
+        assert_eq!(stats.fast_fails, 1);
+        assert_eq!(stats.probes, 1);
+        assert_eq!(stats.breaker_trips, 1);
+        assert_eq!(stats.breaker_readmissions, 1);
+        assert_eq!(stats.rebalances, 1);
+        assert_eq!(stats.open_issues, 1);
+        assert_eq!(obs.slave_open_total(2), SimDuration::from_micros(7));
+        assert_eq!(obs.degraded_total(), SimDuration::from_micros(3));
+        assert_eq!(obs.retry_clamp_warnings(), 1);
+
+        // Trips and readmissions come with quarantine boundary events.
+        let quarantines: Vec<_> = obs
+            .trace()
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::Quarantine { entered, .. } => Some(*entered),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(quarantines, vec![true, false]);
+        assert!(obs.trace().events().any(|e| matches!(
+            e,
+            TraceEvent::Rebalance {
+                lane: 1,
+                moved: 2,
+                restored: false,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -55,6 +55,7 @@ mod frame;
 pub mod instrument;
 mod node;
 mod slave;
+mod supervisor;
 mod wiring;
 
 pub use bus::{
@@ -65,4 +66,6 @@ pub use frame::{Command, DecodeFrameError, RxFrame, RxType, TxFrame, FRAME_BITS}
 pub use instrument::{BusInstruments, BusStats};
 pub use node::{AddressSpace, InvalidNodeId, NodeId, SystemReg, MAX_NODE_ID};
 pub use slave::{SlaveDevice, MEMORY_BYTES, STREAM_ADDR};
-pub use wiring::{BusParams, InvalidWiring, Wiring, RESET_ACTIVE_BITS, RESET_TIMEOUT_BITS};
+pub use wiring::{
+    BusParams, InvalidWiring, WirePlan, Wiring, RESET_ACTIVE_BITS, RESET_TIMEOUT_BITS,
+};

@@ -13,11 +13,37 @@
 //! timing arithmetic shared by the analytic model and the discrete-event
 //! model (keeping the two in agreement by construction where they should
 //! agree, so validation tests exercise real behavioral differences only).
+//!
+//! # 1-wire vs *n*-wire, and what a lane is
+//!
+//! The two scaling modes differ in *where* the extra lines buy time back:
+//!
+//! * Mode A shortens every frame ([`Wiring::frame_bit_periods`] drops from
+//!   16 toward the 8-bit framing floor) but the bus still serializes
+//!   transactions — [`Wiring::lanes`] stays 1.
+//! * Mode B keeps 16-bit frames but offers `buses` independent **lanes**:
+//!   each lane is a complete 1-wire daisy chain with its own master
+//!   transmitter, and slaves are striped across lanes round-robin.
+//!
+//! # Degraded-mode reassignment
+//!
+//! A mode-B bus can outlive a lane. When a lane's chain breaks, or the
+//! supervision layer (see [`SupervisionConfig`]) has quarantined the
+//! majority of a lane's slaves, the master *evacuates* the lane: every
+//! slave currently assigned to it is reassigned round-robin across the
+//! surviving lanes, and traffic for those slaves rides the survivors until
+//! the lane is *restored*. [`WirePlan`] owns that assignment — it tracks
+//! each chain position's home lane and current lane, performs deterministic
+//! evacuation/restoration, and checks the conservation property the chaos
+//! harness asserts: **no slave is ever lost or double-assigned by a
+//! rebalance**. The analytic side of the same story lives in
+//! [`degraded_load_factor`](crate::analytic::degraded_load_factor), which
+//! predicts how much of the lost lane's traffic each survivor absorbs.
 
 use core::fmt;
 
 use tsbus_des::SimDuration;
-use tsbus_faults::{BurstParams, RetryPolicy};
+use tsbus_faults::{BurstParams, RetryPolicy, SupervisionConfig};
 
 use crate::frame::FRAME_BITS;
 
@@ -199,6 +225,11 @@ pub struct BusParams {
     /// cost of coarser error recovery (a corrupted burst retries whole).
     /// `0` disables DMA.
     pub dma_block: u16,
+    /// Optional supervision layer: per-slave health tracking, circuit
+    /// breakers with fast-fail/probe semantics, and (on multi-lane
+    /// wirings) degraded-mode rebalancing. `None` — the default — keeps
+    /// the bus byte-identical to its unsupervised behaviour.
+    pub supervision: Option<SupervisionConfig>,
 }
 
 impl BusParams {
@@ -220,6 +251,7 @@ impl BusParams {
             idle_poll_bits: 512,
             relay_chunk: 8,
             dma_block: 0,
+            supervision: None,
         }
     }
 
@@ -300,6 +332,15 @@ impl BusParams {
     #[must_use]
     pub fn with_max_retries(mut self, max_retries: u8) -> Self {
         self.retry = RetryPolicy::immediate(max_retries);
+        self
+    }
+
+    /// Returns a copy with the supervision layer enabled under `cfg`
+    /// (validated eagerly so a bad configuration fails at build time, not
+    /// mid-simulation).
+    #[must_use]
+    pub fn with_supervision(mut self, cfg: SupervisionConfig) -> Self {
+        self.supervision = Some(cfg.validated());
         self
     }
 
@@ -399,6 +440,150 @@ impl BusParams {
 impl Default for BusParams {
     fn default() -> Self {
         Self::theseus_default()
+    }
+}
+
+/// Lane assignment of the slaves on a mode-B (parallel-bus) wiring, with
+/// degraded-mode evacuation and restoration.
+///
+/// Each chain position has a **home lane** (`position mod lanes`, the
+/// striping the bus starts with) and a **current lane**. Evacuating a lane
+/// moves every slave currently on it round-robin across the surviving
+/// lanes; restoring it sends its home slaves back. Both operations are
+/// pure functions of the plan state — no randomness — so a replay
+/// reproduces the same reassignments.
+///
+/// On a 1-lane plan every position lives on lane 0 and evacuation is
+/// impossible (there is nowhere to go); [`evacuate`](WirePlan::evacuate)
+/// returns an empty move list and leaves the plan untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePlan {
+    lanes: u8,
+    /// Home lane per 0-based chain position.
+    home: Vec<u8>,
+    /// Current lane per 0-based chain position.
+    current: Vec<u8>,
+    /// Which lanes are currently evacuated.
+    evacuated: Vec<bool>,
+}
+
+impl WirePlan {
+    /// The initial striped assignment: position `i` homes on lane
+    /// `i % lanes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    #[must_use]
+    pub fn striped(lanes: u8, slaves: usize) -> Self {
+        assert!(lanes > 0, "a wire plan needs at least one lane");
+        let home: Vec<u8> = (0..slaves)
+            .map(|i| (i % usize::from(lanes)) as u8)
+            .collect();
+        WirePlan {
+            lanes,
+            current: home.clone(),
+            home,
+            evacuated: vec![false; usize::from(lanes)],
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> u8 {
+        self.lanes
+    }
+
+    /// Number of chain positions covered.
+    #[must_use]
+    pub fn positions(&self) -> usize {
+        self.home.len()
+    }
+
+    /// The lane position `pos` is currently served on.
+    #[must_use]
+    pub fn lane_of(&self, pos: usize) -> u8 {
+        self.current[pos]
+    }
+
+    /// The lane position `pos` homes on.
+    #[must_use]
+    pub fn home_lane_of(&self, pos: usize) -> u8 {
+        self.home[pos]
+    }
+
+    /// Whether `lane` is currently evacuated.
+    #[must_use]
+    pub fn is_evacuated(&self, lane: u8) -> bool {
+        self.evacuated[usize::from(lane)]
+    }
+
+    /// Whether any lane is currently evacuated (the bus is in degraded
+    /// mode).
+    #[must_use]
+    pub fn any_evacuated(&self) -> bool {
+        self.evacuated.iter().any(|&e| e)
+    }
+
+    /// Evacuates `lane`: every position currently on it is reassigned
+    /// round-robin (ascending position, ascending surviving lane) across
+    /// the lanes that are neither `lane` nor already evacuated. Returns the
+    /// `(position, new_lane)` moves, empty — with the plan untouched — when
+    /// no survivor exists or the lane is already evacuated.
+    pub fn evacuate(&mut self, lane: u8) -> Vec<(usize, u8)> {
+        if self.is_evacuated(lane) {
+            return Vec::new();
+        }
+        let survivors: Vec<u8> = (0..self.lanes)
+            .filter(|&l| l != lane && !self.is_evacuated(l))
+            .collect();
+        if survivors.is_empty() {
+            return Vec::new();
+        }
+        self.evacuated[usize::from(lane)] = true;
+        let mut moves = Vec::new();
+        let mut next = 0usize;
+        for pos in 0..self.current.len() {
+            if self.current[pos] == lane {
+                let target = survivors[next % survivors.len()];
+                next += 1;
+                self.current[pos] = target;
+                moves.push((pos, target));
+            }
+        }
+        moves
+    }
+
+    /// Restores `lane`: it stops being evacuated and every position homed
+    /// on it returns there. Positions homed on *other* (still-evacuated)
+    /// lanes keep their current assignment. Returns the `(position, lane)`
+    /// moves; empty if `lane` was not evacuated.
+    pub fn restore(&mut self, lane: u8) -> Vec<(usize, u8)> {
+        if !self.is_evacuated(lane) {
+            return Vec::new();
+        }
+        self.evacuated[usize::from(lane)] = false;
+        let mut moves = Vec::new();
+        for pos in 0..self.current.len() {
+            if self.home[pos] == lane && self.current[pos] != lane {
+                self.current[pos] = lane;
+                moves.push((pos, lane));
+            }
+        }
+        moves
+    }
+
+    /// The conservation invariant the chaos harness asserts after every
+    /// rebalance: every position is assigned to exactly one valid,
+    /// non-evacuated lane, and positions on healthy home lanes were not
+    /// gratuitously moved.
+    #[must_use]
+    pub fn conserves_assignment(&self) -> bool {
+        self.current.iter().enumerate().all(|(pos, &lane)| {
+            lane < self.lanes
+                && !self.is_evacuated(lane)
+                && (self.is_evacuated(self.home[pos]) || lane == self.home[pos])
+        })
     }
 }
 
@@ -547,6 +732,69 @@ mod tests {
         // A burst always beats k acknowledged per-byte transactions for
         // reasonable k.
         assert!(p.dma_burst_bits(8, 1) < 8 * p.transaction_bits(1));
+    }
+
+    #[test]
+    fn wire_plan_stripes_and_evacuates_round_robin() {
+        let mut plan = WirePlan::striped(3, 7);
+        assert_eq!(plan.lanes(), 3);
+        assert_eq!(plan.positions(), 7);
+        // Striping: 0,1,2,0,1,2,0.
+        assert_eq!(plan.lane_of(0), 0);
+        assert_eq!(plan.lane_of(4), 1);
+        assert!(plan.conserves_assignment());
+        assert!(!plan.any_evacuated());
+
+        // Evacuating lane 1 moves positions 1 and 4 across lanes {0, 2}.
+        let moves = plan.evacuate(1);
+        assert_eq!(moves, vec![(1, 0), (4, 2)]);
+        assert!(plan.is_evacuated(1));
+        assert!(plan.any_evacuated());
+        assert!(plan.conserves_assignment());
+        // Healthy lanes keep their home slaves.
+        assert_eq!(plan.lane_of(3), 0);
+        assert_eq!(plan.lane_of(5), 2);
+
+        // Re-evacuating is a no-op; restoring sends them home.
+        assert!(plan.evacuate(1).is_empty());
+        let back = plan.restore(1);
+        assert_eq!(back, vec![(1, 1), (4, 1)]);
+        assert_eq!(plan, WirePlan::striped(3, 7));
+    }
+
+    #[test]
+    fn wire_plan_cascaded_evacuation_conserves_assignment() {
+        let mut plan = WirePlan::striped(3, 6);
+        plan.evacuate(0);
+        // Lane 1 now carries a refugee from lane 0; evacuating it moves
+        // everything currently on it (home slaves and refugees) to lane 2.
+        let moves = plan.evacuate(1);
+        assert!(moves.iter().all(|&(_, lane)| lane == 2));
+        assert!(plan.conserves_assignment());
+        for pos in 0..plan.positions() {
+            assert_eq!(plan.lane_of(pos), 2);
+        }
+        // Restoring lane 0 pulls its home slaves back; lane 1's stay put.
+        plan.restore(0);
+        assert!(plan.conserves_assignment());
+        assert_eq!(plan.lane_of(0), 0);
+        assert_eq!(plan.lane_of(1), 2, "lane 1 is still evacuated");
+    }
+
+    #[test]
+    fn single_lane_plan_cannot_evacuate() {
+        let mut plan = WirePlan::striped(1, 4);
+        assert!(plan.evacuate(0).is_empty());
+        assert!(!plan.is_evacuated(0));
+        assert!(plan.conserves_assignment());
+    }
+
+    #[test]
+    fn supervision_knob_defaults_off_and_composes() {
+        let p = BusParams::theseus_default();
+        assert_eq!(p.supervision, None);
+        let p = p.with_supervision(SupervisionConfig::conservative());
+        assert_eq!(p.supervision, Some(SupervisionConfig::conservative()));
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Bus supervision end to end: circuit breakers tripping on a live
+//! simulated bus, quarantine probing and readmission, n-wire degraded-mode
+//! rebalancing with the conservation invariant, and the fast-fail path all
+//! the way up to the client's recovery layer.
+//!
+//! The bus-level tests run a 2-bus wiring with four slaves under idle
+//! keep-alive polling only: crashing both slaves of one lane must trip
+//! their breakers, evacuate the lane (degraded mode), and — after the
+//! scheduled revival — probe them back to Closed and restore the original
+//! assignment. The chaos-level test checks that quarantine fast-fails
+//! actually reach the scripted client as fast `NetError`s.
+
+use tsbus_core::{run_chaos_trial, ChaosConfig};
+use tsbus_des::{SimTime, Simulator};
+use tsbus_faults::{BreakerState, FaultDriver, FaultKind, FaultSchedule, SupervisionConfig};
+use tsbus_tpwire::{BusParams, BusStats, NodeId, TpWireBus, Wiring};
+
+fn node(id: u8) -> NodeId {
+    NodeId::new(id).expect("valid node id")
+}
+
+/// Crash both slaves homed on lane 1 (striped plan: positions 1 and 3),
+/// then revive them so the lane can be restored.
+fn lane_outage() -> FaultSchedule {
+    FaultSchedule::new()
+        .at(SimTime::from_micros(200), FaultKind::SlaveCrash(2))
+        .at(SimTime::from_micros(200), FaultKind::SlaveCrash(4))
+        .at(SimTime::from_micros(4000), FaultKind::SlaveRevive(2))
+        .at(SimTime::from_micros(4000), FaultKind::SlaveRevive(4))
+}
+
+/// A supervised 2-bus, 4-slave bus under the lane outage; returns the bus
+/// statistics plus `(degraded at probe time, conserved at probe time,
+/// degraded at end, conserved at end)`.
+fn run_lane_outage(seed: u64, error_rate: f64) -> (BusStats, [bool; 4]) {
+    let mut sim = Simulator::with_seed(seed);
+    let params = BusParams::theseus_default()
+        .with_wiring(Wiring::parallel_buses(2).expect("valid"))
+        .with_frame_error_rate(error_rate)
+        .with_supervision(SupervisionConfig::conservative());
+    let bus = TpWireBus::new(params, vec![node(1), node(2), node(3), node(4)]);
+    let bus_id = sim.add_component("bus", bus);
+    sim.add_component("faults", FaultDriver::new(bus_id, lane_outage()));
+
+    // Deep in the outage: both lane-1 breakers should have tripped and the
+    // lane should be evacuated by now.
+    sim.run_until(SimTime::from_micros(3000));
+    let bus_ref: &TpWireBus = sim.component(bus_id).expect("registered");
+    let mid_degraded = bus_ref.degraded();
+    let mid_conserved = bus_ref.supervision_conserved();
+
+    // Well past the revival: probes readmit, the lane is restored.
+    sim.run_until(SimTime::from_micros(20000));
+    let bus_ref: &TpWireBus = sim.component(bus_id).expect("registered");
+    (
+        bus_ref.stats().clone(),
+        [
+            mid_degraded,
+            mid_conserved,
+            bus_ref.degraded(),
+            bus_ref.supervision_conserved(),
+        ],
+    )
+}
+
+#[test]
+fn lane_outage_trips_evacuates_probes_back_and_restores() {
+    let mut sim = Simulator::with_seed(11);
+    let params = BusParams::theseus_default()
+        .with_wiring(Wiring::parallel_buses(2).expect("valid"))
+        .with_supervision(SupervisionConfig::conservative());
+    let bus = TpWireBus::new(params, vec![node(1), node(2), node(3), node(4)]);
+    let bus_id = sim.add_component("bus", bus);
+    sim.add_component("faults", FaultDriver::new(bus_id, lane_outage()));
+
+    sim.run_until(SimTime::from_micros(3000));
+    let bus_ref: &TpWireBus = sim.component(bus_id).expect("registered");
+    assert_eq!(
+        bus_ref.breaker_state(node(2)),
+        Some(BreakerState::Open),
+        "a crashed slave's breaker must trip under keep-alive polling"
+    );
+    assert_eq!(bus_ref.breaker_state(node(4)), Some(BreakerState::Open));
+    assert_eq!(
+        bus_ref.breaker_state(node(1)),
+        Some(BreakerState::Closed),
+        "healthy slaves stay admitted"
+    );
+    assert!(
+        bus_ref.degraded(),
+        "both of lane 1's slaves Open must evacuate the lane"
+    );
+    assert!(
+        bus_ref.supervision_conserved(),
+        "evacuation must conserve the lane assignment"
+    );
+
+    sim.run_until(SimTime::from_micros(20000));
+    let bus_ref: &TpWireBus = sim.component(bus_id).expect("registered");
+    let stats = bus_ref.stats();
+    assert_eq!(
+        bus_ref.breaker_state(node(2)),
+        Some(BreakerState::Closed),
+        "revived slaves must be probed back to Closed"
+    );
+    assert_eq!(bus_ref.breaker_state(node(4)), Some(BreakerState::Closed));
+    assert!(
+        !bus_ref.degraded(),
+        "full recovery must restore the original assignment"
+    );
+    assert!(bus_ref.supervision_conserved());
+    assert!(stats.breaker_trips >= 2, "both crashed slaves tripped");
+    assert!(
+        stats.breaker_readmissions >= 2,
+        "both came back through Half-Open probation"
+    );
+    assert!(stats.probes > 0, "readmission takes probe polls");
+    assert!(
+        stats.rebalances >= 2,
+        "one evacuation plus one restoration, got {}",
+        stats.rebalances
+    );
+    assert_eq!(
+        stats.open_issues, 0,
+        "no request may ever be issued to an Open slave"
+    );
+
+    // Availability bookkeeping: the quarantined slaves lost bus time, the
+    // healthy ones did not.
+    let now = SimTime::from_micros(20000);
+    let healthy = bus_ref.slave_availability(node(1), now);
+    let quarantined = bus_ref.slave_availability(node(2), now);
+    assert!((healthy - 1.0).abs() < 1e-12, "got {healthy}");
+    assert!(quarantined < 1.0 && quarantined > 0.0, "got {quarantined}");
+}
+
+#[test]
+fn supervised_buses_replay_byte_identically_from_a_seed() {
+    // A lossy channel keeps the stochastic machinery (burst draws, frame
+    // errors) in play; the whole supervised trace must still replay.
+    let (stats_a, flags_a) = run_lane_outage(23, 0.01);
+    let (stats_b, flags_b) = run_lane_outage(23, 0.01);
+    assert_eq!(
+        stats_a, stats_b,
+        "same seed must reproduce the exact supervised trace"
+    );
+    assert_eq!(flags_a, flags_b);
+    assert!(stats_a.breaker_trips >= 2, "the outage actually tripped");
+    let (stats_c, _) = run_lane_outage(24, 0.01);
+    assert_ne!(
+        stats_a, stats_c,
+        "the supervised trace must still depend on the seed"
+    );
+}
+
+#[test]
+fn quarantine_fast_fails_reach_the_client_as_fast_errors() {
+    // Chaos storms with supervision on: across a handful of seeds the
+    // quarantine machinery must engage (bus-level fast-fails) and surface
+    // to the scripted client's recovery layer as fast NetErrors — while
+    // every trial stays violation-free, open-issue-free, and conserved.
+    let cfg = ChaosConfig {
+        supervision: Some(SupervisionConfig::conservative()),
+        ..ChaosConfig::default()
+    };
+    let (mut fast_fails, mut client_fast_fails) = (0u64, 0u64);
+    for seed in 0..8 {
+        let trial = run_chaos_trial(&cfg, seed);
+        assert!(
+            trial.violations.is_empty(),
+            "seed {seed}: {:?}",
+            trial.violations
+        );
+        assert_eq!(trial.open_issues, 0, "seed {seed}");
+        fast_fails += trial.fast_fails;
+        client_fast_fails += trial.client_fast_fails;
+    }
+    assert!(fast_fails > 0, "the storms never engaged a breaker");
+    assert!(
+        client_fast_fails > 0,
+        "bus fast-fails must propagate to the client as fast NetErrors"
+    );
+}
