@@ -119,8 +119,7 @@ struct RxStream {
 /// A TCP/IP station endpoint on the star.
 #[derive(Debug)]
 pub struct TcpEndpoint {
-    /// This station's own address (kept for diagnostics/Debug output).
-    #[allow(dead_code)]
+    /// This station's own address: loopback sends short-circuit the wire.
     node: NodeId,
     app: ComponentId,
     link: ComponentId,
@@ -184,6 +183,12 @@ impl TcpEndpoint {
         self.peer_nodes.insert(endpoint, node.raw());
     }
 
+    /// This station's own address.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
     /// Data segments transmitted so far.
     #[must_use]
     pub fn segments_sent(&self) -> u64 {
@@ -230,6 +235,17 @@ impl Component for TcpEndpoint {
         let msg = match msg.downcast::<NetSend>() {
             Ok(send) => {
                 let NetSend { to, payload } = *send;
+                if to == self.node {
+                    // Loopback: the stack never touches the wire, so only
+                    // the endpoint processing costs are charged — no
+                    // handshake, no segments, no acks.
+                    let from = self.node;
+                    ctx.schedule_self_in(
+                        self.costs.send_overhead + self.costs.receive_overhead,
+                        TcpInboundReady { from, payload },
+                    );
+                    return;
+                }
                 let mut delay = self.costs.send_overhead;
                 let first_contact = !self.connected.contains_key(&to.raw());
                 if first_contact {
@@ -487,6 +503,28 @@ mod tests {
         sim.run_until(SimTime::from_secs(1));
         let arrival = sim.component::<App>(apps[1]).expect("registered").inbox[0].0;
         assert!(arrival.as_secs_f64() < 0.01, "arrived at {arrival}");
+    }
+
+    #[test]
+    fn loopback_sends_skip_the_wire_and_charge_only_endpoint_costs() {
+        let (mut sim, apps, endpoints) = star(2);
+        sim.with_context(|ctx| {
+            ctx.send(
+                endpoints[0],
+                NetSend {
+                    to: node(1),
+                    payload: Bytes::from_static(b"to self"),
+                },
+            );
+        });
+        sim.run_until(SimTime::from_secs(1));
+        let a: &App = sim.component(apps[0]).expect("registered");
+        assert_eq!(a.inbox.len(), 1);
+        assert_eq!(a.inbox[0].1, node(1), "delivered from the station itself");
+        let ep: &TcpEndpoint = sim.component(endpoints[0]).expect("registered");
+        assert_eq!(ep.node(), node(1));
+        assert_eq!(ep.segments_sent(), 0, "loopback never reaches the link");
+        assert_eq!(ep.acks_sent(), 0);
     }
 
     #[test]

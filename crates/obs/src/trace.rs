@@ -206,6 +206,38 @@ pub enum TraceEvent {
         /// its home assignment.
         restored: bool,
     },
+    /// A shard router dispatched one sub-request to a shard.
+    ShardRoute {
+        /// Dispatch instant.
+        at: SimTime,
+        /// Target shard index.
+        shard: u8,
+        /// The tuplespace operation being routed.
+        op: TupleOpKind,
+        /// `true` for a scatter-gather leg, `false` for a keyed route.
+        scatter: bool,
+    },
+    /// A replica acknowledged its copy of a replicated write.
+    Replicate {
+        /// Acknowledgement instant.
+        at: SimTime,
+        /// The acknowledging shard.
+        shard: u8,
+        /// Replica acks in hand after this one, the owner's included.
+        acked: u8,
+        /// Whether this ack completed the write quorum.
+        quorum: bool,
+    },
+    /// A scatter/keyed read was served away from the key's owner shard.
+    ReadRepair {
+        /// Repair instant.
+        at: SimTime,
+        /// The owner shard that missed (or was unreachable).
+        shard: u8,
+        /// `true` when the owner was degraded/unreachable (a degraded
+        /// read), `false` when it was healthy but lagging.
+        degraded: bool,
+    },
 }
 
 impl TraceEvent {
@@ -227,7 +259,10 @@ impl TraceEvent {
             | TraceEvent::BreakerTransition { at, .. }
             | TraceEvent::Probe { at, .. }
             | TraceEvent::Quarantine { at, .. }
-            | TraceEvent::Rebalance { at, .. } => *at,
+            | TraceEvent::Rebalance { at, .. }
+            | TraceEvent::ShardRoute { at, .. }
+            | TraceEvent::Replicate { at, .. }
+            | TraceEvent::ReadRepair { at, .. } => *at,
         }
     }
 }
@@ -476,6 +511,23 @@ mod tests {
                 lane: 1,
                 moved: 3,
                 restored: false,
+            },
+            TraceEvent::ShardRoute {
+                at,
+                shard: 2,
+                op: TupleOpKind::Write,
+                scatter: false,
+            },
+            TraceEvent::Replicate {
+                at,
+                shard: 3,
+                acked: 2,
+                quorum: true,
+            },
+            TraceEvent::ReadRepair {
+                at,
+                shard: 0,
+                degraded: true,
             },
         ];
         for e in events {

@@ -1,0 +1,49 @@
+//! # tsbus-shard — a sharded, replicated tuplespace tier
+//!
+//! The paper's architecture serves one tuplespace from one
+//! `SpaceServer` on one TpWIRE bus. This crate scales that design out:
+//! tuples are partitioned across N space servers, each on its own bus
+//! segment, behind a client-side [`ShardRouter`] that keeps the
+//! single-space programming model intact.
+//!
+//! * [`ShardConfig`]/[`ReplicationConfig`] — validated shard counts,
+//!   replication factor R and write quorum W, serialized into a
+//!   canonical key so lab campaign caches stay correct.
+//! * [`PartitionMap`] — a deterministic FNV-1a hash ring (virtual
+//!   nodes) mapping each tuple's shard-key field to an owner shard and
+//!   a replica set; keyless templates follow a configurable policy.
+//! * [`ShardRouter`] — quorum writes over the replica set, single-owner
+//!   takes, owner-first keyed reads with replica fallback, and
+//!   scatter-gather reads with per-shard deadlines and read-repair, all
+//!   layered on the exactly-once request identities so retries and
+//!   repairs stay idempotent.
+//! * [`run_shard_trial`] — a full-cluster
+//!   harness (driver + router + N bus segments) used by the benches,
+//!   the integration tests and the chaos campaigns.
+//! * [`chaos`] — seeded fault campaigns with the two tier invariants:
+//!   no tuple owned by two shards, and quorum-acked writes survive any
+//!   single-shard crash.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod cluster;
+pub mod config;
+pub mod partition;
+pub mod router;
+
+pub use chaos::{
+    check_shard_invariants, derive_shard_faults, run_shard_chaos_trial, ShardChaosConfig,
+    ShardChaosTrial, ShardViolation, ShardViolationKind,
+};
+pub use cluster::{
+    router_node, run_shard_trial, server_node, ShardAudit, ShardDriver, ShardTrialConfig,
+    ShardTrialResult, ShardWorkload,
+};
+pub use config::{
+    DegradedWritePolicy, KeylessPolicy, ReplicationConfig, ShardConfig, ShardConfigError,
+    MAX_SHARDS,
+};
+pub use partition::{hash_tuple, hash_value, PartitionMap, Route};
+pub use router::{RouterPolicy, ShardOp, ShardOpDone, ShardRouter};
