@@ -7,11 +7,14 @@
 //! traffic profile ("the client executes a write-entry operation on the
 //! space; later on, a take operation is executed") is one such script.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::HashSet;
 
 use bytes::Bytes;
 use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime};
 use tsbus_obs::{CounterId, Registry, Snapshot, TraceEvent, Tracer};
+use tsbus_proto::{
+    request_step, EpochTimer, ProtoInstruments, ReplyDue, RequestStep, RetryDue, SeqGen, Watermark,
+};
 use tsbus_tpwire::NodeId;
 use tsbus_tuplespace::Template;
 use tsbus_xmlwire::{
@@ -179,24 +182,6 @@ impl OpRecord {
 #[derive(Debug)]
 struct StepTimer;
 
-/// Internal timer: the recovery delay elapsed — re-issue the open request.
-/// Stale copies (the op completed, or a newer attempt is out) are ignored
-/// by matching both coordinates, mirroring [`ReplyTimeout`].
-#[derive(Debug)]
-struct RetryTimer {
-    op_index: usize,
-    attempt: u32,
-}
-
-/// Internal timer: the reply to a specific attempt of a specific operation
-/// is overdue. Stale copies (the op completed, or a newer attempt is out)
-/// are ignored by matching both coordinates.
-#[derive(Debug)]
-struct ReplyTimeout {
-    op_index: usize,
-    attempt: u32,
-}
-
 /// Internal timer: send the next lease-renewal heartbeat.
 #[derive(Debug)]
 struct RenewTimer;
@@ -210,16 +195,15 @@ struct Renewal {
     period: SimDuration,
 }
 
-/// Registry handles and the typed trace stream of one client.
+/// Registry handles and the typed trace stream of one client: the
+/// shared `proto/*` lifecycle bundle plus the client-only lease
+/// counter. `proto/fast_fails` stays lazily registered so unsupervised
+/// runs keep their exact snapshot layout.
 #[derive(Debug)]
 struct ClientInstruments {
     registry: Registry,
-    reply_timeouts: CounterId,
-    stale_replies: CounterId,
+    proto: ProtoInstruments,
     renewals_acked: CounterId,
-    /// Registered lazily on the first supervision fast-fail so that
-    /// unsupervised runs keep their exact snapshot layout.
-    fast_fails: Option<CounterId>,
     tracer: Tracer<TraceEvent>,
 }
 
@@ -227,10 +211,8 @@ impl Default for ClientInstruments {
     fn default() -> Self {
         let mut registry = Registry::new();
         ClientInstruments {
-            reply_timeouts: registry.counter("recovery/reply_timeouts"),
-            stale_replies: registry.counter("reply/stale"),
+            proto: ProtoInstruments::new(&mut registry),
             renewals_acked: registry.counter("lease/renewals_acked"),
-            fast_fails: None,
             registry,
             tracer: Tracer::disabled(),
         }
@@ -238,31 +220,24 @@ impl Default for ClientInstruments {
 }
 
 impl ClientInstruments {
-    /// Books one bus fast-fail under `recovery/fast_fails`.
+    /// Books one bus fast-fail under `proto/fast_fails`.
     fn fast_fail(&mut self) {
-        let id = match self.fast_fails {
-            Some(id) => id,
-            None => {
-                let id = self.registry.counter("recovery/fast_fails");
-                self.fast_fails = Some(id);
-                id
-            }
-        };
-        self.registry.inc(id);
+        self.proto.fast_fail(&mut self.registry);
     }
 }
 
 /// Client-side exactly-once state: request identities, the cumulative-ack
-/// watermark, and correlation of replies back to operations.
+/// watermark, and correlation of replies back to operations. Identity
+/// allocation and settlement are the engine's [`SeqGen`]/[`Watermark`];
+/// what stays client-side is which seq is the open scripted request and
+/// which are fire-and-forget heartbeats.
 #[derive(Debug)]
 struct ExactlyOnce {
     client_id: u64,
-    /// Next fresh sequence number (1-based; retries reuse their seq).
-    next_seq: u64,
-    /// Cumulative watermark: every seq ≤ ack has its reply in hand.
-    ack: u64,
-    /// Settled seqs above the watermark (replies received out of order).
-    done: BTreeSet<u64>,
+    /// Fresh sequence numbers (1-based; retries reuse their seq).
+    seqs: SeqGen,
+    /// Settlement watermark: every seq ≤ ack has its reply in hand.
+    watermark: Watermark,
     /// The seq of the open scripted request, while one is awaited.
     open: Option<u64>,
     /// Outstanding fire-and-forget renewal heartbeat seqs.
@@ -273,31 +248,21 @@ impl ExactlyOnce {
     fn new(client_id: u64) -> Self {
         ExactlyOnce {
             client_id,
-            next_seq: 1,
-            ack: 0,
-            done: BTreeSet::new(),
+            seqs: SeqGen::new(),
+            watermark: Watermark::new(),
             open: None,
             heartbeat_seqs: HashSet::new(),
         }
     }
 
     fn fresh_seq(&mut self) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        seq
+        self.seqs.fresh()
     }
 
-    /// Records that the reply for `seq` is in hand, advancing the
-    /// watermark over any now-contiguous prefix. Returns whether the seq
-    /// was newly settled (false for duplicates of settled ops).
+    /// Records that the reply for `seq` is in hand; see
+    /// [`Watermark::settle`].
     fn settle(&mut self, seq: u64) -> bool {
-        if seq <= self.ack || !self.done.insert(seq) {
-            return false;
-        }
-        while self.done.remove(&(self.ack + 1)) {
-            self.ack += 1;
-        }
-        true
+        self.watermark.settle(seq)
     }
 }
 
@@ -317,6 +282,10 @@ pub struct ScriptedClient {
     renewal: Option<Renewal>,
     next_step: usize,
     awaiting: bool,
+    /// Epoch gate for the open operation's retry/reply timers: bumped
+    /// whenever the open attempt is superseded or the operation settles,
+    /// so stale timer firings are no-ops by construction.
+    lifecycle: EpochTimer,
     records: Vec<OpRecord>,
     /// Pushed notifications received, with their arrival instants.
     notifications: Vec<(SimTime, WireEvent)>,
@@ -346,6 +315,7 @@ impl ScriptedClient {
             renewal: None,
             next_step: 0,
             awaiting: false,
+            lifecycle: EpochTimer::new(),
             records: Vec::new(),
             notifications: Vec::new(),
             errors: Vec::new(),
@@ -439,14 +409,14 @@ impl ScriptedClient {
     /// reply never arrived).
     #[must_use]
     pub fn reply_timeouts(&self) -> u64 {
-        self.obs.registry.count(self.obs.reply_timeouts)
+        self.obs.registry.count(self.obs.proto.reply_timeouts)
     }
 
     /// Duplicate replies discarded by id correlation (exactly-once mode
     /// only; always 0 otherwise).
     #[must_use]
     pub fn stale_replies(&self) -> u64 {
-        self.obs.registry.count(self.obs.stale_replies)
+        self.obs.registry.count(self.obs.proto.stale_replies)
     }
 
     /// Renewal heartbeats acknowledged by the server.
@@ -460,13 +430,11 @@ impl ScriptedClient {
     /// when the bus runs without supervision.
     #[must_use]
     pub fn fast_fails(&self) -> u64 {
-        self.obs
-            .fast_fails
-            .map_or(0, |id| self.obs.registry.count(id))
+        self.obs.proto.fast_fail_count(&self.obs.registry)
     }
 
-    /// Captures the client's metrics registry at instant `now` (paths
-    /// under `recovery/`, `reply/`, `lease/`).
+    /// Captures the client's metrics registry at instant `now` (the
+    /// shared `proto/*` lifecycle paths plus `lease/`).
     #[must_use]
     pub fn metrics(&self, now: SimTime) -> Snapshot {
         self.obs.registry.snapshot(now)
@@ -493,7 +461,7 @@ impl ScriptedClient {
                         client: eo.client_id,
                         seq,
                     },
-                    eo.ack,
+                    eo.watermark.ack(),
                     request.clone(),
                 );
                 Bytes::from(request_envelope_to_wire(&envelope, self.format))
@@ -503,17 +471,25 @@ impl ScriptedClient {
     }
 
     /// Schedules the outgoing send of the open request (think time
-    /// charged) and arms its reply timeout if one is configured.
-    fn dispatch_open(&mut self, ctx: &mut Context<'_>, payload: Bytes, attempt: u32) {
+    /// charged) and arms its reply deadline if one is configured, stamped
+    /// against the current lifecycle epoch.
+    fn dispatch_open(&mut self, ctx: &mut Context<'_>, payload: Bytes) {
         let endpoint = self.endpoint;
         let to = self.server;
         ctx.schedule_in(self.think_time, endpoint, NetSend { to, payload });
         if let Some(timeout) = self.recovery.and_then(|p| p.reply_timeout) {
-            let op_index = self.records.len() - 1;
-            ctx.schedule_self_in(
-                self.think_time + timeout,
-                ReplyTimeout { op_index, attempt },
-            );
+            let token = self.lifecycle.stamp();
+            ctx.schedule_self_in(self.think_time + timeout, ReplyDue { key: 0, token });
+        }
+    }
+
+    /// Closes the open operation's lifecycle: stales every outstanding
+    /// retry/reply timer token and releases the exactly-once identity.
+    fn settle_open(&mut self) {
+        self.awaiting = false;
+        self.lifecycle.bump();
+        if let Some(eo) = &mut self.exactly_once {
+            eo.open = None;
         }
     }
 
@@ -555,7 +531,7 @@ impl ScriptedClient {
                         seq
                     });
                     let payload = self.wire_payload(&request, seq);
-                    self.dispatch_open(ctx, payload, 1);
+                    self.dispatch_open(ctx, payload);
                     return;
                 }
             }
@@ -576,23 +552,25 @@ impl ScriptedClient {
             .records
             .last_mut()
             .expect("awaiting implies an open record");
-        if !failed || record.attempts >= policy.max_attempts {
+        if !failed
+            || matches!(
+                request_step(record.attempts, policy.max_attempts),
+                RequestStep::GiveUp
+            )
+        {
             return false;
         }
         record.first_failure_at.get_or_insert(now);
         record.attempts += 1;
-        let attempt = record.attempts;
         self.obs.tracer.emit(TraceEvent::Recovery {
             at: now,
             resolved: false,
         });
-        ctx.schedule_self_in(
-            policy.retry_delay,
-            RetryTimer {
-                op_index: self.records.len() - 1,
-                attempt,
-            },
-        );
+        // The new attempt opens a new epoch: any timer of the failed one
+        // is stale from here on, and the fresh epoch always re-arms.
+        self.lifecycle.bump();
+        let token = self.lifecycle.arm().expect("a fresh epoch re-arms");
+        ctx.schedule_self_in(policy.retry_delay, RetryDue { key: 0, token });
         true
     }
 
@@ -639,45 +617,37 @@ impl Component for ScriptedClient {
             }
             Err(m) => m,
         };
-        let msg = match msg.downcast::<RetryTimer>() {
+        let msg = match msg.downcast::<RetryDue>() {
             Ok(retry) => {
-                // Only the attempt it was armed for counts; anything else
-                // means a reply landed (or another path recovered) first.
-                let current = self.awaiting
-                    && self.records.len() == retry.op_index + 1
-                    && self
-                        .records
-                        .last()
-                        .is_some_and(|r| r.attempts == retry.attempt && r.completed_at.is_none());
-                if !current {
+                // A stale epoch means a reply landed (or another path
+                // recovered) first; the token gate makes that a no-op.
+                if !self.lifecycle.fire(retry.token) {
                     return;
                 }
-                let record = &self.records[retry.op_index];
-                let (request, attempt) = (record.request.clone(), record.attempts);
+                self.obs.registry.inc(self.obs.proto.retries);
+                let record = self
+                    .records
+                    .last()
+                    .expect("a live retry token implies an open record");
+                let request = record.request.clone();
                 // A re-issue reuses the original seq: the server's
                 // duplicate cache recognizes it and replays rather than
                 // re-applies if the first attempt actually landed.
                 let seq = self.exactly_once.as_ref().and_then(|eo| eo.open);
                 let payload = self.wire_payload(&request, seq);
-                self.dispatch_open(ctx, payload, attempt);
+                self.dispatch_open(ctx, payload);
                 return;
             }
             Err(m) => m,
         };
-        let msg = match msg.downcast::<ReplyTimeout>() {
+        let msg = match msg.downcast::<ReplyDue>() {
             Ok(timeout) => {
-                // Only the open attempt it was armed for counts; anything
-                // else means the reply (or an error) beat the timer.
-                let current = self.awaiting
-                    && self.records.len() == timeout.op_index + 1
-                    && self
-                        .records
-                        .last()
-                        .is_some_and(|r| r.attempts == timeout.attempt && r.completed_at.is_none());
-                if !current {
+                // Only a deadline of the open attempt's epoch counts;
+                // anything else means the reply (or an error) beat it.
+                if !self.lifecycle.is_current(timeout.token) {
                     return;
                 }
-                self.obs.registry.inc(self.obs.reply_timeouts);
+                self.obs.registry.inc(self.obs.proto.reply_timeouts);
                 if self.try_recover(ctx, true) {
                     return;
                 }
@@ -689,10 +659,7 @@ impl Component for ScriptedClient {
                 record.response = Some(Response::Error {
                     message: "reply timeout".into(),
                 });
-                self.awaiting = false;
-                if let Some(eo) = &mut self.exactly_once {
-                    eo.open = None;
-                }
+                self.settle_open();
                 self.advance(ctx);
                 return;
             }
@@ -730,7 +697,7 @@ impl Component for ScriptedClient {
                                 // still arrive and apply, yielding a
                                 // duplicate. Drop it; the reply timeout
                                 // recovers with the same id.
-                                self.obs.registry.inc(self.obs.stale_replies);
+                                self.obs.registry.inc(self.obs.proto.stale_replies);
                                 return;
                             };
                             if id.client != eo.client_id {
@@ -746,7 +713,7 @@ impl Component for ScriptedClient {
                                 // on settles it; a duplicate of a settled
                                 // op is stale.
                                 if !eo.settle(id.seq) {
-                                    self.obs.registry.inc(self.obs.stale_replies);
+                                    self.obs.registry.inc(self.obs.proto.stale_replies);
                                 }
                                 return;
                             }
@@ -792,19 +759,13 @@ impl Component for ScriptedClient {
                                 resolved: true,
                             });
                         }
-                        self.awaiting = false;
-                        if let Some(eo) = &mut self.exactly_once {
-                            eo.open = None;
-                        }
+                        self.settle_open();
                         self.advance(ctx);
                     }
                     Err(e) => {
                         self.errors.push(format!("bad server message: {e}"));
                         if self.awaiting {
-                            self.awaiting = false;
-                            if let Some(eo) = &mut self.exactly_once {
-                                eo.open = None;
-                            }
+                            self.settle_open();
                             self.advance(ctx);
                         }
                     }
@@ -832,10 +793,7 @@ impl Component for ScriptedClient {
                 record.response = Some(Response::Error {
                     message: error.reason.clone(),
                 });
-                self.awaiting = false;
-                if let Some(eo) = &mut self.exactly_once {
-                    eo.open = None;
-                }
+                self.settle_open();
                 self.advance(ctx);
             }
         }

@@ -1,0 +1,181 @@
+//! Epoch-gated timers: staleness by construction.
+//!
+//! Every retrying layer of the stack schedules wake-ups it may no longer
+//! want by the time they fire — a reply can land while its timeout is in
+//! flight, an attempt can be superseded while its retry delay runs. The
+//! pre-engine layers each guarded against this with hand-rolled
+//! coordinate checks (`op_index`/`attempt` pairs, `retry_armed` flags),
+//! and PR 7's `RetrySub` wedge showed how easily such flags drift: a
+//! sub-request parked mid-delay kept its armed flag set forever and
+//! could never re-arm.
+//!
+//! An [`EpochTimer`] replaces all of that with one rule: tokens are
+//! stamped with the epoch they were issued in, and the epoch is
+//! [`bump`](EpochTimer::bump)ed whenever the guarded state changes
+//! generation (an attempt is superseded, the request completes). A
+//! firing that presents a stale token is a guaranteed no-op — there is
+//! no flag to forget to clear — and after any interleaving of
+//! arm/fire/bump the timer can always be armed again.
+
+/// A deadline-style token: proof of *which generation* of the guarded
+/// state a timer was stamped in. Checked with
+/// [`EpochTimer::is_current`]; firing is not consuming, so several
+/// deadline timers may be outstanding against one epoch (e.g. a reply
+/// timeout re-armed by a queue flush that did not burn an attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerToken {
+    epoch: u64,
+}
+
+/// A one-shot token: proof of an [`EpochTimer::arm`] call. Consumed by
+/// [`EpochTimer::fire`]; while one is armed and unconsumed, `arm`
+/// refuses to issue another, so at most one retry delay per request is
+/// ever in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmToken {
+    epoch: u64,
+}
+
+/// The epoch-gated timer state of one guarded request.
+///
+/// Layers schedule their own wake-up messages (the engine does not know
+/// the simulator); what they carry is a token from this timer, and what
+/// the handler does first is validate it. See the module docs for the
+/// model.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EpochTimer {
+    epoch: u64,
+    armed: bool,
+}
+
+impl EpochTimer {
+    /// A fresh timer at epoch zero, nothing armed.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current epoch (mainly for diagnostics).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stamps a deadline-style token at the current epoch.
+    #[must_use]
+    pub fn stamp(&self) -> TimerToken {
+        TimerToken { epoch: self.epoch }
+    }
+
+    /// Whether a deadline token is still of the current generation.
+    #[must_use]
+    pub fn is_current(&self, token: TimerToken) -> bool {
+        token.epoch == self.epoch
+    }
+
+    /// Arms the one-shot (retry-delay style): returns a token iff
+    /// nothing is armed at the current epoch, so duplicate scheduling is
+    /// suppressed at the source instead of by a caller-managed flag.
+    #[must_use]
+    pub fn arm(&mut self) -> Option<ArmToken> {
+        if self.armed {
+            return None;
+        }
+        self.armed = true;
+        Some(ArmToken { epoch: self.epoch })
+    }
+
+    /// Whether the one-shot is currently armed.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Fires the one-shot: succeeds (and consumes the armed state) iff
+    /// the token is of the current epoch and the one-shot is still
+    /// armed. A stale-epoch firing returns `false` and changes nothing —
+    /// in particular it cannot consume a delay armed by a newer
+    /// generation.
+    pub fn fire(&mut self, token: ArmToken) -> bool {
+        if token.epoch != self.epoch || !self.armed {
+            return false;
+        }
+        self.armed = false;
+        true
+    }
+
+    /// Starts a new generation: every outstanding token (deadline or
+    /// one-shot) becomes stale and the one-shot is disarmed, so the
+    /// timer can immediately re-arm.
+    pub fn bump(&mut self) {
+        self.epoch += 1;
+        self.armed = false;
+    }
+}
+
+/// Timer message: the retry delay for the request under `key` elapsed.
+/// Single-request layers use `key = 0`.
+#[derive(Debug)]
+pub struct RetryDue {
+    /// The request identity the delay was armed for.
+    pub key: u64,
+    /// One-shot proof; validated with [`EpochTimer::fire`].
+    pub token: ArmToken,
+}
+
+/// Timer message: the reply for the request under `key` is overdue.
+/// Single-request layers use `key = 0`.
+#[derive(Debug)]
+pub struct ReplyDue {
+    /// The request identity the deadline was stamped for.
+    pub key: u64,
+    /// Deadline proof; validated with [`EpochTimer::is_current`].
+    pub token: TimerToken,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_deadline_tokens_are_rejected() {
+        let mut timer = EpochTimer::new();
+        let before = timer.stamp();
+        assert!(timer.is_current(before));
+        timer.bump();
+        assert!(!timer.is_current(before));
+        assert!(timer.is_current(timer.stamp()));
+    }
+
+    #[test]
+    fn one_shot_arms_once_per_delay() {
+        let mut timer = EpochTimer::new();
+        let token = timer.arm().expect("fresh timer arms");
+        assert!(timer.arm().is_none(), "double-arm is suppressed");
+        assert!(timer.fire(token));
+        assert!(!timer.fire(token), "a consumed token cannot fire again");
+        assert!(timer.arm().is_some(), "consuming the delay re-opens arming");
+    }
+
+    #[test]
+    fn bump_disarms_and_stales_the_armed_token() {
+        let mut timer = EpochTimer::new();
+        let token = timer.arm().expect("arms");
+        timer.bump();
+        assert!(!timer.fire(token), "stale-epoch firing is a no-op");
+        assert!(!timer.is_armed());
+        let fresh = timer.arm().expect("re-arms after bump — the wedge class");
+        assert!(timer.fire(fresh));
+    }
+
+    #[test]
+    fn stale_fire_does_not_consume_a_newer_delay() {
+        let mut timer = EpochTimer::new();
+        let old = timer.arm().expect("arms");
+        timer.bump();
+        let new = timer.arm().expect("arms at the new epoch");
+        assert!(!timer.fire(old), "stale token bounces");
+        assert!(timer.is_armed(), "the new delay is still armed");
+        assert!(timer.fire(new));
+    }
+}

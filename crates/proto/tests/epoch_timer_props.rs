@@ -1,0 +1,131 @@
+//! Property tests for [`EpochTimer`]: the regression class of the PR 7
+//! `RetrySub` wedge. For *arbitrary* interleavings of stamp, arm, fire
+//! (fresh or replayed tokens), and bump:
+//!
+//! * a firing whose token epoch differs from the current epoch is a
+//!   guaranteed no-op — it neither succeeds nor perturbs the armed
+//!   state of a newer generation;
+//! * the timer can always re-arm: whenever the one-shot is not armed,
+//!   `arm` succeeds (the wedge was precisely a state from which re-arm
+//!   was impossible).
+//!
+//! The implementation is driven next to a trivial reference model; any
+//! divergence in results or observable state fails the property.
+
+use proptest::prelude::*;
+use tsbus_proto::{ArmToken, EpochTimer};
+
+/// One scripted action against the timer. Token-carrying actions pick
+/// from the history of issued tokens so replays and stale firings are
+/// exercised as often as fresh ones.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Stamp,
+    Arm,
+    /// Fire the `pick % issued`-th arm token ever issued (no-op while
+    /// none were issued yet).
+    Fire(usize),
+    Bump,
+}
+
+fn actions() -> BoxedStrategy<Vec<Action>> {
+    let action = prop_oneof![
+        Just(Action::Stamp),
+        Just(Action::Arm),
+        (0usize..64).prop_map(Action::Fire),
+        Just(Action::Bump),
+    ];
+    proptest::collection::vec(action, 0..200)
+}
+
+proptest! {
+    #[test]
+    fn stale_firings_are_noops_and_rearm_is_always_possible(script in actions()) {
+        let mut timer = EpochTimer::new();
+        // Reference model: the epoch counter, whether the one-shot is
+        // armed, and the epoch each issued token was stamped in.
+        let mut model_epoch: u64 = 0;
+        let mut model_armed = false;
+        let mut arm_tokens: Vec<(ArmToken, u64)> = Vec::new();
+        let mut deadline_tokens: Vec<(tsbus_proto::TimerToken, u64)> = Vec::new();
+
+        for action in script {
+            match action {
+                Action::Stamp => {
+                    let token = timer.stamp();
+                    prop_assert!(timer.is_current(token), "a fresh stamp is current");
+                    deadline_tokens.push((token, model_epoch));
+                }
+                Action::Arm => {
+                    let issued = timer.arm();
+                    if model_armed {
+                        prop_assert!(issued.is_none(), "double-arm must be refused");
+                    } else {
+                        // The wedge regression: an unarmed timer can
+                        // ALWAYS arm, whatever happened before.
+                        let token = issued.expect("unarmed timer re-arms");
+                        arm_tokens.push((token, model_epoch));
+                        model_armed = true;
+                    }
+                }
+                Action::Fire(pick) => {
+                    if arm_tokens.is_empty() {
+                        continue;
+                    }
+                    let (token, stamped_at) = arm_tokens[pick % arm_tokens.len()];
+                    let fired = timer.fire(token);
+                    let expected = model_armed && stamped_at == model_epoch;
+                    prop_assert_eq!(fired, expected);
+                    if stamped_at != model_epoch {
+                        // The stale no-op guarantee: state untouched.
+                        prop_assert_eq!(timer.is_armed(), model_armed);
+                        prop_assert_eq!(timer.epoch(), model_epoch);
+                    }
+                    if fired {
+                        model_armed = false;
+                    }
+                }
+                Action::Bump => {
+                    timer.bump();
+                    model_epoch += 1;
+                    model_armed = false;
+                }
+            }
+            // Invariants after every step: the model and the timer
+            // agree, deadline tokens are current exactly when their
+            // stamping epoch is, and firing is never wedged shut.
+            prop_assert_eq!(timer.epoch(), model_epoch);
+            prop_assert_eq!(timer.is_armed(), model_armed);
+            for &(token, stamped_at) in &deadline_tokens {
+                prop_assert_eq!(timer.is_current(token), stamped_at == model_epoch);
+            }
+            if !model_armed {
+                let mut probe = timer.clone();
+                prop_assert!(probe.arm().is_some(), "re-arm must stay possible");
+            }
+        }
+    }
+
+    /// Bumping invalidates every outstanding token at once — there is
+    /// no interleaving that smuggles an old token past a new epoch.
+    #[test]
+    fn bump_stales_all_outstanding_tokens(arms in 1usize..8, bumps in 1usize..4) {
+        let mut timer = EpochTimer::new();
+        let mut tokens = Vec::new();
+        for _ in 0..arms {
+            let deadline = timer.stamp();
+            let armed = timer.arm().expect("unarmed after bump");
+            tokens.push((deadline, armed));
+            for _ in 0..bumps {
+                timer.bump();
+            }
+        }
+        let (_, last_armed) = tokens[tokens.len() - 1];
+        for (deadline, armed) in tokens {
+            prop_assert!(!timer.is_current(deadline));
+            prop_assert!(!timer.fire(armed));
+        }
+        prop_assert!(!timer.fire(last_armed), "even the newest pre-bump token is dead");
+        prop_assert!(timer.arm().is_some());
+    }
+}

@@ -35,6 +35,7 @@ use bytes::Bytes;
 use tsbus_core::{NetDeliver, NetError, NetSend};
 use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimDuration, SimTime};
 use tsbus_obs::{CounterId, Registry, Snapshot, TraceEvent, Tracer, TupleOpKind};
+use tsbus_proto::{request_step, ProtoInstruments, ReplyDue, RequestStep, RequestTable, RetryDue};
 use tsbus_tpwire::NodeId;
 use tsbus_tuplespace::{Template, Tuple};
 use tsbus_xmlwire::{
@@ -101,20 +102,6 @@ impl Default for RouterPolicy {
     }
 }
 
-/// Internal timer: a sub-request's reply is overdue.
-#[derive(Debug)]
-struct SubTimeout {
-    seq: u64,
-    attempt: u32,
-}
-
-/// Internal timer: the retry delay elapsed; re-send the sub-request.
-#[derive(Debug)]
-struct RetrySub {
-    seq: u64,
-    attempt: u32,
-}
-
 /// Internal timer: a scatter leg's per-shard deadline expired.
 #[derive(Debug)]
 struct ScatterDeadline {
@@ -144,7 +131,9 @@ enum SubRole {
     Repair,
 }
 
-/// One in-flight sub-request.
+/// One in-flight sub-request — the layer-owned resume state carried as
+/// the payload of a [`RequestTable`] entry. Attempt counting, retry
+/// arming and timer staleness live in the entry, not here.
 #[derive(Debug)]
 struct SubOp {
     /// Owning application op (`None` for detached erase/repair subs).
@@ -152,11 +141,8 @@ struct SubOp {
     shard: u8,
     role: SubRole,
     request: Request,
-    attempts: u32,
     /// Parked in the degraded queue, waiting for a flush probe.
     parked: bool,
-    /// A [`RetrySub`] timer is armed; suppresses duplicate scheduling.
-    retry_armed: bool,
 }
 
 /// How one scatter leg settled.
@@ -206,10 +192,13 @@ struct OpState {
     attempts: u32,
 }
 
-/// Registry handles and the typed trace stream of one router.
+/// Registry handles and the typed trace stream of one router: the
+/// standard `proto/*` lifecycle bundle (parking shape) plus the
+/// shard-specific routing counters.
 #[derive(Debug)]
 struct RouterInstruments {
     registry: Registry,
+    proto: ProtoInstruments,
     ops_write: CounterId,
     ops_take: CounterId,
     ops_read_keyed: CounterId,
@@ -221,18 +210,13 @@ struct RouterInstruments {
     repair_writes: CounterId,
     read_repairs: CounterId,
     degraded_reads: CounterId,
-    retries: CounterId,
-    reply_timeouts: CounterId,
-    stale_replies: CounterId,
-    fast_fails: CounterId,
-    parked_subops: CounterId,
-    queue_flushes: CounterId,
     tracer: Tracer<TraceEvent>,
 }
 
 impl Default for RouterInstruments {
     fn default() -> Self {
         let mut registry = Registry::new();
+        let proto = ProtoInstruments::with_parking(&mut registry);
         RouterInstruments {
             ops_write: registry.counter("shard/ops_write"),
             ops_take: registry.counter("shard/ops_take"),
@@ -245,14 +229,25 @@ impl Default for RouterInstruments {
             repair_writes: registry.counter("shard/repair_writes"),
             read_repairs: registry.counter("shard/read_repairs"),
             degraded_reads: registry.counter("shard/degraded_reads"),
-            retries: registry.counter("shard/retries"),
-            reply_timeouts: registry.counter("shard/reply_timeouts"),
-            stale_replies: registry.counter("shard/stale_replies"),
-            fast_fails: registry.counter("shard/fast_fails"),
-            parked_subops: registry.counter("shard/parked_subops"),
-            queue_flushes: registry.counter("shard/queue_flushes"),
+            proto,
             registry,
             tracer: Tracer::disabled(),
+        }
+    }
+}
+
+impl RouterInstruments {
+    /// Books one parked sub-request (the parking bundle registers it).
+    fn inc_parked(&mut self) {
+        if let Some(id) = self.proto.parked_subops {
+            self.registry.inc(id);
+        }
+    }
+
+    /// Books one degraded-queue flush.
+    fn inc_flush(&mut self) {
+        if let Some(id) = self.proto.queue_flushes {
+            self.registry.inc(id);
         }
     }
 }
@@ -272,14 +267,12 @@ pub struct ShardRouter {
     degraded_writes: DegradedWritePolicy,
     write_quorum: u8,
     client_id: u64,
-    next_seq: u64,
-    /// Cumulative ack watermark (every seq ≤ ack settled) plus the
-    /// settled seqs above it, as in the exactly-once client layer.
-    /// Failed sub-requests never settle, so the watermark stalls below
-    /// them and the servers keep their dedup entries alive.
-    ack: u64,
-    settled: BTreeSet<u64>,
-    pending: BTreeMap<u64, SubOp>,
+    /// The engine's outstanding-request table: seq allocation, the
+    /// cumulative-ack settlement watermark, and one epoch-timed entry
+    /// per in-flight sub-request. Failed sub-requests never settle, so
+    /// the watermark stalls below them and the servers keep their dedup
+    /// entries alive.
+    table: RequestTable<SubOp>,
     ops: BTreeMap<u64, OpState>,
     degraded: Vec<bool>,
     flush_armed: Vec<bool>,
@@ -321,10 +314,7 @@ impl ShardRouter {
             degraded_writes: cfg.degraded_writes,
             write_quorum: cfg.replication.write_quorum,
             client_id: 1,
-            next_seq: 1,
-            ack: 0,
-            settled: BTreeSet::new(),
-            pending: BTreeMap::new(),
+            table: RequestTable::new(),
             ops: BTreeMap::new(),
             degraded: vec![false; n],
             flush_armed: vec![false; n],
@@ -367,7 +357,8 @@ impl ShardRouter {
         self.degraded[usize::from(shard)]
     }
 
-    /// Captures the router's `shard/*` metrics at instant `now`.
+    /// Captures the router's metrics at instant `now`: the `proto/*`
+    /// lifecycle paths plus the `shard/*` routing counters.
     #[must_use]
     pub fn metrics(&self, now: SimTime) -> Snapshot {
         self.obs.registry.snapshot(now)
@@ -388,25 +379,25 @@ impl ShardRouter {
     /// Transport fast-fails observed (Open-breaker fences).
     #[must_use]
     pub fn fast_fails(&self) -> u64 {
-        self.obs.registry.count(self.obs.fast_fails)
+        self.obs.proto.fast_fail_count(&self.obs.registry)
     }
 
     /// Sub-request re-sends.
     #[must_use]
     pub fn retries(&self) -> u64 {
-        self.obs.registry.count(self.obs.retries)
+        self.obs.registry.count(self.obs.proto.retries)
     }
 
     /// Sub-requests declared overdue (reply timeout or leg deadline).
     #[must_use]
     pub fn reply_timeouts(&self) -> u64 {
-        self.obs.registry.count(self.obs.reply_timeouts)
+        self.obs.registry.count(self.obs.proto.reply_timeouts)
     }
 
     /// Replies discarded by id correlation.
     #[must_use]
     pub fn stale_replies(&self) -> u64 {
-        self.obs.registry.count(self.obs.stale_replies)
+        self.obs.registry.count(self.obs.proto.stale_replies)
     }
 
     /// Writes acknowledged at quorum.
@@ -436,7 +427,10 @@ impl ShardRouter {
     /// Sub-requests parked against degraded shards.
     #[must_use]
     pub fn parked_subops(&self) -> u64 {
-        self.obs.registry.count(self.obs.parked_subops)
+        self.obs
+            .proto
+            .parked_subops
+            .map_or(0, |id| self.obs.registry.count(id))
     }
 
     /// Arms (or replaces) the typed trace stream
@@ -460,21 +454,6 @@ impl ShardRouter {
         }
     }
 
-    fn settle(&mut self, seq: u64) {
-        if seq <= self.ack || !self.settled.insert(seq) {
-            return;
-        }
-        while self.settled.remove(&(self.ack + 1)) {
-            self.ack += 1;
-        }
-    }
-
-    fn fresh_seq(&mut self) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        seq
-    }
-
     fn op_kind_of(role: &SubRole) -> TupleOpKind {
         match role {
             SubRole::Write { .. } | SubRole::Repair => TupleOpKind::Write,
@@ -487,9 +466,10 @@ impl ShardRouter {
     /// arming its reply timer (or, on the first send, the scatter
     /// deadline).
     fn transmit(&mut self, ctx: &mut Context<'_>, seq: u64, first_send: bool) {
-        let Some(sub) = self.pending.get(&seq) else {
+        let Some(entry) = self.table.get(seq) else {
             return;
         };
+        let sub = &entry.payload;
         let shard = usize::from(sub.shard);
         let scatter = matches!(sub.role, SubRole::ScatterLeg);
         let envelope = RequestEnvelope::identified(
@@ -497,13 +477,13 @@ impl ShardRouter {
                 client: self.client_id,
                 seq,
             },
-            self.ack,
+            self.table.ack(),
             sub.request.clone(),
         );
         let payload = Bytes::from(request_envelope_to_wire(&envelope, self.format));
         let endpoint = self.endpoints[shard];
         let to = self.server_nodes[shard];
-        let attempt = sub.attempts;
+        let token = entry.stamp();
         let trace_shard = sub.shard;
         let trace_op = Self::op_kind_of(&sub.role);
         let op = sub.op;
@@ -524,7 +504,7 @@ impl ShardRouter {
                 ctx.schedule_self_in(self.policy.scatter_deadline, ScatterDeadline { seq });
             }
         } else {
-            ctx.schedule_self_in(self.policy.reply_timeout, SubTimeout { seq, attempt });
+            ctx.schedule_self_in(self.policy.reply_timeout, ReplyDue { key: seq, token });
         }
     }
 
@@ -537,19 +517,13 @@ impl ShardRouter {
         role: SubRole,
         request: Request,
     ) -> u64 {
-        let seq = self.fresh_seq();
-        self.pending.insert(
-            seq,
-            SubOp {
-                op,
-                shard,
-                role,
-                request,
-                attempts: 1,
-                parked: false,
-                retry_armed: false,
-            },
-        );
+        let seq = self.table.open(SubOp {
+            op,
+            shard,
+            role,
+            request,
+            parked: false,
+        });
         self.transmit(ctx, seq, true);
         seq
     }
@@ -706,9 +680,10 @@ impl ShardRouter {
     /// Parks a sub-request against its degraded shard and arms the
     /// flush probe.
     fn park(&mut self, ctx: &mut Context<'_>, seq: u64) {
-        let Some(sub) = self.pending.get_mut(&seq) else {
+        let Some(entry) = self.table.get_mut(seq) else {
             return;
         };
+        let sub = &mut entry.payload;
         if sub.parked {
             return;
         }
@@ -720,7 +695,7 @@ impl ShardRouter {
                 state.degraded = true;
             }
         }
-        self.obs.registry.inc(self.obs.parked_subops);
+        self.obs.inc_parked();
         let idx = usize::from(shard);
         if !self.flush_armed[idx] {
             self.flush_armed[idx] = true;
@@ -732,14 +707,13 @@ impl ShardRouter {
     /// shard (Queue policy), re-send while attempts remain, fail
     /// otherwise.
     fn maybe_retry(&mut self, ctx: &mut Context<'_>, seq: u64) {
-        let Some(sub) = self.pending.get(&seq) else {
+        let Some(entry) = self.table.get(seq) else {
             return;
         };
-        let shard = usize::from(sub.shard);
-        let attempts = sub.attempts;
-        let retry_armed = sub.retry_armed;
+        let shard = usize::from(entry.payload.shard);
+        let attempts = entry.attempts();
         let parkable = matches!(
-            sub.role,
+            entry.payload.role,
             SubRole::Write { .. } | SubRole::Take | SubRole::Erase | SubRole::Repair
         );
         if self.degraded[shard]
@@ -747,18 +721,16 @@ impl ShardRouter {
             && matches!(self.degraded_writes, DegradedWritePolicy::Queue)
         {
             self.park(ctx, seq);
-        } else if attempts < self.policy.max_attempts {
-            if !retry_armed {
-                if let Some(sub) = self.pending.get_mut(&seq) {
-                    sub.retry_armed = true;
+        } else if matches!(
+            request_step(attempts, self.policy.max_attempts),
+            RequestStep::Retry
+        ) {
+            // The one-shot suppresses duplicate scheduling: while a
+            // delay is already armed, `arm_retry` refuses a second one.
+            if let Some(entry) = self.table.get_mut(seq) {
+                if let Some(token) = entry.arm_retry() {
+                    ctx.schedule_self_in(self.policy.retry_delay, RetryDue { key: seq, token });
                 }
-                ctx.schedule_self_in(
-                    self.policy.retry_delay,
-                    RetrySub {
-                        seq,
-                        attempt: attempts,
-                    },
-                );
             }
         } else {
             self.sub_failed(ctx, seq);
@@ -767,9 +739,10 @@ impl ShardRouter {
 
     /// A sub-request is out of options; fold the failure into its op.
     fn sub_failed(&mut self, ctx: &mut Context<'_>, seq: u64) {
-        let Some(sub) = self.pending.remove(&seq) else {
+        let Some(entry) = self.table.remove(seq) else {
             return;
         };
+        let sub = entry.payload;
         match sub.role {
             SubRole::Write { slot } => {
                 if let Some(op) = sub.op {
@@ -1006,11 +979,11 @@ impl ShardRouter {
         let Some(&(_, seq)) = log.iter().find(|(shard, _)| *shard == owner) else {
             return;
         };
-        if self.pending.contains_key(&seq) {
+        if self.table.contains(seq) {
             return;
         }
         self.obs.registry.inc(self.obs.repair_writes);
-        self.pending.insert(
+        self.table.restore(
             seq,
             SubOp {
                 op: None,
@@ -1020,9 +993,7 @@ impl ShardRouter {
                     tuple: tuple.clone(),
                     lease_ns: None,
                 },
-                attempts: 1,
                 parked: false,
-                retry_armed: false,
             },
         );
         self.transmit(ctx, seq, false);
@@ -1030,7 +1001,7 @@ impl ShardRouter {
 
     fn on_deliver(&mut self, ctx: &mut Context<'_>, deliver: &NetDeliver) {
         let Ok(message) = server_message_from_wire(&deliver.payload) else {
-            self.obs.registry.inc(self.obs.stale_replies);
+            self.obs.registry.inc(self.obs.proto.stale_replies);
             return;
         };
         let ServerMessage::Response { re, response } = message else {
@@ -1038,20 +1009,21 @@ impl ShardRouter {
             return;
         };
         let Some(id) = re else {
-            self.obs.registry.inc(self.obs.stale_replies);
+            self.obs.registry.inc(self.obs.proto.stale_replies);
             return;
         };
         if id.client != self.client_id {
-            self.obs.registry.inc(self.obs.stale_replies);
+            self.obs.registry.inc(self.obs.proto.stale_replies);
             return;
         }
         // The server completed this seq whether or not anyone is still
         // waiting: settle it so its dedup entry can eventually retire.
-        self.settle(id.seq);
-        let Some(sub) = self.pending.remove(&id.seq) else {
-            self.obs.registry.inc(self.obs.stale_replies);
+        self.table.settle(id.seq);
+        let Some(entry) = self.table.remove(id.seq) else {
+            self.obs.registry.inc(self.obs.proto.stale_replies);
             return;
         };
+        let sub = entry.payload;
         // A reply is proof of life.
         self.degraded[usize::from(sub.shard)] = false;
         match sub.role {
@@ -1215,7 +1187,7 @@ impl ShardRouter {
         };
         let shard = idx as u8;
         if error.fast {
-            self.obs.registry.inc(self.obs.fast_fails);
+            self.obs.proto.fast_fail(&mut self.obs.registry);
             self.degraded[idx] = true;
         }
         // The transport error does not name a seq, so every in-flight
@@ -1223,19 +1195,19 @@ impl ShardRouter {
         // over-approximation, and a safe one: write/take retries reuse
         // their identity (idempotent), reads at worst re-probe.
         let seqs: Vec<u64> = self
-            .pending
+            .table
             .iter()
-            .filter(|(_, s)| s.shard == shard && !s.parked)
-            .map(|(seq, _)| *seq)
+            .filter(|(_, e)| e.payload.shard == shard && !e.payload.parked)
+            .map(|(seq, _)| seq)
             .collect();
         for seq in seqs {
-            let Some(role) = self.pending.get(&seq).map(|s| s.role.clone()) else {
+            let Some(role) = self.table.get(seq).map(|e| e.payload.role.clone()) else {
                 continue;
             };
             match role {
                 SubRole::ScatterLeg => {
-                    if let Some(sub) = self.pending.remove(&seq) {
-                        self.settle_leg(ctx, &sub, Leg::Failed);
+                    if let Some(entry) = self.table.remove(seq) {
+                        self.settle_leg(ctx, &entry.payload, Leg::Failed);
                     }
                 }
                 SubRole::KeyedRead { .. } => self.sub_failed(ctx, seq),
@@ -1248,50 +1220,55 @@ impl ShardRouter {
         }
     }
 
-    fn on_timeout(&mut self, ctx: &mut Context<'_>, timeout: &SubTimeout) {
-        let Some(sub) = self.pending.get(&timeout.seq) else {
+    fn on_timeout(&mut self, ctx: &mut Context<'_>, timeout: &ReplyDue) {
+        let seq = timeout.key;
+        let Some(entry) = self.table.get(seq) else {
             return;
         };
-        if sub.attempts != timeout.attempt || sub.parked {
+        // Deadline tokens are per-attempt: a token stamped before the
+        // current attempt (or while an old flush re-send is superseded)
+        // is stale and the firing is a no-op.
+        if !entry.is_current(timeout.token) || entry.payload.parked {
             return;
         }
-        match sub.role {
+        match entry.payload.role {
             // Legs live and die by the scatter deadline.
             SubRole::ScatterLeg => {}
             // A read probe that timed out falls through to the next
             // replica rather than hammering the same one.
             SubRole::KeyedRead { .. } => {
-                self.obs.registry.inc(self.obs.reply_timeouts);
-                self.sub_failed(ctx, timeout.seq);
+                self.obs.registry.inc(self.obs.proto.reply_timeouts);
+                self.sub_failed(ctx, seq);
             }
             _ => {
-                self.obs.registry.inc(self.obs.reply_timeouts);
-                self.maybe_retry(ctx, timeout.seq);
+                self.obs.registry.inc(self.obs.proto.reply_timeouts);
+                self.maybe_retry(ctx, seq);
             }
         }
     }
 
-    fn on_retry(&mut self, ctx: &mut Context<'_>, retry: &RetrySub) {
+    fn on_retry(&mut self, ctx: &mut Context<'_>, retry: &RetryDue) {
+        let seq = retry.key;
         let (shard, parkable) = {
-            let Some(sub) = self.pending.get_mut(&retry.seq) else {
+            let Some(entry) = self.table.get_mut(seq) else {
                 return;
             };
-            if sub.attempts != retry.attempt || !sub.retry_armed {
+            // The firing consumes the armed delay whether or not the
+            // sub is parked — the engine's one-shot enforces what used
+            // to be a hand-maintained `retry_armed` flag (a sub parked
+            // mid-delay with a stale flag could never re-arm after its
+            // flush probe, wedging the operation).
+            if !entry.fire_retry(retry.token) {
                 return;
             }
-            // This firing consumes the armed delay: clear the flag on
-            // every live path, or a sub parked mid-delay would carry a
-            // stale `retry_armed` forever and never re-arm after its
-            // flush probe — wedging the operation.
-            sub.retry_armed = false;
-            if sub.parked {
+            if entry.payload.parked {
                 // Parked while the delay ran; the flush probe owns it.
                 return;
             }
             (
-                usize::from(sub.shard),
+                usize::from(entry.payload.shard),
                 matches!(
-                    sub.role,
+                    entry.payload.role,
                     SubRole::Write { .. } | SubRole::Take | SubRole::Erase | SubRole::Repair
                 ),
             )
@@ -1301,56 +1278,57 @@ impl ShardRouter {
             && parkable
             && matches!(self.degraded_writes, DegradedWritePolicy::Queue)
         {
-            self.park(ctx, retry.seq);
+            self.park(ctx, seq);
             return;
         }
-        self.obs.registry.inc(self.obs.retries);
+        self.obs.registry.inc(self.obs.proto.retries);
         if self.policy.exactly_once {
-            if let Some(sub) = self.pending.get_mut(&retry.seq) {
-                sub.attempts += 1;
+            if let Some(entry) = self.table.get_mut(seq) {
+                entry.next_attempt();
             }
-            self.transmit(ctx, retry.seq, false);
+            self.transmit(ctx, seq, false);
         } else {
             // Ablation: a fresh identity per attempt. The server cannot
             // tell the retry from a new request, so a lost reply means
             // the operation applies twice.
-            let Some(mut sub) = self.pending.remove(&retry.seq) else {
+            let Some(seq) = self.table.rekey(seq) else {
                 return;
             };
-            sub.attempts += 1;
-            let seq = self.fresh_seq();
-            self.pending.insert(seq, sub);
+            if let Some(entry) = self.table.get_mut(seq) {
+                entry.next_attempt();
+            }
             self.transmit(ctx, seq, false);
         }
     }
 
     fn on_deadline(&mut self, ctx: &mut Context<'_>, deadline: &ScatterDeadline) {
-        let Some(sub) = self.pending.remove(&deadline.seq) else {
+        let Some(entry) = self.table.remove(deadline.seq) else {
             return;
         };
-        self.obs.registry.inc(self.obs.reply_timeouts);
-        self.settle_leg(ctx, &sub, Leg::Failed);
+        self.obs.registry.inc(self.obs.proto.reply_timeouts);
+        self.settle_leg(ctx, &entry.payload, Leg::Failed);
     }
 
     fn on_flush(&mut self, ctx: &mut Context<'_>, flush: &FlushQueue) {
         let idx = usize::from(flush.shard);
         self.flush_armed[idx] = false;
         let parked: Vec<u64> = self
-            .pending
+            .table
             .iter()
-            .filter(|(_, s)| s.shard == flush.shard && s.parked)
-            .map(|(seq, _)| *seq)
+            .filter(|(_, e)| e.payload.shard == flush.shard && e.payload.parked)
+            .map(|(seq, _)| seq)
             .collect();
         if parked.is_empty() {
             return;
         }
-        self.obs.registry.inc(self.obs.queue_flushes);
+        self.obs.inc_flush();
         for seq in parked {
-            if let Some(sub) = self.pending.get_mut(&seq) {
+            if let Some(entry) = self.table.get_mut(seq) {
                 // A flush probe is not a fresh attempt: under the Queue
                 // policy a long outage parks writes indefinitely instead
-                // of burning their attempt budget.
-                sub.parked = false;
+                // of burning their attempt budget. (No epoch bump — an
+                // older reply deadline for this attempt stays valid.)
+                entry.payload.parked = false;
             }
             self.transmit(ctx, seq, false);
         }
@@ -1366,14 +1344,14 @@ impl Component for ShardRouter {
             }
             Err(m) => m,
         };
-        let msg = match msg.downcast::<SubTimeout>() {
+        let msg = match msg.downcast::<ReplyDue>() {
             Ok(timeout) => {
                 self.on_timeout(ctx, &timeout);
                 return;
             }
             Err(m) => m,
         };
-        let msg = match msg.downcast::<RetrySub>() {
+        let msg = match msg.downcast::<RetryDue>() {
             Ok(retry) => {
                 self.on_retry(ctx, &retry);
                 return;

@@ -42,6 +42,7 @@ use std::collections::{HashMap, VecDeque};
 use bytes::Bytes;
 use tsbus_des::{Component, ComponentId, Context, Message, MessageExt, SimTime};
 use tsbus_faults::{Admission, BreakerState, FaultCommand, FaultKind, FrameClass, GilbertElliott};
+use tsbus_proto::{frame_step, FrameStep};
 
 use crate::frame::{Command, RxFrame, RxType, TxFrame};
 use crate::instrument::{BusInstruments, BusStats};
@@ -1033,35 +1034,40 @@ impl TpWireBus {
                         let class = Self::class_of_burst(&kind);
                         self.supervise_outcome(ctx.now(), pos, false);
                         // A freshly tripped breaker aborts the burst rather
-                        // than burning backoff against a dead slave.
-                        let abort = self.breaker_open(pos);
+                        // than burning backoff against a dead slave — the
+                        // breaker-admission input of the shared ladder.
+                        let fenced = self.breaker_open(pos);
                         let retry = self.params.retry.for_class(class);
-                        if !abort && in_flight.attempts < retry.max_retries {
-                            self.obs.retry(ctx.now(), node, class);
-                            let attempts = in_flight.attempts + 1;
-                            let delay_bits = retry.backoff.delay_bits(u32::from(attempts));
-                            if delay_bits == 0 {
-                                self.issue_burst(ctx, lane_idx, kind, attempts);
-                            } else {
-                                self.obs.backoff(ctx.now(), delay_bits);
-                                ctx.schedule_self_in(
-                                    self.params.bits64_to_time(delay_bits),
-                                    RetryBurst {
-                                        lane: lane_idx,
-                                        kind,
-                                        attempts,
-                                    },
-                                );
+                        match frame_step(in_flight.attempts, fenced, &retry) {
+                            FrameStep::Retry {
+                                attempt,
+                                delay_bits,
+                            } => {
+                                self.obs.retry(ctx.now(), node, class);
+                                if delay_bits == 0 {
+                                    self.issue_burst(ctx, lane_idx, kind, attempt);
+                                } else {
+                                    self.obs.backoff(ctx.now(), delay_bits);
+                                    ctx.schedule_self_in(
+                                        self.params.bits64_to_time(delay_bits),
+                                        RetryBurst {
+                                            lane: lane_idx,
+                                            kind,
+                                            attempts: attempt,
+                                        },
+                                    );
+                                }
                             }
-                        } else {
-                            if abort {
-                                self.obs.fast_fail(ctx.now(), node);
-                            } else {
-                                self.obs.txn_failed(ctx.now(), node);
+                            step @ (FrameStep::FastFail | FrameStep::GiveUp) => {
+                                if matches!(step, FrameStep::FastFail) {
+                                    self.obs.fast_fail(ctx.now(), node);
+                                } else {
+                                    self.obs.txn_failed(ctx.now(), node);
+                                }
+                                self.lanes[lane_idx].selected = None;
+                                self.lanes[lane_idx].ptr_at_stream = false;
+                                self.advance_burst(ctx, lane_idx, &kind, None);
                             }
-                            self.lanes[lane_idx].selected = None;
-                            self.lanes[lane_idx].ptr_at_stream = false;
-                            self.advance_burst(ctx, lane_idx, &kind, None);
                         }
                     }
                     Outcome::Ok(_) | Outcome::BadRx => {
@@ -1123,37 +1129,42 @@ impl TpWireBus {
                 }
                 // A freshly tripped breaker aborts the attempt sequence
                 // instead of burning the remaining cumulative backoff
-                // against the 2048-bit watchdog.
-                let abort = pos.is_some_and(|p| self.breaker_open(p));
+                // against the 2048-bit watchdog — the breaker-admission
+                // input of the shared ladder.
+                let fenced = pos.is_some_and(|p| self.breaker_open(p));
                 let retry = self.params.retry.for_class(class);
-                if !abort && in_flight.attempts < retry.max_retries {
-                    self.obs.retry(ctx.now(), node, class);
-                    let attempts = in_flight.attempts + 1;
-                    let delay_bits = retry.backoff.delay_bits(u32::from(attempts));
-                    if delay_bits == 0 {
-                        self.issue(ctx, lane_idx, frame, attempts);
-                    } else {
-                        self.obs.backoff(ctx.now(), delay_bits);
-                        ctx.schedule_self_in(
-                            self.params.bits64_to_time(delay_bits),
-                            RetryFrame {
-                                lane: lane_idx,
-                                frame,
-                                attempts,
-                            },
-                        );
+                match frame_step(in_flight.attempts, fenced, &retry) {
+                    FrameStep::Retry {
+                        attempt,
+                        delay_bits,
+                    } => {
+                        self.obs.retry(ctx.now(), node, class);
+                        if delay_bits == 0 {
+                            self.issue(ctx, lane_idx, frame, attempt);
+                        } else {
+                            self.obs.backoff(ctx.now(), delay_bits);
+                            ctx.schedule_self_in(
+                                self.params.bits64_to_time(delay_bits),
+                                RetryFrame {
+                                    lane: lane_idx,
+                                    frame,
+                                    attempts: attempt,
+                                },
+                            );
+                        }
                     }
-                } else {
-                    if abort {
-                        self.obs.fast_fail(ctx.now(), node);
-                    } else {
-                        self.obs.txn_failed(ctx.now(), node);
+                    step @ (FrameStep::FastFail | FrameStep::GiveUp) => {
+                        if matches!(step, FrameStep::FastFail) {
+                            self.obs.fast_fail(ctx.now(), node);
+                        } else {
+                            self.obs.txn_failed(ctx.now(), node);
+                        }
+                        // Whatever the master believed about this lane's
+                        // selection may be stale (e.g. the slave reset).
+                        self.lanes[lane_idx].selected = None;
+                        self.lanes[lane_idx].ptr_at_stream = false;
+                        self.advance_activity(ctx, lane_idx, frame, None);
                     }
-                    // Whatever the master believed about this lane's
-                    // selection may be stale (e.g. the slave reset).
-                    self.lanes[lane_idx].selected = None;
-                    self.lanes[lane_idx].ptr_at_stream = false;
-                    self.advance_activity(ctx, lane_idx, frame, None);
                 }
             }
         }
