@@ -71,12 +71,18 @@ fn export<P>(report: &CampaignReport<P>, opts: &ExecOpts) {
 }
 
 fn footer<P>(report: &CampaignReport<P>) {
+    // Deterministic facts on stdout (CI diffs and greps it); wall-clock
+    // timing goes to stderr so reruns stay byte-identical.
     println!(
-        "[{}] {} points, {} simulated / {} cached, {:.2} s\n",
+        "[{}] {} points, {} simulated / {} cached\n",
         report.name,
         report.points.len(),
         report.simulated,
         report.cached,
+    );
+    eprintln!(
+        "[{}] {:.2} s wall-clock",
+        report.name,
         report.elapsed.as_secs_f64()
     );
 }
@@ -307,7 +313,8 @@ fn main() {
         }
     }
 
-    println!(
+    println!("Figure set regenerated.");
+    eprintln!(
         "Figure set regenerated in {:.2} s wall-clock.",
         started.elapsed().as_secs_f64()
     );

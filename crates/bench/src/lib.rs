@@ -16,6 +16,7 @@
 //! | `ablation_polling` | master poll cadence (design choice) |
 //! | `ablation_errors` | frame-error rate vs retries and goodput |
 //! | `campaign` | the whole figure set, via the `tsbus-lab` engine |
+//! | `perf` | hot-path speedup report (`BENCH_perf.json`) + CI regression gate |
 //!
 //! The sweep-style figures (`fig_cbr_sweep`, `fig_fault_sweep`,
 //! `fig_scaling`, `campaign`) run on the [`tsbus_lab`] campaign engine:
@@ -32,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod dedup_cost;
+pub mod perf;
 pub mod supervision;
 pub mod workload;
 

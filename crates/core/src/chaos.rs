@@ -52,6 +52,13 @@ pub struct ChaosConfig {
     /// rebalancing). `None` runs the bus exactly as before — the ablation
     /// arm of the supervision experiments.
     pub supervision: Option<SupervisionConfig>,
+    /// Whether the server's [`Space`](tsbus_tuplespace::Space) keeps its
+    /// key-field/deadline indexes. Off is the perf-ablation arm: identical
+    /// results through full scans.
+    pub indexed_space: bool,
+    /// Whether the simulator recycles event message boxes. Off is the
+    /// perf-ablation arm: identical results, one allocation per event.
+    pub pooling: bool,
 }
 
 impl Default for ChaosConfig {
@@ -62,6 +69,8 @@ impl Default for ChaosConfig {
             wire_format: WireFormat::Xml,
             horizon: SimDuration::from_secs(600),
             supervision: None,
+            indexed_space: true,
+            pooling: true,
         }
     }
 }
@@ -174,6 +183,9 @@ pub struct ChaosTrial {
     /// The chaos harness arms only unbounded tracers, so a nonzero value
     /// means the audit evidence the violation checks rely on is incomplete.
     pub trace_dropped: u64,
+    /// Simulation events the kernel dispatched over the trial — the
+    /// denominator of the perf harness's events/sec measurements.
+    pub events_processed: u64,
 }
 
 /// splitmix64 — the fault/channel derivation stream. Self-contained so a
@@ -306,6 +318,7 @@ pub fn run_chaos_trial(cfg: &ChaosConfig, seed: u64) -> ChaosTrial {
     }
 
     let mut sim = Simulator::with_seed(seed);
+    sim.set_pooling(cfg.pooling);
     let client_app = ComponentId::from_raw(0);
     let server_app = ComponentId::from_raw(1);
     let ep_client = ComponentId::from_raw(2);
@@ -331,6 +344,7 @@ pub fn run_chaos_trial(cfg: &ChaosConfig, seed: u64) -> ChaosTrial {
     debug_assert_eq!(c, client_app);
 
     let mut server = SpaceServerAgent::new(ep_server, SimDuration::from_millis(30));
+    server.space_mut().set_indexed(cfg.indexed_space);
     // The audit trail is the trial's ground truth.
     server.space_mut().enable_audit();
     sim.add_component("server", server);
@@ -544,6 +558,7 @@ pub fn run_chaos_trial(cfg: &ChaosConfig, seed: u64) -> ChaosTrial {
             + bus_ref.obs().trace_dropped()
             + server.trace().dropped()
             + client.trace().dropped(),
+        events_processed: sim.events_processed(),
     }
 }
 

@@ -18,8 +18,8 @@ use tsbus_proto::{
 use tsbus_tpwire::NodeId;
 use tsbus_tuplespace::Template;
 use tsbus_xmlwire::{
-    request_envelope_to_wire, request_to_wire, server_message_from_wire, Request, RequestEnvelope,
-    RequestId, Response, ServerMessage, WireEvent, WireFormat,
+    server_message_from_wire, EncodeScratch, Request, RequestEnvelope, RequestId, Response,
+    ServerMessage, WireEvent, WireFormat,
 };
 
 use crate::net::{NetDeliver, NetError, NetSend};
@@ -291,6 +291,8 @@ pub struct ScriptedClient {
     notifications: Vec<(SimTime, WireEvent)>,
     errors: Vec<String>,
     obs: ClientInstruments,
+    /// Reused encode buffers for outgoing requests.
+    scratch: EncodeScratch,
     finished_at: Option<SimTime>,
 }
 
@@ -320,6 +322,7 @@ impl ScriptedClient {
             notifications: Vec::new(),
             errors: Vec::new(),
             obs: ClientInstruments::default(),
+            scratch: EncodeScratch::new(),
             finished_at: None,
         }
     }
@@ -453,7 +456,7 @@ impl ScriptedClient {
 
     /// Encodes `request` for the wire: enveloped with its identity and the
     /// current ack watermark in exactly-once mode, bare otherwise.
-    fn wire_payload(&self, request: &Request, seq: Option<u64>) -> Bytes {
+    fn wire_payload(&mut self, request: &Request, seq: Option<u64>) -> Bytes {
         match (&self.exactly_once, seq) {
             (Some(eo), Some(seq)) => {
                 let envelope = RequestEnvelope::identified(
@@ -464,9 +467,9 @@ impl ScriptedClient {
                     eo.watermark.ack(),
                     request.clone(),
                 );
-                Bytes::from(request_envelope_to_wire(&envelope, self.format))
+                Bytes::copy_from_slice(self.scratch.request_envelope(&envelope, self.format))
             }
-            _ => Bytes::from(request_to_wire(request, self.format)),
+            _ => Bytes::copy_from_slice(self.scratch.request(request, self.format)),
         }
     }
 

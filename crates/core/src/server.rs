@@ -18,8 +18,7 @@ use tsbus_obs::{CounterId, DedupDecision, Registry, Snapshot, TraceEvent, Tracer
 use tsbus_tpwire::NodeId;
 use tsbus_tuplespace::{Lease, Space, SubscriptionId, Template};
 use tsbus_xmlwire::{
-    correlated_response_to_wire, event_to_wire, request_envelope_from_wire, Request, RequestId,
-    Response, WireEvent, WireFormat,
+    request_envelope_from_wire, EncodeScratch, Request, RequestId, Response, WireEvent, WireFormat,
 };
 
 use crate::dedup::{Admission, DedupCache};
@@ -169,6 +168,9 @@ pub struct SpaceServerAgent {
     sweep_at: Option<SimTime>,
     /// Exactly-once reply cache for identity-carrying requests.
     dedup: DedupCache,
+    /// Reused encode buffers: steady-state replies and event pushes reuse
+    /// one allocation instead of building a fresh `String`/`Vec` each time.
+    scratch: EncodeScratch,
     obs: ServerInstruments,
 }
 
@@ -188,6 +190,7 @@ impl SpaceServerAgent {
             next_wire_sub: 0,
             sweep_at: None,
             dedup: DedupCache::new(),
+            scratch: EncodeScratch::new(),
             obs: ServerInstruments::default(),
         }
     }
@@ -250,7 +253,8 @@ impl SpaceServerAgent {
         }
         self.obs.registry.inc(self.obs.responses);
         let endpoint = self.endpoint;
-        let payload = Bytes::from(correlated_response_to_wire(re, response, format));
+        let payload =
+            Bytes::copy_from_slice(self.scratch.correlated_response(re, response, format));
         ctx.send(endpoint, NetSend { to, payload });
     }
 
@@ -280,7 +284,7 @@ impl SpaceServerAgent {
                     self.obs.dedup(ctx.now(), id, DedupDecision::Replay);
                     self.obs.registry.inc(self.obs.responses);
                     let endpoint = self.endpoint;
-                    let payload = Bytes::from(correlated_response_to_wire(
+                    let payload = Bytes::copy_from_slice(self.scratch.correlated_response(
                         Some(request_id),
                         &cached,
                         format,
@@ -442,7 +446,7 @@ impl SpaceServerAgent {
                 tuple: notification.tuple,
             };
             let endpoint = self.endpoint;
-            let payload = Bytes::from(event_to_wire(&event, format));
+            let payload = Bytes::copy_from_slice(self.scratch.event(&event, format));
             ctx.send(endpoint, NetSend { to, payload });
         }
     }

@@ -137,7 +137,8 @@ impl<'a> Context<'a> {
         msg: impl Message,
     ) -> EventId {
         let time = self.core.now.saturating_add(delay);
-        self.core.schedule(time, target, Box::new(msg))
+        let msg = self.core.alloc_msg(msg);
+        self.core.schedule(time, target, msg)
     }
 
     /// Schedules `msg` for `target` at the absolute instant `time`.
@@ -157,7 +158,8 @@ impl<'a> Context<'a> {
             "cannot schedule into the past: {time} < now {}",
             self.core.now
         );
-        self.core.schedule(time, target, Box::new(msg))
+        let msg = self.core.alloc_msg(msg);
+        self.core.schedule(time, target, msg)
     }
 
     /// Delivers `msg` to `target` at the current time (after all events
@@ -177,6 +179,25 @@ impl<'a> Context<'a> {
     /// already cancelled.
     pub fn cancel(&mut self, event: EventId) {
         self.core.cancel(event);
+    }
+
+    /// Hands a delivered event box back to the kernel's recycling pool, so
+    /// the next `schedule_*` of the same message type reuses the allocation
+    /// instead of heap-allocating.
+    ///
+    /// Entirely optional — unrecycled boxes are simply freed as before — and
+    /// behaviour-invisible: a reused box is fully overwritten before it is
+    /// scheduled again. Components on hot paths call this after extracting
+    /// what they need from a message (cheaply `mem::take`-ing owned fields
+    /// first if necessary).
+    pub fn recycle(&mut self, msg: Box<dyn Message>) {
+        self.core.recycle_msg(msg);
+    }
+
+    /// Typed variant of [`recycle`](Self::recycle) for boxes a component has
+    /// already downcast with [`MessageExt::downcast`](crate::MessageExt).
+    pub fn recycle_box<T: Message>(&mut self, msg: Box<T>) {
+        self.core.recycle_msg(msg);
     }
 
     /// The simulator's deterministic random-number source.

@@ -1,14 +1,56 @@
 //! The simulation kernel: clock, pending-event set, component registry and
 //! the main event loop.
 
+use std::any::{Any, TypeId};
 use std::collections::HashSet;
 
 use crate::component::{make_context, Component, ComponentId, Context};
 use crate::event::{EventId, Message, ScheduledEvent};
-use crate::queue::{BinaryHeapQueue, EventQueue};
+use crate::queue::{EventQueue, QueueKind};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceLog;
+
+/// Ceiling on recycled boxes retained per concrete message type. Keeps the
+/// pool bounded if a scenario recycles far more of one type than it ever
+/// re-schedules.
+const POOL_CAP_PER_TYPE: usize = 256;
+
+/// A freelist of event boxes keyed by concrete message type.
+///
+/// Scheduling normally heap-allocates one `Box<dyn Message>` per event; on
+/// campaign workloads that is millions of short-lived allocations. The pool
+/// lets the kernel (cancelled events) and cooperating components
+/// ([`Context::recycle`]) hand boxes back so the next `schedule_*` of the
+/// same message type reuses the allocation. Purely an allocator concern:
+/// event contents are fully overwritten on reuse, so simulated behaviour is
+/// byte-identical with the pool on or off.
+/// A handful of distinct message types circulate per simulation, so the
+/// freelist is a flat vector scanned linearly with a move-to-front on hit
+/// — cheaper than hashing a `TypeId` on every schedule.
+struct MessagePool {
+    enabled: bool,
+    free: Vec<(TypeId, Vec<Box<dyn Any>>)>,
+}
+
+impl MessagePool {
+    fn new() -> Self {
+        MessagePool {
+            enabled: true,
+            free: Vec::new(),
+        }
+    }
+
+    fn bucket_index(&mut self, key: TypeId) -> Option<usize> {
+        let at = self.free.iter().position(|(k, _)| *k == key)?;
+        if at > 0 {
+            self.free.swap(at, at - 1);
+            Some(at - 1)
+        } else {
+            Some(at)
+        }
+    }
+}
 
 /// The mutable simulator state a [`Context`] can reach while a component is
 /// borrowed out for dispatch.
@@ -21,9 +63,44 @@ pub(crate) struct SimCore {
     next_seq: u64,
     names: Vec<String>,
     events_processed: u64,
+    pool: MessagePool,
 }
 
 impl SimCore {
+    /// Boxes `value`, reusing a recycled box of the same concrete type when
+    /// the pool has one.
+    pub(crate) fn alloc_msg<T: Message>(&mut self, value: T) -> Box<dyn Message> {
+        if self.pool.enabled {
+            if let Some(at) = self.pool.bucket_index(TypeId::of::<T>()) {
+                if let Some(slot) = self.pool.free[at].1.pop() {
+                    let mut slot: Box<T> = slot.downcast().expect("pool bucket holds only T");
+                    *slot = value;
+                    return slot;
+                }
+            }
+        }
+        Box::new(value)
+    }
+
+    /// Returns an event box to the freelist (dropped if pooling is off or
+    /// the per-type cap is reached).
+    pub(crate) fn recycle_msg(&mut self, msg: Box<dyn Message>) {
+        if !self.pool.enabled {
+            return;
+        }
+        let key = (*msg).as_any().type_id();
+        let at = match self.pool.bucket_index(key) {
+            Some(at) => at,
+            None => {
+                self.pool.free.push((key, Vec::new()));
+                self.pool.free.len() - 1
+            }
+        };
+        let bucket = &mut self.pool.free[at].1;
+        if bucket.len() < POOL_CAP_PER_TYPE {
+            bucket.push(Message::into_any(msg));
+        }
+    }
     pub(crate) fn schedule(
         &mut self,
         time: SimTime,
@@ -107,17 +184,34 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Creates a simulator with a binary-heap pending-event set and a fixed
-    /// default seed (0), so unseeded simulations are still reproducible.
+    /// Creates a simulator with the default pending-event set
+    /// ([`QueueKind::default`]) and a fixed default seed (0), so unseeded
+    /// simulations are still reproducible.
     #[must_use]
     pub fn new() -> Self {
-        Self::with_queue(Box::new(BinaryHeapQueue::new()))
+        Self::with_queue(QueueKind::default().build())
     }
 
     /// Creates a simulator with an explicit random seed.
     #[must_use]
     pub fn with_seed(seed: u64) -> Self {
         let mut sim = Self::new();
+        sim.core.rng = SimRng::seeded(seed);
+        sim
+    }
+
+    /// Creates a simulator with a named pending-event set implementation.
+    /// The determinism contract makes the choice invisible to results; it
+    /// only affects scheduler cost (see `BENCH_perf.json`).
+    #[must_use]
+    pub fn with_queue_kind(kind: QueueKind) -> Self {
+        Self::with_queue(kind.build())
+    }
+
+    /// [`with_queue_kind`](Self::with_queue_kind) plus an explicit seed.
+    #[must_use]
+    pub fn with_seed_and_queue(seed: u64, kind: QueueKind) -> Self {
+        let mut sim = Self::with_queue_kind(kind);
         sim.core.rng = SimRng::seeded(seed);
         sim
     }
@@ -136,10 +230,27 @@ impl Simulator {
                 next_seq: 0,
                 names: Vec::new(),
                 events_processed: 0,
+                pool: MessagePool::new(),
             },
             components: Vec::new(),
             started: false,
         }
+    }
+
+    /// Enables or disables event-box recycling (on by default). Pooling is
+    /// an allocator optimization with no effect on simulated behaviour;
+    /// turning it off exists for the perf harness's ablation arms.
+    pub fn set_pooling(&mut self, enabled: bool) {
+        self.core.pool.enabled = enabled;
+        if !enabled {
+            self.core.pool.free.clear();
+        }
+    }
+
+    /// Whether event-box recycling is enabled.
+    #[must_use]
+    pub fn pooling(&self) -> bool {
+        self.core.pool.enabled
     }
 
     /// Replaces the random seed. Call before the simulation starts drawing
@@ -276,6 +387,9 @@ impl Simulator {
                 return false;
             };
             if self.core.cancelled.remove(&event.id.0) {
+                // A cancelled event's box never reaches a component; reclaim
+                // it for the next schedule of the same message type.
+                self.core.recycle_msg(event.msg);
                 continue;
             }
             debug_assert!(event.time >= self.core.now, "event from the past");
@@ -578,6 +692,98 @@ mod tests {
             elapsed >= std::time::Duration::from_millis(2),
             "real-time mode must actually pace ({elapsed:?})"
         );
+    }
+
+    /// Re-arms itself `remaining` times, recycling every delivered box.
+    struct RecyclingTicker {
+        remaining: u32,
+        fired: u32,
+    }
+
+    impl Component for RecyclingTicker {
+        fn start(&mut self, ctx: &mut Context<'_>) {
+            ctx.schedule_self_in(SimDuration::from_nanos(1), Num(0));
+        }
+
+        fn handle(&mut self, ctx: &mut Context<'_>, msg: Box<dyn Message>) {
+            let num = msg.downcast::<Num>().expect("only Num is sent here");
+            self.fired += 1;
+            ctx.recycle_box(num);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.schedule_self_in(SimDuration::from_nanos(1), Num(u64::from(self.fired)));
+            }
+        }
+    }
+
+    #[test]
+    fn pooling_is_invisible_to_results() {
+        let run = |pooling: bool| {
+            let mut sim = Simulator::with_seed(7);
+            sim.set_pooling(pooling);
+            let rec = sim.add_component("rec", Recorder::default());
+            let tick = sim.add_component(
+                "tick",
+                RecyclingTicker {
+                    remaining: 40,
+                    fired: 0,
+                },
+            );
+            sim.enable_trace(4096);
+            sim.with_context(|ctx| {
+                for i in 0..50u64 {
+                    let doomed = ctx.schedule_in(SimDuration::from_nanos(i * 3), rec, Num(i));
+                    if i % 3 == 0 {
+                        // Cancelled boxes go back through the pool too.
+                        ctx.cancel(doomed);
+                    }
+                }
+            });
+            sim.run(1_000);
+            let _ = tick;
+            let seen = sim
+                .component::<Recorder>(rec)
+                .expect("registered")
+                .seen
+                .clone();
+            let trace = sim.trace().to_text();
+            (seen, trace, sim.events_processed())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn recycled_boxes_are_reused_not_leaked() {
+        let mut sim = Simulator::with_seed(1);
+        let id = sim.add_component(
+            "tick",
+            RecyclingTicker {
+                remaining: 500,
+                fired: 0,
+            },
+        );
+        sim.run(10_000);
+        let t: &RecyclingTicker = sim.component(id).expect("registered");
+        assert_eq!(t.fired, 501);
+    }
+
+    #[test]
+    fn queue_kinds_are_interchangeable() {
+        let run = |kind: QueueKind| {
+            let mut sim = Simulator::with_seed_and_queue(3, kind);
+            let id = sim.add_component("rec", Recorder::default());
+            sim.with_context(|ctx| {
+                for i in 0..64u64 {
+                    ctx.schedule_in(SimDuration::from_nanos((i * 37) % 11), id, Num(i));
+                }
+            });
+            sim.run(1_000);
+            sim.component::<Recorder>(id)
+                .expect("registered")
+                .seen
+                .clone()
+        };
+        assert_eq!(run(QueueKind::BinaryHeap), run(QueueKind::Calendar));
     }
 
     #[test]

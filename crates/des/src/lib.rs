@@ -75,7 +75,7 @@ mod trace;
 pub use component::{Component, ComponentId, Context};
 pub use event::{EventId, Message, MessageExt, ScheduledEvent};
 pub use kernel::{Simulator, DEFAULT_EVENT_LIMIT};
-pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
+pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind};
 pub use rng::{derive_stream, derive_stream_seed, SimRng};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceLog, TraceRecord};

@@ -42,6 +42,36 @@ pub trait EventQueue {
     }
 }
 
+/// Names a pending-event set implementation for [`Simulator`] construction.
+///
+/// The determinism contract makes the choice invisible to simulated results
+/// (the cross-queue property test in `tests/it/queue_equivalence.rs` checks
+/// this); it only affects scheduler cost. The default is the binary heap: on
+/// this workspace's campaign workloads the pending set stays small (tens of
+/// events), where the heap measured faster than the calendar queue — see the
+/// `micro_queue_calendar` arm in `BENCH_perf.json`.
+///
+/// [`Simulator`]: crate::Simulator
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueKind {
+    /// [`BinaryHeapQueue`], `O(log n)` operations.
+    #[default]
+    BinaryHeap,
+    /// [`CalendarQueue`], amortised `O(1)` for uniformly spaced events.
+    Calendar,
+}
+
+impl QueueKind {
+    /// Constructs an empty queue of this kind.
+    #[must_use]
+    pub fn build(self) -> Box<dyn EventQueue> {
+        match self {
+            QueueKind::BinaryHeap => Box::new(BinaryHeapQueue::new()),
+            QueueKind::Calendar => Box::new(CalendarQueue::new()),
+        }
+    }
+}
+
 /// Entry wrapper giving the heap the correct ordering.
 struct HeapEntry(ScheduledEvent);
 

@@ -165,7 +165,9 @@ pub struct CampaignReport<P> {
     pub simulated: usize,
     /// Jobs served from the result store.
     pub cached: usize,
-    /// Wall-clock time of the run (including cache I/O).
+    /// Wall-clock time of the run (including cache I/O). Diagnostics
+    /// only: print it to stderr, never into exported tables, figure
+    /// files or any other deterministic (diffed/golden) output.
     pub elapsed: Duration,
 }
 

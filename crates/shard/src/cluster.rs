@@ -359,6 +359,12 @@ pub struct ShardTrialConfig {
     pub bursts: Vec<Option<BurstParams>>,
     /// Router trace capacity (0 = tracing disabled).
     pub trace_capacity: usize,
+    /// Whether each shard's [`Space`](tsbus_tuplespace::Space) keeps its
+    /// key-field/deadline indexes. Off is the perf-ablation arm.
+    pub indexed_space: bool,
+    /// Whether the simulator recycles event message boxes. Off is the
+    /// perf-ablation arm.
+    pub pooling: bool,
 }
 
 impl ShardTrialConfig {
@@ -377,6 +383,8 @@ impl ShardTrialConfig {
             faults: Vec::new(),
             bursts: Vec::new(),
             trace_capacity: 0,
+            indexed_space: true,
+            pooling: true,
         }
     }
 }
@@ -449,6 +457,9 @@ pub struct ShardTrialResult {
     pub trace: Vec<TraceEvent>,
     /// Trace events lost to the bounded buffer.
     pub trace_dropped: u64,
+    /// Simulation events the kernel dispatched over the trial — the
+    /// denominator of the perf harness's events/sec measurements.
+    pub events_processed: u64,
 }
 
 /// The router's slave address on every segment.
@@ -491,6 +502,7 @@ pub fn run_shard_trial(cfg: &ShardTrialConfig, seed: u64) -> ShardTrialResult {
     );
 
     let mut sim = Simulator::with_seed(seed);
+    sim.set_pooling(cfg.pooling);
     // Fixed component layout: 0 = driver, 1 = router, then per shard s
     // a block of 4 at base = 2 + 4s: router endpoint, server endpoint,
     // server, bus. Fault drivers append after the blocks.
@@ -541,6 +553,7 @@ pub fn run_shard_trial(cfg: &ShardTrialConfig, seed: u64) -> ShardTrialResult {
             TpwireEndpoint::new(server_node(shard), server_id, bus_id, costs),
         );
         let mut server = SpaceServerAgent::new(server_ep, cfg.service_time);
+        server.space_mut().set_indexed(cfg.indexed_space);
         // The audit trail is the trial's ground truth.
         server.space_mut().enable_audit();
         let sv = sim.add_component(format!("shard{shard}/server"), server);
@@ -638,5 +651,6 @@ pub fn run_shard_trial(cfg: &ShardTrialConfig, seed: u64) -> ShardTrialResult {
         shards,
         trace: router.trace().events().cloned().collect(),
         trace_dropped: router.trace().dropped(),
+        events_processed: sim.events_processed(),
     }
 }

@@ -39,8 +39,8 @@ use tsbus_proto::{request_step, ProtoInstruments, ReplyDue, RequestStep, Request
 use tsbus_tpwire::NodeId;
 use tsbus_tuplespace::{Template, Tuple};
 use tsbus_xmlwire::{
-    request_envelope_to_wire, server_message_from_wire, Request, RequestEnvelope, RequestId,
-    Response, ServerMessage, WireFormat,
+    server_message_from_wire, EncodeScratch, Request, RequestEnvelope, RequestId, Response,
+    ServerMessage, WireFormat,
 };
 
 use crate::config::{DegradedWritePolicy, ShardConfig};
@@ -283,6 +283,8 @@ pub struct ShardRouter {
     /// repair write for them would resurrect consumed data.
     taken_keys: BTreeSet<u64>,
     obs: RouterInstruments,
+    /// Reused encode buffers for outgoing sub-requests.
+    scratch: EncodeScratch,
 }
 
 impl ShardRouter {
@@ -321,6 +323,7 @@ impl ShardRouter {
             write_log: BTreeMap::new(),
             taken_keys: BTreeSet::new(),
             obs: RouterInstruments::default(),
+            scratch: EncodeScratch::new(),
         }
     }
 
@@ -480,7 +483,7 @@ impl ShardRouter {
             self.table.ack(),
             sub.request.clone(),
         );
-        let payload = Bytes::from(request_envelope_to_wire(&envelope, self.format));
+        let payload = Bytes::copy_from_slice(self.scratch.request_envelope(&envelope, self.format));
         let endpoint = self.endpoints[shard];
         let to = self.server_nodes[shard];
         let token = entry.stamp();

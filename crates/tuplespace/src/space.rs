@@ -6,15 +6,16 @@
 //! simulation (driven by [`SimTime`]) and the live threaded server (which
 //! maps wall-clock time onto `SimTime` offsets).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 use tsbus_des::SimTime;
 use tsbus_obs::{CounterId, Registry, Tracer};
 
-use crate::template::Template;
+use crate::template::{Pattern, Template};
 use crate::tuple::Tuple;
 use crate::txn::{HeldEntry, TxnRegistry};
+use crate::value::Value;
 
 /// Identifies an entry while it lives in a space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -218,7 +219,7 @@ pub struct AuditRecord {
 /// assert_eq!(first, tuple!["job", 1]); // oldest first
 /// assert_eq!(space.len(now), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Space {
     /// Live entries, keyed by insertion sequence (= timestamp order).
     entries: BTreeMap<u64, Entry>,
@@ -232,13 +233,202 @@ pub struct Space {
     /// unbounded tracer by [`enable_audit`](Space::enable_audit) so
     /// downstream invariant checkers never observe a gap.
     audit: Tracer<AuditRecord>,
+    /// Whether the secondary indexes below are maintained and consulted.
+    /// On by default; the scan-only mode exists for the perf harness's
+    /// ablation baseline and the index-equivalence property tests.
+    indexed: bool,
+    /// Which field position the value index keys on — the same canonical
+    /// key position `tsbus-shard` partitions tuples on.
+    key_field: usize,
+    /// Value index: insertion seqs of live entries whose key field exists,
+    /// bucketed by that field's value. `BTreeSet` iteration keeps each
+    /// bucket in insertion order, so indexed matching preserves the
+    /// oldest-match-first contract exactly.
+    by_key: HashMap<Value, BTreeSet<u64>>,
+    /// Deadline index over `Lease::Until` entries, ordered `(deadline,
+    /// seq)`: the expiry sweep pops only due entries and `next_deadline`
+    /// is a first-element lookup.
+    deadlines: BTreeSet<(SimTime, u64)>,
+}
+
+impl Default for Space {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Where a template lookup finds its candidate entries.
+enum Candidates<'a> {
+    /// The template does not pin the key field; fall back to a full scan.
+    Scan,
+    /// The template pins the key field to a value no live entry carries.
+    Empty,
+    /// The bucket of entries sharing the template's key value.
+    Bucket(&'a BTreeSet<u64>),
 }
 
 impl Space {
-    /// Creates an empty space.
+    /// The default key-field position of the value index: field 1, matching
+    /// `tsbus-shard`'s canonical partition key.
+    pub const DEFAULT_KEY_FIELD: usize = 1;
+
+    /// Creates an empty space with indexed matching on (keyed on
+    /// [`DEFAULT_KEY_FIELD`](Self::DEFAULT_KEY_FIELD)).
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Space {
+            entries: BTreeMap::new(),
+            subscriptions: Vec::new(),
+            pending: Vec::new(),
+            next_entry: 0,
+            next_subscription: 0,
+            obs: SpaceInstruments::default(),
+            txns: TxnRegistry::default(),
+            audit: Tracer::disabled(),
+            indexed: true,
+            key_field: Self::DEFAULT_KEY_FIELD,
+            by_key: HashMap::new(),
+            deadlines: BTreeSet::new(),
+        }
+    }
+
+    /// Creates an empty space that matches by linear scan only — the
+    /// pre-index behaviour, kept as the ablation baseline and as the oracle
+    /// the index-equivalence property tests compare against.
+    #[must_use]
+    pub fn unindexed() -> Self {
+        let mut space = Self::new();
+        space.indexed = false;
+        space
+    }
+
+    /// Creates an empty indexed space keyed on `key_field` instead of the
+    /// default position.
+    #[must_use]
+    pub fn with_key_field(key_field: usize) -> Self {
+        let mut space = Self::new();
+        space.key_field = key_field;
+        space
+    }
+
+    /// Whether indexed matching is on.
+    #[must_use]
+    pub fn is_indexed(&self) -> bool {
+        self.indexed
+    }
+
+    /// The field position the value index keys on.
+    #[must_use]
+    pub fn key_field(&self) -> usize {
+        self.key_field
+    }
+
+    /// Switches indexed matching on or off, rebuilding (or dropping) the
+    /// indexes over the current entries. Matching results are identical
+    /// either way; only lookup cost changes.
+    pub fn set_indexed(&mut self, indexed: bool) {
+        if self.indexed == indexed {
+            return;
+        }
+        self.indexed = indexed;
+        self.by_key.clear();
+        self.deadlines.clear();
+        if indexed {
+            for (&seq, entry) in &self.entries {
+                if let Some(key) = entry.tuple.field(self.key_field) {
+                    self.by_key.entry(key.clone()).or_default().insert(seq);
+                }
+                if let Lease::Until(deadline) = entry.lease {
+                    self.deadlines.insert((deadline, seq));
+                }
+            }
+        }
+    }
+
+    /// Adds a (not yet inserted) entry to the secondary indexes.
+    fn index_entry(&mut self, seq: u64, entry: &Entry) {
+        if !self.indexed {
+            return;
+        }
+        if let Some(key) = entry.tuple.field(self.key_field) {
+            self.by_key.entry(key.clone()).or_default().insert(seq);
+        }
+        if let Lease::Until(deadline) = entry.lease {
+            self.deadlines.insert((deadline, seq));
+        }
+    }
+
+    /// Removes an entry from the store and the secondary indexes.
+    fn remove_entry(&mut self, seq: u64) -> Entry {
+        let entry = self.entries.remove(&seq).expect("caller found this seq");
+        if self.indexed {
+            if let Some(key) = entry.tuple.field(self.key_field) {
+                if let Some(bucket) = self.by_key.get_mut(key) {
+                    bucket.remove(&seq);
+                    if bucket.is_empty() {
+                        self.by_key.remove(key);
+                    }
+                }
+            }
+            if let Lease::Until(deadline) = entry.lease {
+                self.deadlines.remove(&(deadline, seq));
+            }
+        }
+        entry
+    }
+
+    /// Where to look for entries matching `template`.
+    ///
+    /// The bucket is usable exactly when the template has [`Pattern::Exact`]
+    /// at the key field: equal-arity matching then guarantees every match
+    /// carries that key value, and every entry with a key field is indexed,
+    /// so the bucket is complete. Anything else (shorter templates, typed or
+    /// wildcard key patterns) falls back to the scan.
+    fn candidates(&self, template: &Template) -> Candidates<'_> {
+        if !self.indexed {
+            return Candidates::Scan;
+        }
+        match template.patterns().get(self.key_field) {
+            Some(Pattern::Exact(value)) => match self.by_key.get(value) {
+                Some(bucket) => Candidates::Bucket(bucket),
+                None => Candidates::Empty,
+            },
+            _ => Candidates::Scan,
+        }
+    }
+
+    /// The insertion seq of the oldest entry matching `template`.
+    fn oldest_match(&self, template: &Template) -> Option<u64> {
+        match self.candidates(template) {
+            Candidates::Scan => self
+                .entries
+                .iter()
+                .find(|(_, entry)| template.matches(&entry.tuple))
+                .map(|(&seq, _)| seq),
+            Candidates::Empty => None,
+            Candidates::Bucket(bucket) => bucket
+                .iter()
+                .copied()
+                .find(|seq| template.matches(&self.entries[seq].tuple)),
+        }
+    }
+
+    /// The insertion seqs of every entry matching `template`, oldest first.
+    fn collect_matches(&self, template: &Template) -> Vec<u64> {
+        match self.candidates(template) {
+            Candidates::Scan => self
+                .entries
+                .iter()
+                .filter(|(_, entry)| template.matches(&entry.tuple))
+                .map(|(&seq, _)| seq)
+                .collect(),
+            Candidates::Empty => Vec::new(),
+            Candidates::Bucket(bucket) => bucket
+                .iter()
+                .copied()
+                .filter(|seq| template.matches(&self.entries[seq].tuple))
+                .collect(),
+        }
     }
 
     /// Number of live entries at `now` (expired entries are purged first).
@@ -309,11 +499,19 @@ impl Space {
     /// and its entries expire on their own.
     pub fn renew(&mut self, template: &Template, lease: Lease, now: SimTime) -> usize {
         self.expire(now);
-        let mut renewed = 0;
-        for entry in self.entries.values_mut() {
-            if template.matches(&entry.tuple) {
-                entry.lease = lease;
-                renewed += 1;
+        let matching = self.collect_matches(template);
+        let renewed = matching.len();
+        for seq in matching {
+            let entry = self.entries.get_mut(&seq).expect("collected above");
+            let old = entry.lease;
+            entry.lease = lease;
+            if self.indexed {
+                if let Lease::Until(deadline) = old {
+                    self.deadlines.remove(&(deadline, seq));
+                }
+                if let Lease::Until(deadline) = lease {
+                    self.deadlines.insert((deadline, seq));
+                }
             }
         }
         self.obs.registry.add(self.obs.renewals, renewed as u64);
@@ -327,15 +525,14 @@ impl Space {
         self.next_entry += 1;
         let id = EntryId(seq);
         self.notify_all(EventKind::Written, id, &tuple, now);
-        self.entries.insert(
-            seq,
-            Entry {
-                id,
-                tuple,
-                lease,
-                written_at: now,
-            },
-        );
+        let entry = Entry {
+            id,
+            tuple,
+            lease,
+            written_at: now,
+        };
+        self.index_entry(seq, &entry);
+        self.entries.insert(seq, entry);
         self.obs.registry.inc(self.obs.writes);
         id
     }
@@ -345,10 +542,8 @@ impl Space {
     pub fn read(&mut self, template: &Template, now: SimTime) -> Option<Tuple> {
         self.expire(now);
         let found = self
-            .entries
-            .values()
-            .find(|entry| template.matches(&entry.tuple))
-            .map(|entry| entry.tuple.clone());
+            .oldest_match(template)
+            .map(|seq| self.entries[&seq].tuple.clone());
         if found.is_some() {
             self.obs.registry.inc(self.obs.reads);
         } else {
@@ -361,24 +556,18 @@ impl Space {
     /// first, without removing any.
     pub fn read_all(&mut self, template: &Template, now: SimTime) -> Vec<Tuple> {
         self.expire(now);
-        self.entries
-            .values()
-            .filter(|entry| template.matches(&entry.tuple))
-            .map(|entry| entry.tuple.clone())
+        self.collect_matches(template)
+            .into_iter()
+            .map(|seq| self.entries[&seq].tuple.clone())
             .collect()
     }
 
     /// Removes and returns the oldest live tuple matching `template`.
     pub fn take(&mut self, template: &Template, now: SimTime) -> Option<Tuple> {
         self.expire(now);
-        let seq = self
-            .entries
-            .iter()
-            .find(|(_, entry)| template.matches(&entry.tuple))
-            .map(|(&seq, _)| seq);
-        match seq {
+        match self.oldest_match(template) {
             Some(seq) => {
-                let entry = self.entries.remove(&seq).expect("just found");
+                let entry = self.remove_entry(seq);
                 self.obs.registry.inc(self.obs.takes);
                 self.notify_all(EventKind::Taken, entry.id, &entry.tuple, now);
                 Some(entry.tuple)
@@ -406,10 +595,18 @@ impl Space {
     /// Counts live entries matching `template`.
     pub fn count(&mut self, template: &Template, now: SimTime) -> usize {
         self.expire(now);
-        self.entries
-            .values()
-            .filter(|entry| template.matches(&entry.tuple))
-            .count()
+        match self.candidates(template) {
+            Candidates::Scan => self
+                .entries
+                .values()
+                .filter(|entry| template.matches(&entry.tuple))
+                .count(),
+            Candidates::Empty => 0,
+            Candidates::Bucket(bucket) => bucket
+                .iter()
+                .filter(|seq| template.matches(&self.entries[seq].tuple))
+                .count(),
+        }
     }
 
     /// The write instant of a live entry, if it is still present.
@@ -422,14 +619,29 @@ impl Space {
     /// notifications. Called implicitly by every operation; call it
     /// explicitly to force timely notifications on an otherwise idle space.
     pub fn expire(&mut self, now: SimTime) {
-        let dead: Vec<u64> = self
-            .entries
-            .iter()
-            .filter(|(_, entry)| !entry.lease.is_alive(now))
-            .map(|(&seq, _)| seq)
-            .collect();
+        let mut dead: Vec<u64>;
+        if self.indexed {
+            // Single-pass sweep over the deadline index: only due entries
+            // are visited, so a sweep over a space with no due leases is
+            // O(1) instead of O(n). Dead seqs come back sorted by seq
+            // (below) so notification order matches the scan sweep exactly.
+            dead = self
+                .deadlines
+                .iter()
+                .take_while(|&&(deadline, _)| deadline <= now)
+                .map(|&(_, seq)| seq)
+                .collect();
+            dead.sort_unstable();
+        } else {
+            dead = self
+                .entries
+                .iter()
+                .filter(|(_, entry)| !entry.lease.is_alive(now))
+                .map(|(&seq, _)| seq)
+                .collect();
+        }
         for seq in dead {
-            let entry = self.entries.remove(&seq).expect("listed above");
+            let entry = self.remove_entry(seq);
             self.obs.registry.inc(self.obs.expirations);
             // The notification carries the lease deadline, not `now`: the
             // entry ceased to exist at its deadline even if we only noticed
@@ -446,6 +658,9 @@ impl Space {
     /// expiry will happen, useful for scheduling an expiry sweep.
     #[must_use]
     pub fn next_deadline(&self) -> Option<SimTime> {
+        if self.indexed {
+            return self.deadlines.iter().next().map(|&(deadline, _)| deadline);
+        }
         self.entries
             .values()
             .filter_map(|entry| match entry.lease {
@@ -501,12 +716,8 @@ impl Space {
         now: SimTime,
     ) -> Option<HeldEntry> {
         self.expire(now);
-        let seq = self
-            .entries
-            .iter()
-            .find(|(_, entry)| template.matches(&entry.tuple))
-            .map(|(&seq, _)| seq)?;
-        let entry = self.entries.remove(&seq).expect("just found");
+        let seq = self.oldest_match(template)?;
+        let entry = self.remove_entry(seq);
         self.obs.registry.inc(self.obs.takes);
         Some(HeldEntry {
             seq,
@@ -522,15 +733,14 @@ impl Space {
     pub(crate) fn reinstate_entry(&mut self, held: HeldEntry, now: SimTime) {
         if held.lease.is_alive(now) {
             let id = EntryId(held.seq);
-            self.entries.insert(
-                held.seq,
-                Entry {
-                    id,
-                    tuple: held.tuple,
-                    lease: held.lease,
-                    written_at: held.written_at,
-                },
-            );
+            let entry = Entry {
+                id,
+                tuple: held.tuple,
+                lease: held.lease,
+                written_at: held.written_at,
+            };
+            self.index_entry(held.seq, &entry);
+            self.entries.insert(held.seq, entry);
             // The provisional take never officially happened, so takes must
             // not count it; undo the counter bump from the txn take.
             self.obs.registry.sub(self.obs.takes, 1);
@@ -793,5 +1003,108 @@ mod tests {
         assert_eq!(space.written_at(id), Some(t(7)));
         let _ = space.take(&template![1], t(8));
         assert_eq!(space.written_at(id), None);
+    }
+
+    /// Runs the same op sequence against an indexed and an unindexed space
+    /// and asserts every observable output is identical.
+    fn assert_index_equivalent(ops: impl Fn(&mut Space) -> Vec<String>) {
+        let mut indexed = Space::new();
+        let mut scan = Space::unindexed();
+        indexed.enable_audit();
+        scan.enable_audit();
+        assert_eq!(ops(&mut indexed), ops(&mut scan));
+        assert_eq!(indexed.stats(), scan.stats());
+        let audits = |s: &Space| {
+            s.audit()
+                .map(|r| format!("{:?} {} {} {}", r.kind, r.entry, r.tuple, r.at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(audits(&indexed), audits(&scan));
+        let notes = |s: &mut Space| {
+            s.drain_notifications()
+                .into_iter()
+                .map(|n| {
+                    format!(
+                        "{} {:?} {} {} {}",
+                        n.subscription, n.kind, n.entry, n.tuple, n.at
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(notes(&mut indexed), notes(&mut scan));
+    }
+
+    #[test]
+    fn indexed_and_scan_matching_agree_on_mixed_templates() {
+        assert_index_equivalent(|space| {
+            let mut out = Vec::new();
+            let _sub = space.subscribe(
+                Template::any(2),
+                [EventKind::Written, EventKind::Taken, EventKind::Expired],
+            );
+            space.write(tuple!["job", 1], Lease::Until(t(10)), t(0));
+            space.write(tuple!["job", 2], Lease::Forever, t(0));
+            space.write(tuple!["job", 1, "dup-key"], Lease::Until(t(5)), t(1));
+            space.write(tuple!["solo"], Lease::Forever, t(1)); // arity ≤ key field
+                                                               // Exact key: bucketed lookup.
+            out.push(format!("{:?}", space.read(&template!["job", 1], t(2))));
+            // Typed key: scan fallback.
+            out.push(format!(
+                "{:?}",
+                space.read(&template!["job", ValueType::Int], t(2))
+            ));
+            // Wildcard template: scan fallback.
+            out.push(format!("{:?}", space.take(&Template::any(1), t(3))));
+            // Sweep with one due lease (the 3-arity tuple at t=5).
+            space.expire(t(6));
+            out.push(format!(
+                "{}",
+                space.count(&template!["job", ValueType::Int], t(6))
+            ));
+            out.push(format!(
+                "{:?}",
+                space.take_all(&Template::any(2), t(12), 10)
+            ));
+            out.push(format!("{:?}", space.next_deadline()));
+            out
+        });
+    }
+
+    #[test]
+    fn set_indexed_rebuilds_and_drops_consistently() {
+        let mut space = Space::unindexed();
+        space.write(tuple!["a", 1], Lease::Until(t(10)), t(0));
+        space.write(tuple!["a", 2], Lease::Forever, t(0));
+        space.set_indexed(true);
+        assert!(space.is_indexed());
+        assert_eq!(space.next_deadline(), Some(t(10)));
+        assert_eq!(space.read(&template!["a", 1], t(1)), Some(tuple!["a", 1]));
+        space.set_indexed(false);
+        assert_eq!(space.next_deadline(), Some(t(10)));
+        assert_eq!(space.take(&template!["a", 2], t(1)), Some(tuple!["a", 2]));
+    }
+
+    #[test]
+    fn bucket_lookup_honours_oldest_first_within_a_key() {
+        let mut space = Space::new();
+        space.write(tuple!["w", 7, "first"], Lease::Forever, t(0));
+        space.write(tuple!["w", 7, "second"], Lease::Forever, t(0));
+        let tpl = template!["w", 7, ValueType::Str];
+        assert_eq!(space.take(&tpl, t(1)), Some(tuple!["w", 7, "first"]));
+        assert_eq!(space.take(&tpl, t(1)), Some(tuple!["w", 7, "second"]));
+        assert_eq!(space.take(&tpl, t(1)), None);
+    }
+
+    #[test]
+    fn renew_keeps_deadline_index_in_sync() {
+        let mut space = Space::new();
+        space.write(tuple!["svc", 1], Lease::Until(t(10)), t(0));
+        let renewed = space.renew(&template!["svc", 1], Lease::Until(t(30)), t(5));
+        assert_eq!(renewed, 1);
+        assert_eq!(space.next_deadline(), Some(t(30)));
+        // The old deadline passing must not expire the renewed entry.
+        assert_eq!(space.len(t(15)), 1);
+        assert_eq!(space.len(t(30)), 0);
+        assert_eq!(space.next_deadline(), None);
     }
 }

@@ -352,24 +352,40 @@ fn get_request_body(r: &mut Reader<'_>) -> Result<Request, DecodeWireError> {
 /// Encodes a request to the compact binary wire form.
 #[must_use]
 pub fn request_to_binary(request: &Request) -> Vec<u8> {
-    let mut out = vec![BINARY_MAGIC];
-    put_request_body(&mut out, request);
+    let mut out = Vec::new();
+    request_to_binary_into(request, &mut out);
     out
+}
+
+/// [`request_to_binary`] into a reusable buffer (cleared first);
+/// byte-identical output.
+pub fn request_to_binary_into(request: &Request, out: &mut Vec<u8>) {
+    out.clear();
+    out.push(BINARY_MAGIC);
+    put_request_body(out, request);
 }
 
 /// Encodes a request envelope to the compact binary wire form. Like the
 /// XML side, an id-less envelope is byte-identical to its bare request.
 #[must_use]
 pub fn request_envelope_to_binary(envelope: &RequestEnvelope) -> Vec<u8> {
-    let mut out = vec![BINARY_MAGIC];
+    let mut out = Vec::new();
+    request_envelope_to_binary_into(envelope, &mut out);
+    out
+}
+
+/// [`request_envelope_to_binary`] into a reusable buffer (cleared first);
+/// byte-identical output.
+pub fn request_envelope_to_binary_into(envelope: &RequestEnvelope, out: &mut Vec<u8>) {
+    out.clear();
+    out.push(BINARY_MAGIC);
     if let Some(id) = envelope.id {
         out.push(TAG_REQUEST_ENVELOPE);
         out.extend_from_slice(&id.client.to_le_bytes());
         out.extend_from_slice(&id.seq.to_le_bytes());
         out.extend_from_slice(&envelope.ack.to_le_bytes());
     }
-    put_request_body(&mut out, &envelope.request);
-    out
+    put_request_body(out, &envelope.request);
 }
 
 /// Decodes a binary request (envelope identity, if present, is dropped).
@@ -459,33 +475,62 @@ fn get_response_body(r: &mut Reader<'_>) -> Result<Response, DecodeWireError> {
 /// Encodes a response to the compact binary wire form.
 #[must_use]
 pub fn response_to_binary(response: &Response) -> Vec<u8> {
-    let mut out = vec![BINARY_MAGIC];
-    put_response_body(&mut out, response);
+    let mut out = Vec::new();
+    response_to_binary_into(response, &mut out);
     out
+}
+
+/// [`response_to_binary`] into a reusable buffer (cleared first);
+/// byte-identical output.
+pub fn response_to_binary_into(response: &Response, out: &mut Vec<u8>) {
+    out.clear();
+    out.push(BINARY_MAGIC);
+    put_response_body(out, response);
 }
 
 /// Encodes a response with its echoed request identity. An uncorrelated
 /// response is byte-identical to the plain form.
 #[must_use]
 pub fn correlated_response_to_binary(re: Option<RequestId>, response: &Response) -> Vec<u8> {
-    let mut out = vec![BINARY_MAGIC];
+    let mut out = Vec::new();
+    correlated_response_to_binary_into(re, response, &mut out);
+    out
+}
+
+/// [`correlated_response_to_binary`] into a reusable buffer (cleared
+/// first); byte-identical output.
+pub fn correlated_response_to_binary_into(
+    re: Option<RequestId>,
+    response: &Response,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    out.push(BINARY_MAGIC);
     if let Some(id) = re {
         out.push(TAG_RESPONSE_ENVELOPE);
         out.extend_from_slice(&id.client.to_le_bytes());
         out.extend_from_slice(&id.seq.to_le_bytes());
     }
-    put_response_body(&mut out, response);
-    out
+    put_response_body(out, response);
 }
 
 /// Encodes a pushed event to the compact binary wire form.
 #[must_use]
 pub fn event_to_binary(event: &WireEvent) -> Vec<u8> {
-    let mut out = vec![BINARY_MAGIC, 0xC0];
+    let mut out = Vec::new();
+    event_to_binary_into(event, &mut out);
+    out
+}
+
+/// [`event_to_binary`] into a reusable buffer (cleared first);
+/// byte-identical output.
+pub fn event_to_binary_into(event: &WireEvent, out: &mut Vec<u8>) {
+    out.clear();
+    out.push(BINARY_MAGIC);
+    out.push(0xC0);
     out.extend_from_slice(&event.subscription.to_le_bytes());
     out.push(kind_tag(event.kind));
-    put_tuple(&mut out, &event.tuple);
-    out
+    put_tuple(out, &event.tuple);
 }
 
 /// Decodes a binary server message (response or pushed event).
@@ -633,6 +678,89 @@ pub fn event_to_wire(event: &WireEvent, format: WireFormat) -> Vec<u8> {
     match format {
         WireFormat::Xml => crate::codec::event_to_xml(event).into_bytes(),
         WireFormat::Binary => event_to_binary(event),
+    }
+}
+
+/// Reusable encode buffers for steady-state wire traffic.
+///
+/// Each `encode_*` method fills the buffer for the chosen format and
+/// returns the encoded bytes, byte-identical to the allocating `*_to_wire`
+/// functions. Endpoints hold one scratch per agent, so after warm-up the
+/// per-message `String`/`Vec` allocations of the encode path disappear —
+/// only the final copy into the transport's `Bytes` remains.
+#[derive(Debug, Clone, Default)]
+pub struct EncodeScratch {
+    xml: String,
+    buf: Vec<u8>,
+}
+
+impl EncodeScratch {
+    /// Creates an empty scratch (buffers grow to steady-state size on first
+    /// use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes a request, reusing this scratch's buffer.
+    pub fn request(&mut self, request: &Request, format: WireFormat) -> &[u8] {
+        match format {
+            WireFormat::Xml => {
+                crate::codec::request_to_xml_into(request, &mut self.xml);
+                self.xml.as_bytes()
+            }
+            WireFormat::Binary => {
+                request_to_binary_into(request, &mut self.buf);
+                &self.buf
+            }
+        }
+    }
+
+    /// Encodes a request envelope, reusing this scratch's buffer.
+    pub fn request_envelope(&mut self, envelope: &RequestEnvelope, format: WireFormat) -> &[u8] {
+        match format {
+            WireFormat::Xml => {
+                crate::codec::request_envelope_to_xml_into(envelope, &mut self.xml);
+                self.xml.as_bytes()
+            }
+            WireFormat::Binary => {
+                request_envelope_to_binary_into(envelope, &mut self.buf);
+                &self.buf
+            }
+        }
+    }
+
+    /// Encodes a correlated response, reusing this scratch's buffer.
+    pub fn correlated_response(
+        &mut self,
+        re: Option<RequestId>,
+        response: &Response,
+        format: WireFormat,
+    ) -> &[u8] {
+        match format {
+            WireFormat::Xml => {
+                crate::codec::correlated_response_to_xml_into(re, response, &mut self.xml);
+                self.xml.as_bytes()
+            }
+            WireFormat::Binary => {
+                correlated_response_to_binary_into(re, response, &mut self.buf);
+                &self.buf
+            }
+        }
+    }
+
+    /// Encodes a pushed event, reusing this scratch's buffer.
+    pub fn event(&mut self, event: &WireEvent, format: WireFormat) -> &[u8] {
+        match format {
+            WireFormat::Xml => {
+                crate::codec::event_to_xml_into(event, &mut self.xml);
+                self.xml.as_bytes()
+            }
+            WireFormat::Binary => {
+                event_to_binary_into(event, &mut self.buf);
+                &self.buf
+            }
+        }
     }
 }
 
@@ -826,6 +954,50 @@ mod tests {
             let noise: Vec<u8> = (0..len).map(|_| next()).collect();
             let _ = request_from_binary(&noise);
             let _ = server_message_from_binary(&noise);
+        }
+    }
+
+    #[test]
+    fn scratch_encoding_matches_allocating_encoders_with_dirty_buffers() {
+        let mut scratch = EncodeScratch::new();
+        let id = RequestId { client: 3, seq: 11 };
+        let event = WireEvent {
+            subscription: 4,
+            kind: EventKind::Written,
+            tuple: tuple!["e", 42, "<&>"],
+        };
+        let response = Response::Entry {
+            tuple: Some(tuple!["y", 9]),
+        };
+        for format in [WireFormat::Xml, WireFormat::Binary] {
+            // Encode repeatedly through the same scratch: each call must be
+            // byte-identical to the allocating encoder even though the
+            // buffers still hold the previous (longer or shorter) message.
+            for request in sample_requests() {
+                assert_eq!(
+                    scratch.request(&request, format),
+                    request_to_wire(&request, format).as_slice()
+                );
+                let envelope = RequestEnvelope::identified(id, 2, request.clone());
+                assert_eq!(
+                    scratch.request_envelope(&envelope, format),
+                    request_envelope_to_wire(&envelope, format).as_slice()
+                );
+            }
+            assert_eq!(
+                scratch.correlated_response(Some(id), &response, format),
+                correlated_response_to_wire(Some(id), &response, format).as_slice()
+            );
+            assert_eq!(
+                scratch.event(&event, format),
+                event_to_wire(&event, format).as_slice()
+            );
+            // And the scratch output still round-trips through the decoder.
+            let bytes = scratch.event(&event, format).to_vec();
+            assert_eq!(
+                server_message_from_wire(&bytes).expect("decodes"),
+                ServerMessage::Event(event.clone())
+            );
         }
     }
 

@@ -205,6 +205,12 @@ pub fn event_to_xml(event: &WireEvent) -> String {
     encode_event(event).to_xml()
 }
 
+/// [`event_to_xml`] into a reusable buffer (cleared first); byte-identical
+/// output.
+pub fn event_to_xml_into(event: &WireEvent, out: &mut String) {
+    encode_event(event).to_xml_into(out);
+}
+
 /// Decodes an `<event>` element.
 ///
 /// # Errors
@@ -530,6 +536,12 @@ pub fn request_envelope_to_xml(envelope: &RequestEnvelope) -> String {
     encode_request_envelope(envelope).to_xml()
 }
 
+/// [`request_envelope_to_xml`] into a reusable buffer (cleared first);
+/// byte-identical output.
+pub fn request_envelope_to_xml_into(envelope: &RequestEnvelope, out: &mut String) {
+    encode_request_envelope(envelope).to_xml_into(out);
+}
+
 /// Decodes an `<op>` element together with its optional identity
 /// attributes.
 ///
@@ -580,6 +592,16 @@ pub fn correlated_response_to_xml(re: Option<RequestId>, response: &Response) ->
     encode_correlated_response(re, response).to_xml()
 }
 
+/// [`correlated_response_to_xml`] into a reusable buffer (cleared first);
+/// byte-identical output.
+pub fn correlated_response_to_xml_into(
+    re: Option<RequestId>,
+    response: &Response,
+    out: &mut String,
+) {
+    encode_correlated_response(re, response).to_xml_into(out);
+}
+
 fn op_with_template(kind: &str, template: &Template, timeout_ns: Option<u64>) -> XmlElement {
     let mut el = XmlElement::new("op").with_attr("type", kind);
     if let Some(ns) = timeout_ns {
@@ -592,6 +614,12 @@ fn op_with_template(kind: &str, template: &Template, timeout_ns: Option<u64>) ->
 #[must_use]
 pub fn request_to_xml(request: &Request) -> String {
     encode_request(request).to_xml()
+}
+
+/// [`request_to_xml`] into a reusable buffer (cleared first); byte-identical
+/// output.
+pub fn request_to_xml_into(request: &Request, out: &mut String) {
+    encode_request(request).to_xml_into(out);
 }
 
 /// Parses a request document.

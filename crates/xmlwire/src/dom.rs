@@ -152,6 +152,16 @@ impl XmlElement {
         out
     }
 
+    /// Serializes compactly into a caller-owned buffer, clearing it first.
+    ///
+    /// The output is byte-identical to [`to_xml`](Self::to_xml); the buffer
+    /// form exists so steady-state encoders can reuse one allocation across
+    /// messages instead of building a fresh `String` per call.
+    pub fn to_xml_into(&self, out: &mut String) {
+        out.clear();
+        self.write_into(out);
+    }
+
     /// Serializes with two-space indentation — for logs and documentation,
     /// not the wire (the extra whitespace would count as character data).
     #[must_use]
@@ -217,7 +227,7 @@ impl XmlElement {
             out.push(' ');
             out.push_str(k);
             out.push_str("=\"");
-            out.push_str(&escape(v));
+            escape_into(v, out);
             out.push('"');
         }
         if self.children.is_empty() {
@@ -228,7 +238,7 @@ impl XmlElement {
         for child in &self.children {
             match child {
                 XmlNode::Element(el) => el.write_into(out),
-                XmlNode::Text(t) => out.push_str(&escape(t)),
+                XmlNode::Text(t) => escape_into(t, out),
             }
         }
         out.push_str("</");
@@ -247,6 +257,13 @@ impl fmt::Display for XmlElement {
 #[must_use]
 pub fn escape(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
+    escape_into(text, &mut out);
+    out
+}
+
+/// Appends `text` to `out` with the five predefined entities escaped —
+/// the serializer's allocation-free workhorse.
+fn escape_into(text: &str, out: &mut String) {
     for c in text.chars() {
         match c {
             '&' => out.push_str("&amp;"),
@@ -257,7 +274,6 @@ pub fn escape(text: &str) -> String {
             other => out.push(other),
         }
     }
-    out
 }
 
 /// Whether `name` is acceptable as an element or attribute name in this

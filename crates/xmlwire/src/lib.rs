@@ -38,15 +38,17 @@ mod parser;
 pub use binary::{
     correlated_response_to_wire, event_to_wire, request_envelope_from_wire,
     request_envelope_to_wire, request_from_wire, request_to_wire, response_to_wire,
-    server_message_from_wire, WireFormat, BINARY_MAGIC,
+    server_message_from_wire, EncodeScratch, WireFormat, BINARY_MAGIC,
 };
 pub use codec::{
-    correlated_response_to_xml, decode_event, decode_request, decode_request_envelope,
-    decode_response, decode_template, decode_tuple, decode_value, encode_correlated_response,
-    encode_event, encode_request, encode_request_envelope, encode_response, encode_template,
-    encode_tuple, encode_value, event_to_xml, request_envelope_from_xml, request_envelope_to_xml,
-    request_from_xml, request_to_xml, response_from_xml, response_to_xml, server_message_from_xml,
-    DecodeWireError, Request, RequestEnvelope, RequestId, Response, ServerMessage, WireEvent,
+    correlated_response_to_xml, correlated_response_to_xml_into, decode_event, decode_request,
+    decode_request_envelope, decode_response, decode_template, decode_tuple, decode_value,
+    encode_correlated_response, encode_event, encode_request, encode_request_envelope,
+    encode_response, encode_template, encode_tuple, encode_value, event_to_xml, event_to_xml_into,
+    request_envelope_from_xml, request_envelope_to_xml, request_envelope_to_xml_into,
+    request_from_xml, request_to_xml, request_to_xml_into, response_from_xml, response_to_xml,
+    server_message_from_xml, DecodeWireError, Request, RequestEnvelope, RequestId, Response,
+    ServerMessage, WireEvent,
 };
 pub use dom::{escape, is_valid_name, XmlElement, XmlNode};
 pub use parser::{parse, ParseXmlError};

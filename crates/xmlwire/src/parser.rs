@@ -139,9 +139,11 @@ impl<'a> Parser<'a> {
             if c == quote {
                 let raw = &self.bytes[start..self.pos];
                 self.pos += 1;
-                let text = String::from_utf8(raw.to_vec())
+                // Borrow the input directly; only `unescape` allocates the
+                // owned value the DOM keeps.
+                let text = std::str::from_utf8(raw)
                     .map_err(|_| self.error("attribute value is not UTF-8"))?;
-                return unescape(&text).map_err(|m| self.error(m));
+                return unescape(text).map_err(|m| self.error(m));
             }
             if c == b'<' {
                 return Err(self.error("'<' is not allowed in attribute values"));
@@ -212,9 +214,9 @@ impl<'a> Parser<'a> {
                         }
                         self.pos += 1;
                     }
-                    let raw = String::from_utf8(self.bytes[start..self.pos].to_vec())
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.error("character data is not UTF-8"))?;
-                    let text = unescape(&raw).map_err(|m| self.error(m))?;
+                    let text = unescape(raw).map_err(|m| self.error(m))?;
                     if !text.is_empty() {
                         element = element.with_text(text);
                     }
